@@ -1,0 +1,54 @@
+//! Plain bit-sparsity execution model — the reference line of Fig. 13 and
+//! the mechanism BitVert-class accelerators exploit.
+//!
+//! A bit-sparse engine skips zero bits but reuses nothing: every set bit
+//! costs one add. Density is therefore exactly the fraction of set bits
+//! (~50% on uniform data, the 50–60% ceiling the paper cites in §1).
+
+/// Ops a bit-sparsity engine needs for a TransRow multiset: one add per
+/// set bit.
+pub fn bit_sparsity_ops(patterns: &[u16]) -> u64 {
+    patterns.iter().map(|p| p.count_ones() as u64).sum()
+}
+
+/// Bit-sparsity density: set bits over `rows × width`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn bit_sparsity_density(patterns: &[u16], width: u32) -> f64 {
+    assert!(width > 0, "width must be non-zero");
+    if patterns.is_empty() {
+        return 0.0;
+    }
+    bit_sparsity_ops(patterns) as f64 / (patterns.len() as f64 * width as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_count_set_bits() {
+        assert_eq!(bit_sparsity_ops(&[0b1011, 0b0000, 0b1111]), 7);
+        assert_eq!(bit_sparsity_ops(&[]), 0);
+    }
+
+    #[test]
+    fn density_of_uniform_patterns() {
+        // All 4-bit patterns once → exactly 50% bits set.
+        let all: Vec<u16> = (0..16).collect();
+        assert!((bit_sparsity_density(&all, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_example_has_ten_ops() {
+        // Fig. 1: rows 1011, 1111, 0011, 0010 → "10 OPs" for bit sparsity.
+        assert_eq!(bit_sparsity_ops(&[0b1011, 0b1111, 0b0011, 0b0010]), 10);
+    }
+
+    #[test]
+    fn empty_density_is_zero() {
+        assert_eq!(bit_sparsity_density(&[], 8), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # ta-baselines — the accelerator roster TransArray is compared against
+//!
+//! Analytic models of the five baselines of §5.1 — BitFusion, ANT, OliVe,
+//! Tender, BitVert — built from the PE-array geometries the paper
+//! synthesized for Table 2, sharing the TransArray's DRAM/tiling model so
+//! the comparison isolates the compute engines. Plus the plain
+//! bit-sparsity executor that Fig. 13 uses as its reference line.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ta_baselines::Baseline;
+//! use ta_core::GemmShape;
+//! use ta_sim::EnergyModel;
+//!
+//! let olive = Baseline::olive();
+//! let rep = olive.simulate_gemm(GemmShape::new(4096, 4096, 2048), 8, 8,
+//!                               &EnergyModel::paper_28nm());
+//! assert!(rep.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod baseline;
+mod bit_sparsity;
+
+pub use baseline::{Baseline, BaselineReport};
+pub use bit_sparsity::{bit_sparsity_density, bit_sparsity_ops};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_core::GemmShape;
+    use ta_sim::EnergyModel;
+
+    /// The speedup relationships the paper's Fig. 10 reports must emerge
+    /// from the models: TA-8bit ideal throughput is 1536 MACs/cycle
+    /// (6 units × 256), TA-4bit 3072.
+    #[test]
+    fn fig10_throughput_ratios_in_band() {
+        let ta8 = 1536.0;
+        let ta4 = 3072.0;
+        let ant = Baseline::ant().macs_per_cycle(8, 8);
+        let olive = Baseline::olive().macs_per_cycle(8, 8);
+        let bv = Baseline::bitvert().macs_per_cycle(8, 8);
+        // Paper: TA-8bit = 2.47× ANT, 3.75× Olive, 1.99× BitVert.
+        assert!((2.0..3.2).contains(&(ta8 / ant)), "TA8/ANT {}", ta8 / ant);
+        assert!((3.2..4.6).contains(&(ta8 / olive)), "TA8/Olive {}", ta8 / olive);
+        assert!((1.6..2.4).contains(&(ta8 / bv)), "TA8/BV {}", ta8 / bv);
+        // Paper: TA-4bit = 4.91× ANT, 7.46× Olive, 3.97× BitVert.
+        assert!((4.2..6.2).contains(&(ta4 / ant)), "TA4/ANT {}", ta4 / ant);
+        assert!((6.5..9.0).contains(&(ta4 / olive)), "TA4/Olive {}", ta4 / olive);
+        assert!((3.2..4.8).contains(&(ta4 / bv)), "TA4/BV {}", ta4 / bv);
+    }
+
+    #[test]
+    fn energy_ordering_on_llm_layer() {
+        // On a LLaMA-7B FC layer, slower accelerators burn more static
+        // energy; total energies must stay within one order of magnitude.
+        let em = EnergyModel::paper_28nm();
+        let shape = GemmShape::new(4096, 4096, 2048);
+        let reports: Vec<_> =
+            Baseline::roster().iter().map(|b| b.simulate_gemm(shape, 8, 8, &em)).collect();
+        let max = reports.iter().map(|r| r.energy.total()).fold(0.0, f64::max);
+        let min = reports.iter().map(|r| r.energy.total()).fold(f64::MAX, f64::min);
+        assert!(max / min < 10.0, "spread {max} / {min}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks of the Benes network router (§4.4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ta_sim::BenesNetwork;
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_route");
+    for n in [8usize, 16, 32] {
+        let net = BenesNetwork::new(n);
+        let perm: Vec<usize> = (0..n).map(|o| (o * 5 + 3) % n).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &perm, |b, perm| {
+            b.iter(|| net.route(black_box(perm)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let net = BenesNetwork::new(8);
+    let perm: Vec<usize> = vec![7, 2, 5, 0, 3, 6, 1, 4];
+    let routing = net.route(&perm);
+    let data: Vec<u64> = (0..8).collect();
+    c.bench_function("benes_apply_8", |b| {
+        b.iter(|| net.apply(black_box(&routing), black_box(&data)))
+    });
+}
+
+criterion_group!(benches, bench_route, bench_apply);
+criterion_main!(benches);

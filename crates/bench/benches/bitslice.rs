@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the bit-slicing engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ta_bitslice::{bitonic_sort_by_key, extract_subtile_transrows, BitSlicedMatrix};
+use ta_quant::MatI32;
+
+fn weight(n: usize, k: usize) -> MatI32 {
+    MatI32::from_fn(n, k, |r, c| (((r * k + c) as i64 * 2654435761 % 255) - 127) as i32)
+}
+
+fn bench_slice(c: &mut Criterion) {
+    let w = weight(256, 256);
+    c.bench_function("bitslice_256x256_int8", |b| {
+        b.iter(|| BitSlicedMatrix::slice(black_box(&w), 8))
+    });
+    let sliced = BitSlicedMatrix::slice(&w, 8);
+    c.bench_function("reconstruct_256x256_int8", |b| {
+        b.iter(|| black_box(&sliced).reconstruct())
+    });
+    c.bench_function("extract_subtile_32x8", |b| {
+        b.iter(|| extract_subtile_transrows(black_box(&sliced), 0, 32, 0, 8))
+    });
+}
+
+fn bench_sorter(c: &mut Criterion) {
+    let base: Vec<u16> = (0..256u32).map(|i| (i.wrapping_mul(40503) >> 8) as u16).collect();
+    c.bench_function("bitonic_sort_256_by_popcount", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            bitonic_sort_by_key(&mut v, |x| x.count_ones());
+            v
+        })
+    });
+}
+
+criterion_group!(benches, bench_slice, bench_sorter);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion wrappers over the figure harnesses at quick scale — one
+//! bench per paper artifact, so `cargo bench` exercises every
+//! reproduction path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ta_bench::{experiments, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.bench_function("fig9_panel_a_point", |b| {
+        b.iter(|| experiments::fig9::design_point(8, 256, 2, 42))
+    });
+    g.bench_function("fig11_breakdown", |b| {
+        b.iter(|| experiments::fig11::breakdown(scale))
+    });
+    g.bench_function("fig13_point_row256", |b| {
+        b.iter(|| {
+            use ta_models::UniformBitSource;
+            let mut src = UniformBitSource::new(8, 256, 5);
+            experiments::fig13::measure(&mut src, 256, 2, 2)
+        })
+    });
+    g.bench_function("table2_area", |b| b.iter(experiments::tables::table2));
+    g.finish();
+
+    let mut slow = c.benchmark_group("figures_quick_slow");
+    slow.sample_size(10);
+    slow.bench_function("table3_accuracy", |b| {
+        b.iter(|| experiments::tables::table3(scale))
+    });
+    slow.bench_function("fig14_resnet", |b| b.iter(|| experiments::fig14::simulate(scale)));
+    slow.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

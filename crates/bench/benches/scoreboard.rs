@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the Scoreboard — the component whose
+//! linear complexity the paper contrasts with GEMM's cubic (§1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ta_core::PatternSource;
+use ta_hasse::{ExecutionPlan, Scoreboard, ScoreboardConfig, StaticSi, TileStats};
+use ta_models::UniformBitSource;
+
+fn patterns(rows: usize) -> Vec<u16> {
+    UniformBitSource::new(8, rows, 42).subtile_patterns(0, 0)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scoreboard_build");
+    for rows in [64usize, 256, 1024] {
+        let p = patterns(rows);
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &p, |b, p| {
+            b.iter(|| {
+                Scoreboard::build(ScoreboardConfig::with_width(8), black_box(p.iter().copied()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats_and_plan(c: &mut Criterion) {
+    let p = patterns(256);
+    let sb = Scoreboard::build(ScoreboardConfig::with_width(8), p.iter().copied());
+    c.bench_function("tile_stats_256", |b| {
+        b.iter(|| TileStats::from_scoreboard(black_box(&sb)))
+    });
+    c.bench_function("execution_plan_256", |b| {
+        b.iter(|| ExecutionPlan::from_scoreboard(black_box(&sb)))
+    });
+}
+
+fn bench_static_si(c: &mut Criterion) {
+    let calib: Vec<u16> = (0..8).flat_map(|t| {
+        UniformBitSource::new(8, 256, 7).subtile_patterns(t, 0)
+    }).collect();
+    let si = StaticSi::from_patterns(ScoreboardConfig::with_width(8), calib);
+    let tile = patterns(256);
+    c.bench_function("static_si_evaluate_256", |b| {
+        b.iter(|| si.evaluate_tile(black_box(&tile)))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_stats_and_plan, bench_static_si);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark: the transitive GEMM engine vs the dense integer
+//! reference (functional throughput of the simulator, not the modeled
+//! hardware cycles).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ta_core::{TransArrayConfig, TransitiveArray};
+use ta_quant::{gemm_i32, MatI32};
+
+fn mats() -> (MatI32, MatI32) {
+    let w = MatI32::from_fn(64, 64, |r, c| (((r * 64 + c) as i64 * 40503 % 15) - 7) as i32);
+    let x = MatI32::from_fn(64, 32, |r, c| (((r * 32 + c) as i64 * 9973 % 255) - 127) as i32);
+    (w, x)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (w, x) = mats();
+    c.bench_function("dense_gemm_i32_64x64x32", |b| {
+        b.iter(|| gemm_i32(black_box(&w), black_box(&x)))
+    });
+    let ta = TransitiveArray::new(TransArrayConfig {
+        width: 4,
+        max_transrows: 16,
+        weight_bits: 4,
+        m_tile: 32,
+        units: 2,
+        sample_limit: 0,
+        ..TransArrayConfig::paper_w8()
+    });
+    let w4 = MatI32::from_fn(64, 64, |r, c| (((r * 64 + c) as i64 * 40503 % 15) - 7) as i32);
+    c.bench_function("transitive_gemm_64x64x32_w4", |b| {
+        b.iter(|| ta.execute_gemm(black_box(&w4), black_box(&x)))
+    });
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the ablation studies (distance cap, lane count, balance policy,
+//! Scoreboard area trade).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::ablation::run(scale));
+}

@@ -1,0 +1,29 @@
+//! Runs the complete evaluation battery (every table and figure) and
+//! writes CSVs to `target/experiments/`.
+use ta_bench::{emit, experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("=== Transitive Array reproduction — full evaluation ===\n");
+    println!("--- Table 1 ---");
+    emit(&experiments::tables::table1());
+    println!("--- Table 2 ---");
+    emit(&experiments::tables::table2());
+    println!("--- Table 3 (proxy) ---");
+    emit(&experiments::tables::table3(scale));
+    println!("--- Fig 9 ---");
+    emit(&experiments::fig9::run(scale));
+    println!("--- Fig 10 ---");
+    emit(&experiments::fig10::run(scale));
+    println!("--- Fig 11 ---");
+    emit(&experiments::fig11::run(scale));
+    println!("--- Fig 12 ---");
+    emit(&experiments::fig12::run(scale));
+    println!("--- Fig 13 ---");
+    emit(&experiments::fig13::run(scale));
+    println!("--- Fig 14 ---");
+    emit(&experiments::fig14::run(scale));
+    println!("--- Ablations ---");
+    emit(&experiments::ablation::run(scale));
+    println!("Done. CSVs under target/experiments/.");
+}

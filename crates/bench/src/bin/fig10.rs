@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 (FC-layer runtime and energy on LLaMA).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::fig10::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 (TransArray energy breakdown).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::fig11::run(scale));
+}

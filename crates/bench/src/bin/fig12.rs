@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12 (attention-layer speedups).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::fig12::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (static vs dynamic Scoreboard, real vs random).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::fig13::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 (ResNet-18 per-layer speedups).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::fig14::run(scale));
+}

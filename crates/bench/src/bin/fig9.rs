@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (design-space exploration, panels a-d).
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::fig9::run(scale));
+}

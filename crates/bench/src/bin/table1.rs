@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (TransArray unit specification).
+fn main() {
+    ta_bench::emit(&ta_bench::experiments::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (area comparison at 28 nm).
+fn main() {
+    ta_bench::emit(&ta_bench::experiments::tables::table2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (model accuracy) as a quantization-quality proxy.
+fn main() {
+    let scale = ta_bench::Scale::from_env();
+    ta_bench::emit(&ta_bench::experiments::tables::table3(scale));
+}

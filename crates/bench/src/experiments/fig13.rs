@@ -1,0 +1,180 @@
+//! Fig. 13 — static vs dynamic Scoreboard on real-like vs uniform random
+//! data, 8-bit TranSparsity, densities vs tiling row size, with the
+//! bit-sparsity reference line.
+
+use crate::report::{fmt3, Table};
+use crate::scale::Scale;
+use ta_baselines::bit_sparsity_density;
+use ta_core::PatternSource;
+use ta_hasse::{Scoreboard, ScoreboardConfig, StaticSi, TileStats};
+use ta_models::{QuantGaussianSource, UniformBitSource};
+
+/// The paper's row-size sweep for this figure.
+pub const ROW_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// Densities of one (source, row size) design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Point {
+    /// Dynamic-Scoreboard density.
+    pub dynamic: f64,
+    /// Static-Scoreboard density (tensor-level SI, per-tile misses).
+    pub static_: f64,
+    /// Plain bit-sparsity density.
+    pub bit: f64,
+    /// SI misses per non-zero row under the static SI.
+    pub miss_rate: f64,
+}
+
+/// Measures one design point: `calib_tiles` tiles calibrate the static
+/// SI; `eval_tiles` further tiles are executed under both Scoreboards.
+pub fn measure(
+    source: &mut dyn PatternSource,
+    row_size: usize,
+    calib_tiles: usize,
+    eval_tiles: usize,
+) -> Fig13Point {
+    let cfg = ScoreboardConfig::with_width(8);
+    // Tensor-level calibration (offline pass, §3.3). The tile row count
+    // matters only for evaluation; calibration sees the union.
+    let mut calib = Vec::new();
+    for t in 0..calib_tiles {
+        calib.extend(chunked_patterns(source, t, row_size));
+    }
+    let si = StaticSi::from_patterns(cfg, calib.iter().copied());
+
+    let mut dyn_ops = 0u64;
+    let mut sta_ops = 0u64;
+    let mut bit_acc = 0.0f64;
+    let mut dense = 0u64;
+    let mut misses = 0u64;
+    let mut nonzero = 0u64;
+    for t in 0..eval_tiles {
+        let patterns = chunked_patterns(source, calib_tiles + t, row_size);
+        let sb = Scoreboard::build(cfg, patterns.iter().copied());
+        dyn_ops += TileStats::from_scoreboard(&sb).total_ops;
+        let rep = si.evaluate_tile(&patterns);
+        sta_ops += rep.total_ops;
+        misses += rep.si_misses;
+        nonzero += (rep.rows - rep.zero_rows) as u64;
+        bit_acc += bit_sparsity_density(&patterns, 8) * patterns.len() as f64 * 8.0;
+        dense += patterns.len() as u64 * 8;
+    }
+    Fig13Point {
+        dynamic: dyn_ops as f64 / dense as f64,
+        static_: sta_ops as f64 / dense as f64,
+        bit: bit_acc / dense as f64,
+        miss_rate: if nonzero == 0 { 0.0 } else { misses as f64 / nonzero as f64 },
+    }
+}
+
+/// Pulls `row_size` patterns for tile index `t` from a source whose
+/// sub-tile granularity may differ — stitches sub-tiles as needed.
+fn chunked_patterns(source: &mut dyn PatternSource, t: usize, row_size: usize) -> Vec<u16> {
+    let per = source.rows_per_subtile();
+    let needed = row_size.div_ceil(per);
+    let mut out = Vec::with_capacity(needed * per);
+    for i in 0..needed {
+        out.extend(source.subtile_patterns(t * needed + i, 0));
+    }
+    out.truncate(row_size);
+    out
+}
+
+/// Runs the figure: one table per data distribution.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (label, real) in [("real (quantized-Gaussian)", true), ("random (uniform bits)", false)] {
+        let mut t = Table::new(
+            format!("Fig 13 density % vs tiling row size — {label}"),
+            &["row_size", "bit_sparsity", "dynamic", "static", "si_miss_rate"],
+        );
+        for &rows in &ROW_SIZES {
+            let mut real_src;
+            let mut rand_src;
+            let src: &mut dyn PatternSource = if real {
+                real_src = QuantGaussianSource::new(8, 8, 32, 5);
+                &mut real_src
+            } else {
+                rand_src = UniformBitSource::new(8, 256, 5);
+                &mut rand_src
+            };
+            let p = measure(src, rows, scale.tiles.max(2), scale.tiles.max(2));
+            t.push_row(vec![
+                rows.to_string(),
+                fmt3(100.0 * p.bit),
+                fmt3(100.0 * p.dynamic),
+                fmt3(100.0 * p.static_),
+                fmt3(p.miss_rate),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_beats_static_at_small_tiles() {
+        // §5.8: dynamic achieves significantly lower density than static
+        // for small row sizes…
+        let mut src = UniformBitSource::new(8, 256, 3);
+        let p64 = measure(&mut src, 64, 6, 6);
+        assert!(
+            p64.static_ > p64.dynamic * 1.1,
+            "static {} vs dynamic {}",
+            p64.static_,
+            p64.dynamic
+        );
+        // …with a real miss rate behind it.
+        assert!(p64.miss_rate > 0.0);
+    }
+
+    #[test]
+    fn static_converges_to_dynamic_at_large_tiles() {
+        let mut src = UniformBitSource::new(8, 256, 3);
+        let p1024 = measure(&mut src, 1024, 4, 4);
+        assert!(
+            (p1024.static_ - p1024.dynamic).abs() / p1024.dynamic < 0.10,
+            "static {} vs dynamic {}",
+            p1024.static_,
+            p1024.dynamic
+        );
+    }
+
+    #[test]
+    fn both_beat_bit_sparsity() {
+        // "the static Scoreboard remains significantly more efficient
+        // than bit sparsity" (§5.8).
+        let mut src = UniformBitSource::new(8, 256, 9);
+        for rows in [64usize, 256, 1024] {
+            let p = measure(&mut src, rows, 4, 4);
+            assert!(p.dynamic < p.bit * 0.8, "rows {rows}: dyn {} bit {}", p.dynamic, p.bit);
+            assert!(p.static_ < p.bit * 0.9, "rows {rows}: sta {} bit {}", p.static_, p.bit);
+        }
+    }
+
+    #[test]
+    fn real_data_slightly_better_than_random() {
+        // §5.9: slightly better performance on real data.
+        let mut real = QuantGaussianSource::new(8, 8, 32, 5);
+        let mut rand = UniformBitSource::new(8, 256, 5);
+        let pr = measure(&mut real, 256, 6, 6);
+        let pu = measure(&mut rand, 256, 6, 6);
+        assert!(
+            pr.dynamic <= pu.dynamic * 1.01,
+            "real {} should be ≤ random {}",
+            pr.dynamic,
+            pu.dynamic
+        );
+    }
+
+    #[test]
+    fn run_emits_two_tables() {
+        let tables = run(Scale::quick());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), ROW_SIZES.len());
+    }
+}

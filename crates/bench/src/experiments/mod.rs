@@ -1,0 +1,12 @@
+//! One module per paper artifact — each exposes `run(Scale) -> Vec<Table>`
+//! so binaries, the `all` runner, integration tests, and the Criterion
+//! benches share the exact same code paths.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig9;
+pub mod tables;

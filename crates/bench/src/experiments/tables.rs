@@ -1,0 +1,181 @@
+//! Tables 1–3: the TransArray unit specification, the area comparison,
+//! and the model-accuracy study (quantization-quality proxy).
+
+use crate::report::{fmt3, Table};
+use crate::scale::Scale;
+use ta_baselines::Baseline;
+use ta_core::TransArrayConfig;
+use ta_models::{llm_activation_matrix, llm_weight_matrix, LlamaConfig};
+use ta_quant::{evaluate_method, pseudo_perplexity, table3_roster};
+use ta_sim::transarray_area;
+
+/// Table 1 — specifications of one TransArray unit.
+pub fn table1() -> Vec<Table> {
+    let w8 = TransArrayConfig::paper_w8();
+    let w4 = TransArrayConfig::paper_w4();
+    let mut t = Table::new("Table 1 TransArray unit specification", &["field", "value"]);
+    t.push_row(vec!["Bit-width".into(), format!("T = {}-bit TranSparsity", w8.width)]);
+    t.push_row(vec![
+        "TransRow number".into(),
+        format!("max {} 1-bit TransRows", w8.max_transrows),
+    ]);
+    t.push_row(vec![
+        "Weight tiling".into(),
+        format!("N = {} for 8-bit wgt; N = {} for 4-bit wgt", w8.n_tile(), w4.n_tile()),
+    ]);
+    t.push_row(vec!["Input tiling".into(), format!("M = {} for 8-bit input", w8.m_tile)]);
+    t.push_row(vec![
+        "PPE array".into(),
+        format!("{} x {} 12-bit adders", w8.width, w8.m_tile),
+    ]);
+    t.push_row(vec![
+        "APE array".into(),
+        format!("{} x {} 24-bit adders", w8.width, w8.m_tile),
+    ]);
+    t.push_row(vec![
+        "NoC".into(),
+        format!("an {}-way Benes net and crossbar", w8.width),
+    ]);
+    t.push_row(vec![
+        "Scoreboard".into(),
+        format!("two {}-way {}-entry tables; a sorter", w8.width, 1 << w8.width),
+    ]);
+    t.push_row(vec![
+        "Buffer size".into(),
+        format!(
+            "{} KB = {} wgt + {} in + {} out + {} prefix + {} double",
+            w8.unit_buffer_kb(),
+            w8.weight_buf_kb,
+            w8.input_buf_kb,
+            w8.output_buf_kb,
+            w8.prefix_buf_kb,
+            w8.double_buf_kb
+        ),
+    ]);
+    vec![t]
+}
+
+/// Table 2 — core/buffer areas of TransArray and the baselines.
+pub fn table2() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 2 area comparison (28nm)",
+        &["architecture", "core_mm2", "paper_core_mm2", "buffer_kb"],
+    );
+    let cfg = TransArrayConfig::paper_w8();
+    let ta = transarray_area(
+        cfg.units as u64,
+        cfg.width as u64,
+        cfg.m_tile as u64,
+        cfg.total_buffer_kb(),
+    );
+    t.push_row(vec![
+        format!("TransArray ({} units)", cfg.units),
+        fmt3(ta.core_mm2()),
+        "0.443".into(),
+        fmt3(cfg.total_buffer_kb()),
+    ]);
+    let paper_core = [0.491, 0.484, 0.489, 0.474, 0.473];
+    for (b, paper) in Baseline::roster().into_iter().zip(paper_core) {
+        t.push_row(vec![
+            b.name().to_string(),
+            fmt3(b.core_mm2()),
+            fmt3(paper),
+            fmt3(b.buffer_kb()),
+        ]);
+    }
+    vec![t]
+}
+
+/// Paper Table 3 FP16 perplexities per model (the pseudo-PPL anchor).
+const FP16_PPL: [(&str, f64); 7] = [
+    ("L-1 7B", 5.68),
+    ("L-1 13B", 5.09),
+    ("L-1 30B", 4.10),
+    ("L-1 65B", 3.53),
+    ("L-2 7B", 5.47),
+    ("L-2 13B", 4.88),
+    ("L-3 8B", 6.14),
+];
+
+/// Spread constant of the pseudo-perplexity mapping (see
+/// [`ta_quant::pseudo_perplexity`]), fitted so the per-tensor INT8
+/// baseline (BF) lands near its paper PPL. A single α cannot match every
+/// method because PPL damage depends on error *structure* (structured
+/// activation clipping ≫ white W4 noise at equal NMSE) — EXPERIMENTS.md
+/// discusses the residual deviations.
+const PPL_ALPHA: f64 = 2.5;
+
+/// Table 3 — quantization-quality proxy: per model, each method's output
+/// SQNR and pseudo-perplexity on synthetic LLM-like tensors (the
+/// substitution of DESIGN.md §3 — real Wikitext PPL needs checkpoints).
+pub fn table3(scale: Scale) -> Vec<Table> {
+    let methods = table3_roster();
+    let mut headers = vec!["model".to_string(), "metric".to_string()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    let hs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table 3 model accuracy proxy (pseudo-PPL / output SQNR dB)",
+        &hs,
+    );
+    let dim = scale.accuracy_dim;
+    for (i, (model, base_ppl)) in FP16_PPL.iter().enumerate() {
+        // Model size scales the feature dimension mildly so bigger models
+        // are measured on bigger tensors (and different seeds).
+        let hidden = LlamaConfig::roster()[i].hidden;
+        let k = dim + (hidden / 1024) * 8;
+        let w = llm_weight_matrix(dim, k, 100 + i as u64);
+        let a = llm_activation_matrix(k, dim / 2, 200 + i as u64);
+        let mut ppl_row = vec![model.to_string(), "pseudo-PPL".to_string()];
+        let mut sqnr_row = vec![model.to_string(), "SQNR dB".to_string()];
+        for m in &methods {
+            let rep = evaluate_method(m.as_ref(), &w, &a);
+            ppl_row.push(fmt3(pseudo_perplexity(*base_ppl, PPL_ALPHA, rep.output_nmse)));
+            sqnr_row.push(fmt3(rep.output_sqnr_db.min(99.0)));
+        }
+        t.push_row(ppl_row);
+        t.push_row(sqnr_row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_fields_match_paper() {
+        let t = &table1()[0];
+        let rendered = t.render();
+        assert!(rendered.contains("T = 8-bit"));
+        assert!(rendered.contains("max 256"));
+        assert!(rendered.contains("N = 32 for 8-bit wgt; N = 64 for 4-bit"));
+        assert!(rendered.contains("80 KB"));
+    }
+
+    #[test]
+    fn table2_transarray_core_is_smallest() {
+        let t = &table2()[0];
+        let core: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let ta = core[0];
+        assert!(core[1..].iter().all(|&c| c > ta), "TA core {ta} must be smallest");
+        // Within 5% of the paper's published value.
+        let paper: f64 = t.rows[0][2].parse().unwrap();
+        assert!((ta - paper).abs() / paper < 0.05);
+    }
+
+    #[test]
+    fn table3_ordering_matches_paper() {
+        let t = &table3(Scale::quick())[0];
+        // For every model: TD-4 pseudo-PPL is catastrophic (worst), BF is
+        // clearly worse than FP16, TA columns are near FP16.
+        let names = &t.headers;
+        let col = |name: &str| names.iter().position(|h| h == name).unwrap();
+        for row in t.rows.iter().filter(|r| r[1] == "pseudo-PPL") {
+            let get = |name: &str| row[col(name)].parse::<f64>().unwrap();
+            assert!(get("TD-4") > get("BF"), "{row:?}");
+            assert!(get("BF") > get("FP16") + 0.2, "{row:?}");
+            assert!(get("TA-W8A8") < get("BF"), "{row:?}");
+            assert!(get("OL") < get("BF"), "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ta-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (§5). Each artifact has a binary (`cargo run -p ta-bench --release
+//! --bin fig9` …) and a library entry point under [`experiments`]; the
+//! `all` binary runs the complete battery and writes CSVs to
+//! `target/experiments/`.
+//!
+//! | Binary  | Paper artifact |
+//! |---------|----------------|
+//! | `table1`| Table 1 — TransArray unit spec |
+//! | `table2`| Table 2 — area comparison |
+//! | `table3`| Table 3 — model accuracy (quantization-quality proxy) |
+//! | `fig9`  | Fig. 9 — design-space exploration (4 panels) |
+//! | `fig10` | Fig. 10 — FC-layer runtime & energy |
+//! | `fig11` | Fig. 11 — energy breakdown |
+//! | `fig12` | Fig. 12 — attention-layer speedups |
+//! | `fig13` | Fig. 13 — static vs dynamic Scoreboard |
+//! | `fig14` | Fig. 14 — ResNet-18 per-layer speedups |
+//!
+//! Set `TA_SCALE=quick` for smoke-scale runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+mod report;
+mod scale;
+
+pub use report::{experiments_dir, fmt3, geomean, Table};
+pub use scale::Scale;
+
+/// Prints a set of tables and writes them as CSVs under
+/// `target/experiments/`, reporting any I/O problem to stderr without
+/// failing the run.
+pub fn emit(tables: &[Table]) {
+    let dir = experiments_dir();
+    for t in tables {
+        t.print();
+        match t.write_csv(&dir) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}", t.title),
+        }
+    }
+}

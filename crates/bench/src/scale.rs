@@ -1,0 +1,52 @@
+//! Experiment scale control: full paper-scale runs vs quick smoke runs.
+
+/// How much work each experiment does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Random tiles averaged per design point (Fig. 9 / Fig. 13 sweeps).
+    pub tiles: usize,
+    /// Sub-tile sampling cap for layer simulations (Fig. 10/12/14).
+    pub sample_limit: usize,
+    /// Matrix side used by the Table 3 accuracy study.
+    pub accuracy_dim: usize,
+}
+
+impl Scale {
+    /// Paper-scale settings.
+    pub fn full() -> Self {
+        Self { tiles: 16, sample_limit: 1024, accuracy_dim: 192 }
+    }
+
+    /// Smoke-test settings (CI, criterion).
+    pub fn quick() -> Self {
+        Self { tiles: 3, sample_limit: 96, accuracy_dim: 64 }
+    }
+
+    /// Reads `TA_SCALE=quick|full` from the environment (default full).
+    pub fn from_env() -> Self {
+        match std::env::var("TA_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            _ => Self::full(),
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.tiles < f.tiles);
+        assert!(q.sample_limit < f.sample_limit);
+        assert!(q.accuracy_dim < f.accuracy_dim);
+    }
+}

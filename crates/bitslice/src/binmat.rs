@@ -1,0 +1,281 @@
+//! Packed binary matrices.
+//!
+//! The bit-sliced weight tensor is a 0/1 matrix of shape `(S·N × K)`
+//! (Fig. 2). [`BinaryMatrix`] stores it packed 64 rows-bits per word with
+//! fast per-row chunk extraction — the operation that produces TransRows.
+
+use std::fmt;
+
+/// A dense 0/1 matrix, bit-packed row-major (`u64` words per row).
+///
+/// # Examples
+///
+/// ```
+/// use ta_bitslice::BinaryMatrix;
+///
+/// let mut m = BinaryMatrix::zeros(2, 10);
+/// m.set(1, 9, true);
+/// assert!(m.get(1, 9));
+/// assert_eq!(m.row_popcount(1), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BinaryMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BinaryMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
+    }
+
+    /// Builds a matrix by evaluating a predicate per element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        let w = self.words[r * self.words_per_row + c / 64];
+        (w >> (c % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        let w = &mut self.words[r * self.words_per_row + c / 64];
+        if v {
+            *w |= 1u64 << (c % 64);
+        } else {
+            *w &= !(1u64 << (c % 64));
+        }
+    }
+
+    /// Number of set bits in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_popcount(&self, r: usize) -> u32 {
+        assert!(r < self.rows, "row {r} out of bounds");
+        self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
+    }
+
+    /// Total number of set bits.
+    pub fn popcount(&self) -> u64 {
+        (0..self.rows).map(|r| self.row_popcount(r) as u64).sum()
+    }
+
+    /// Fraction of set bits (the *bit density* that bit-sparsity
+    /// accelerators exploit; ≈0.5 for uniform random data, Fig. 13's
+    /// reference line).
+    pub fn bit_density(&self) -> f64 {
+        let total = (self.rows * self.cols) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.popcount() as f64 / total
+        }
+    }
+
+    /// Extracts `width ≤ 16` bits of row `r` starting at column `c0` as an
+    /// unsigned pattern — **the TransRow extraction primitive**. Bit `j` of
+    /// the result corresponds to column `c0 + j`; columns past the matrix
+    /// edge read as 0 (zero-padding, matching the tiling engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `width > 16` or `width == 0`.
+    pub fn extract_pattern(&self, r: usize, c0: usize, width: u32) -> u16 {
+        assert!(r < self.rows, "row {r} out of bounds");
+        assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
+        let mut p: u16 = 0;
+        for j in 0..width as usize {
+            let c = c0 + j;
+            if c < self.cols && self.get(r, c) {
+                p |= 1 << j;
+            }
+        }
+        p
+    }
+
+    /// Writes `width` bits of `pattern` into row `r` starting at `c0`
+    /// (bits past the edge are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `width > 16` or `width == 0`.
+    pub fn insert_pattern(&mut self, r: usize, c0: usize, width: u32, pattern: u16) {
+        assert!(r < self.rows, "row {r} out of bounds");
+        assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
+        for j in 0..width as usize {
+            let c = c0 + j;
+            if c < self.cols {
+                self.set(r, c, pattern & (1 << j) != 0);
+            }
+        }
+    }
+
+    /// Copies rows `[r0, r0+n)` into a new matrix, zero-padding past the
+    /// end.
+    pub fn rows_padded(&self, r0: usize, n: usize) -> Self {
+        let mut out = Self::zeros(n, self.cols);
+        for r in 0..n {
+            let sr = r0 + r;
+            if sr >= self.rows {
+                break;
+            }
+            let src = &self.words[sr * self.words_per_row..(sr + 1) * self.words_per_row];
+            out.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+                .copy_from_slice(src);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BinaryMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BinaryMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(16) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(64) {
+                write!(f, "{}", u8::from(self.get(r, c)))?;
+            }
+            writeln!(f, "{}", if self.cols > 64 { "…" } else { "" })?;
+        }
+        if self.rows > 16 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_across_word_boundary() {
+        let mut m = BinaryMatrix::zeros(2, 130);
+        for c in [0usize, 63, 64, 65, 127, 128, 129] {
+            m.set(1, c, true);
+            assert!(m.get(1, c), "col {c}");
+            assert!(!m.get(0, c), "row isolation at col {c}");
+        }
+        assert_eq!(m.row_popcount(1), 7);
+        assert_eq!(m.row_popcount(0), 0);
+        m.set(1, 64, false);
+        assert!(!m.get(1, 64));
+        assert_eq!(m.row_popcount(1), 6);
+    }
+
+    #[test]
+    fn from_fn_checkerboard() {
+        let m = BinaryMatrix::from_fn(4, 4, |r, c| (r + c) % 2 == 0);
+        assert_eq!(m.popcount(), 8);
+        assert!((m.bit_density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extract_pattern_basic() {
+        let mut m = BinaryMatrix::zeros(1, 8);
+        // Row bits: 1011 at columns 0..4 (bit j ↔ column j).
+        m.set(0, 0, true);
+        m.set(0, 1, true);
+        m.set(0, 3, true);
+        assert_eq!(m.extract_pattern(0, 0, 4), 0b1011);
+        assert_eq!(m.extract_pattern(0, 1, 4), 0b0101);
+        // Past the edge pads with zeros.
+        assert_eq!(m.extract_pattern(0, 6, 4), 0);
+    }
+
+    #[test]
+    fn extract_pattern_straddles_words() {
+        let mut m = BinaryMatrix::zeros(1, 80);
+        m.set(0, 62, true);
+        m.set(0, 65, true);
+        assert_eq!(m.extract_pattern(0, 62, 4), 0b1001);
+    }
+
+    #[test]
+    fn insert_extract_roundtrip() {
+        let mut m = BinaryMatrix::zeros(3, 40);
+        for (i, p) in [0b1010u16, 0b1111, 0b0001].iter().enumerate() {
+            m.insert_pattern(i, 8, 4, *p);
+            assert_eq!(m.extract_pattern(i, 8, 4), *p);
+        }
+        // Other columns untouched.
+        assert_eq!(m.extract_pattern(0, 0, 8), 0);
+    }
+
+    #[test]
+    fn rows_padded_copies_and_pads() {
+        let m = BinaryMatrix::from_fn(3, 5, |r, c| c == r);
+        let t = m.rows_padded(1, 4);
+        assert_eq!(t.rows(), 4);
+        assert!(t.get(0, 1)); // original row 1
+        assert!(t.get(1, 2)); // original row 2
+        assert_eq!(t.row_popcount(2), 0); // padding
+        assert_eq!(t.row_popcount(3), 0);
+    }
+
+    #[test]
+    fn empty_matrix_density() {
+        assert_eq!(BinaryMatrix::zeros(0, 0).bit_density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_oob_panics() {
+        let m = BinaryMatrix::zeros(1, 1);
+        let _ = m.get(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn extract_width_zero_panics() {
+        let m = BinaryMatrix::zeros(1, 8);
+        let _ = m.extract_pattern(0, 0, 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", BinaryMatrix::zeros(1, 1)).is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! im2col lowering of 2-D convolutions to GEMM (§5.10).
+//!
+//! The ResNet-18 experiment (Fig. 14) follows prior work in transforming
+//! every convolution into a GEMM: weights become an
+//! `(out_c × in_c·kh·kw)` matrix, the input feature map becomes an
+//! `(in_c·kh·kw × out_h·out_w)` patch matrix.
+
+use ta_quant::{gemm_i32, MatI32};
+
+/// Shape of a 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl ConvShape {
+    /// Output feature-map height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input or stride is 0.
+    pub fn out_h(&self) -> usize {
+        assert!(self.stride > 0, "stride must be non-zero");
+        let padded = self.in_h + 2 * self.pad;
+        assert!(padded >= self.kh, "kernel taller than padded input");
+        (padded - self.kh) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input or stride is 0.
+    pub fn out_w(&self) -> usize {
+        assert!(self.stride > 0, "stride must be non-zero");
+        let padded = self.in_w + 2 * self.pad;
+        assert!(padded >= self.kw, "kernel wider than padded input");
+        (padded - self.kw) / self.stride + 1
+    }
+
+    /// The GEMM dimensions `(N, K, M)` this layer lowers to:
+    /// `N = out_c`, `K = in_c·kh·kw`, `M = out_h·out_w`.
+    pub fn gemm_dims(&self) -> (usize, usize, usize) {
+        (self.out_c, self.in_c * self.kh * self.kw, self.out_h() * self.out_w())
+    }
+
+    /// Multiply-accumulate count of the direct convolution (= GEMM MACs).
+    pub fn macs(&self) -> u64 {
+        let (n, k, m) = self.gemm_dims();
+        n as u64 * k as u64 * m as u64
+    }
+}
+
+/// Lowers an input feature map (`in_c` rows × `in_h·in_w` columns,
+/// row-major spatial layout) to the im2col patch matrix
+/// (`in_c·kh·kw` rows × `out_h·out_w` columns). Padding reads as zero.
+///
+/// Patch-matrix row ordering is `(c·kh + ky)·kw + kx` — channel-major,
+/// then kernel-row, then kernel-column — matching the weight flattening
+/// in [`flatten_weights`].
+///
+/// # Panics
+///
+/// Panics if `input` has the wrong shape for `shape`.
+pub fn im2col(shape: &ConvShape, input: &MatI32) -> MatI32 {
+    assert_eq!(input.rows(), shape.in_c, "input channel count mismatch");
+    assert_eq!(input.cols(), shape.in_h * shape.in_w, "input spatial size mismatch");
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let k = shape.in_c * shape.kh * shape.kw;
+    let m = oh * ow;
+    let mut out = MatI32::zeros(k, m);
+    for c in 0..shape.in_c {
+        for ky in 0..shape.kh {
+            for kx in 0..shape.kw {
+                let krow = (c * shape.kh + ky) * shape.kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                        let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < shape.in_h
+                            && (ix as usize) < shape.in_w
+                        {
+                            let v = input.get(c, iy as usize * shape.in_w + ix as usize);
+                            out.set(krow, oy * ow + ox, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flattens convolution weights (`out_c` rows × `in_c·kh·kw` columns
+/// already, identical layout to [`im2col`] rows) — provided for symmetry
+/// and shape validation.
+///
+/// # Panics
+///
+/// Panics if the weight matrix shape disagrees with `shape`.
+pub fn flatten_weights(shape: &ConvShape, weights: &MatI32) -> MatI32 {
+    assert_eq!(weights.rows(), shape.out_c, "out_c mismatch");
+    assert_eq!(weights.cols(), shape.in_c * shape.kh * shape.kw, "kernel volume mismatch");
+    weights.clone()
+}
+
+/// Direct (loop-nest) convolution reference, used to prove the im2col
+/// lowering exact: `conv_direct(...) == gemm(flatten_weights, im2col)`.
+pub fn conv_direct(shape: &ConvShape, weights: &MatI32, input: &MatI32) -> MatI32 {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = MatI32::zeros(shape.out_c, oh * ow);
+    for oc in 0..shape.out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = 0;
+                for c in 0..shape.in_c {
+                    for ky in 0..shape.kh {
+                        for kx in 0..shape.kw {
+                            let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                            let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < shape.in_h
+                                && (ix as usize) < shape.in_w
+                            {
+                                let w =
+                                    weights.get(oc, (c * shape.kh + ky) * shape.kw + kx) as i64;
+                                let x =
+                                    input.get(c, iy as usize * shape.in_w + ix as usize) as i64;
+                                acc += w * x;
+                            }
+                        }
+                    }
+                }
+                out.set(oc, oy * ow + ox, acc as i32);
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM (the path the accelerators execute).
+pub fn conv_im2col(shape: &ConvShape, weights: &MatI32, input: &MatI32) -> MatI32 {
+    let patches = im2col(shape, input);
+    let w = flatten_weights(shape, weights);
+    gemm_i32(&w, &patches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shape() -> ConvShape {
+        ConvShape { in_c: 3, out_c: 4, kh: 3, kw: 3, stride: 1, pad: 1, in_h: 6, in_w: 5 }
+    }
+
+    fn det_input(shape: &ConvShape, seed: i32) -> MatI32 {
+        MatI32::from_fn(shape.in_c, shape.in_h * shape.in_w, |r, c| {
+            ((r as i32 * 31 + c as i32 * 7 + seed) % 15) - 7
+        })
+    }
+
+    fn det_weights(shape: &ConvShape, seed: i32) -> MatI32 {
+        MatI32::from_fn(shape.out_c, shape.in_c * shape.kh * shape.kw, |r, c| {
+            ((r as i32 * 13 + c as i32 * 5 + seed) % 15) - 7
+        })
+    }
+
+    #[test]
+    fn output_dims_with_padding() {
+        let s = test_shape();
+        assert_eq!(s.out_h(), 6);
+        assert_eq!(s.out_w(), 5);
+        assert_eq!(s.gemm_dims(), (4, 27, 30));
+        assert_eq!(s.macs(), 4 * 27 * 30);
+    }
+
+    #[test]
+    fn output_dims_with_stride() {
+        let s = ConvShape { stride: 2, ..test_shape() };
+        assert_eq!(s.out_h(), 3);
+        assert_eq!(s.out_w(), 3);
+    }
+
+    #[test]
+    fn im2col_equals_direct_conv() {
+        let s = test_shape();
+        let w = det_weights(&s, 3);
+        let x = det_input(&s, 11);
+        assert_eq!(conv_im2col(&s, &w, &x), conv_direct(&s, &w, &x));
+    }
+
+    #[test]
+    fn im2col_equals_direct_conv_strided_unpadded() {
+        let s = ConvShape { stride: 2, pad: 0, in_h: 9, in_w: 7, ..test_shape() };
+        let w = det_weights(&s, 5);
+        let x = det_input(&s, 1);
+        assert_eq!(conv_im2col(&s, &w, &x), conv_direct(&s, &w, &x));
+    }
+
+    #[test]
+    fn one_by_one_conv_is_plain_gemm() {
+        let s = ConvShape { in_c: 5, out_c: 3, kh: 1, kw: 1, stride: 1, pad: 0, in_h: 4, in_w: 4 };
+        let w = det_weights(&s, 2);
+        let x = det_input(&s, 9);
+        let patches = im2col(&s, &x);
+        // With a 1x1 kernel the patch matrix *is* the input.
+        assert_eq!(patches, x);
+        assert_eq!(conv_im2col(&s, &w, &x), gemm_i32(&w, &x));
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let s = ConvShape { in_c: 1, out_c: 1, kh: 3, kw: 3, stride: 1, pad: 1, in_h: 2, in_w: 2 };
+        let x = MatI32::from_rows(&[&[1, 1, 1, 1]]);
+        let patches = im2col(&s, &x);
+        // Corner output (0,0): only the 4 in-bounds taps are non-zero.
+        let col0: i32 = (0..9).map(|r| patches.get(r, 0)).sum();
+        assert_eq!(col0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn wrong_input_shape_rejected() {
+        let s = test_shape();
+        let _ = im2col(&s, &MatI32::zeros(2, 30));
+    }
+}

@@ -1,0 +1,596 @@
+//! The Transitive Array accelerator — multi-unit, tiled, cycle-level
+//! simulation (Fig. 7/8) plus the exact functional GEMM engine used to
+//! prove losslessness.
+
+use crate::config::{ScoreboardMode, TransArrayConfig};
+use crate::source::{PatternSource, SlicedSource};
+use crate::tiling::{dram_traffic, GemmShape, TrafficReport};
+use crate::unit::{evaluate_subtile, process_subtile, SubtileReport};
+use ta_bitslice::BitSlicedMatrix;
+use ta_hasse::StaticSi;
+use ta_quant::MatI32;
+use ta_sim::{transarray_area, EnergyBreakdown, EnergyModel, VpuModel};
+
+/// NoC (Benes + wires) dynamic energy per byte moved (pJ/B) — a 5-stage
+/// switch fabric plus the operand wiring at 28 nm.
+const NOC_PJ_PER_BYTE: f64 = 0.12;
+
+/// Dynamic Scoreboard energy per TransRow scanned (pJ): bitonic compare
+/// network + an 8-way update of the ~34-bit entries of Fig. 6.
+const SCOREBOARD_PJ_PER_ROW: f64 = 3.0;
+
+/// Sustained DRAM bandwidth in bytes per accelerator cycle (≈128 GB/s at
+/// 500 MHz).
+const DRAM_BYTES_PER_CYCLE: f64 = 256.0;
+
+/// Result of simulating (or executing) one GEMM on the Transitive Array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmReport {
+    /// The GEMM simulated.
+    pub shape: GemmShape,
+    /// End-to-end cycles: `max(compute, DRAM)`.
+    pub cycles: u64,
+    /// Compute-side cycles across the unit array.
+    pub compute_cycles: u64,
+    /// Memory-channel cycles for the layer's DRAM traffic.
+    pub dram_cycles: u64,
+    /// Accumulate ops performed (per `m_tile` pass, summed & scaled).
+    pub total_ops: u64,
+    /// Dense binary-GEMM ops the same tiles would need.
+    pub dense_bit_ops: u64,
+    /// Transitive density (`total_ops / dense_bit_ops`) — Fig. 9's metric.
+    pub density: f64,
+    /// DRAM traffic.
+    pub traffic: TrafficReport,
+    /// Energy breakdown (Fig. 11's slices).
+    pub energy: EnergyBreakdown,
+    /// Sub-tiles in the full layer.
+    pub subtiles_total: u64,
+    /// Sub-tiles simulated exactly (== total unless sampling kicked in).
+    pub subtiles_simulated: u64,
+    /// SI misses (static Scoreboard mode only).
+    pub si_misses: u64,
+    /// VPU cycles for the group-wise partial-result rescale (§4.5).
+    /// Overlapped with GEMM compute by the double buffering — informational
+    /// unless it exceeds `compute_cycles` (it never does at group 128).
+    pub vpu_cycles: u64,
+    /// Wall-clock seconds at the model frequency.
+    pub seconds: f64,
+}
+
+impl GemmReport {
+    /// Total energy in nanojoules (the unit Fig. 10's right axis uses).
+    pub fn energy_nj(&self) -> f64 {
+        self.energy.total() / 1000.0
+    }
+
+    /// Effective MACs per cycle (dense-equivalent throughput).
+    pub fn macs_per_cycle(&self) -> f64 {
+        self.shape.macs() as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// The accelerator: configuration + energy model.
+#[derive(Debug, Clone)]
+pub struct TransitiveArray {
+    cfg: TransArrayConfig,
+    energy: EnergyModel,
+}
+
+#[derive(Default)]
+struct Agg {
+    subtile_cycles: u64,
+    total_ops: u64,
+    dense_bit_ops: u64,
+    ape_ops: u64,
+    rows: u64,
+    si_misses: u64,
+    simulated: u64,
+}
+
+impl Agg {
+    fn add(&mut self, rep: &SubtileReport) {
+        self.subtile_cycles += rep.cycles;
+        self.total_ops += rep.total_ops;
+        self.dense_bit_ops += rep.dense_bit_ops;
+        let nonzero = rep
+            .stats
+            .as_ref()
+            .map(|s| (s.rows - s.zero_rows) as u64)
+            .unwrap_or(rep.total_ops.min(rep.rows as u64));
+        self.ape_ops += nonzero;
+        self.rows += rep.rows as u64;
+        self.si_misses += rep.si_misses;
+        self.simulated += 1;
+    }
+}
+
+impl TransitiveArray {
+    /// Creates the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn new(cfg: TransArrayConfig) -> Self {
+        cfg.validate();
+        Self { cfg, energy: EnergyModel::paper_28nm() }
+    }
+
+    /// Creates the accelerator with a custom energy model.
+    pub fn with_energy_model(cfg: TransArrayConfig, energy: EnergyModel) -> Self {
+        cfg.validate();
+        Self { cfg, energy }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TransArrayConfig {
+        &self.cfg
+    }
+
+    /// The energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Simulates one GEMM at scale: every sampled weight sub-tile is
+    /// simulated exactly (Scoreboard, lanes, conflicts); cycle/op/energy
+    /// counts are scaled by the sampling fraction and the `M`-tiling
+    /// repetition (sub-tile schedules are input-independent, so this is
+    /// exact whenever sampling is off).
+    pub fn simulate_layer(&self, shape: GemmShape, source: &mut dyn PatternSource) -> GemmReport {
+        assert_eq!(source.width(), self.cfg.width, "source width mismatch");
+        let t = self.cfg.width as usize;
+        let n_tiles = shape.n.div_ceil(self.cfg.n_tile());
+        let k_chunks = shape.k.div_ceil(t);
+        let total = (n_tiles * k_chunks) as u64;
+        let limit = self.cfg.sample_limit as u64;
+        let step = if limit > 0 && total > limit { total.div_ceil(limit) } else { 1 };
+
+        let static_si = self.build_static_si(n_tiles, k_chunks, step as usize, source);
+
+        let mut agg = Agg::default();
+        let mut idx = 0u64;
+        while idx < total {
+            let (nt, kc) = ((idx / k_chunks as u64) as usize, (idx % k_chunks as u64) as usize);
+            let patterns = source.subtile_patterns(nt, kc);
+            let rep = process_subtile(&self.cfg, static_si.as_ref(), &patterns);
+            agg.add(&rep);
+            idx += step;
+        }
+        self.finalize(shape, agg, total)
+    }
+
+    /// Executes one GEMM **functionally and exactly** (bit-exact against
+    /// [`ta_quant::gemm_i32`]) while producing the same performance report
+    /// as [`Self::simulate_layer`] without sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights don't fit `weight_bits`, the inputs don't fit
+    /// `act_bits`, shapes disagree, or an accumulator overflows `i32`.
+    pub fn execute_gemm(&self, weights: &MatI32, input: &MatI32) -> (MatI32, GemmReport) {
+        assert_eq!(weights.cols(), input.rows(), "GEMM inner dimension mismatch");
+        assert!(
+            input.fits_signed_bits(self.cfg.act_bits),
+            "input does not fit act_bits; quantize first"
+        );
+        let shape = GemmShape::new(weights.rows(), weights.cols(), input.cols());
+        let sliced = BitSlicedMatrix::slice(weights, self.cfg.weight_bits);
+        let t = self.cfg.width as usize;
+        let s_bits = self.cfg.weight_bits as usize;
+        let n_tile = self.cfg.n_tile();
+        let n_tiles = shape.n.div_ceil(n_tile);
+        let k_chunks = shape.k.div_ceil(t);
+
+        let mut source = SlicedSource::new(&sliced, n_tile, self.cfg.width);
+        let static_si = self.build_static_si(n_tiles, k_chunks, 1, &mut source);
+
+        let mut acc = vec![vec![0i64; shape.m]; shape.n];
+        let mut agg = Agg::default();
+        for nt in 0..n_tiles {
+            for kc in 0..k_chunks {
+                let patterns = source.subtile_patterns(nt, kc);
+                let rep = process_subtile(&self.cfg, static_si.as_ref(), &patterns);
+                agg.add(&rep);
+                // Input rows for this k-chunk (zero-padded past K).
+                let inputs: Vec<Vec<i64>> = (0..t)
+                    .map(|j| {
+                        let k = kc * t + j;
+                        if k < shape.k {
+                            input.row(k).iter().map(|&v| v as i64).collect()
+                        } else {
+                            vec![0i64; shape.m]
+                        }
+                    })
+                    .collect();
+                let rows = evaluate_subtile(&self.cfg, static_si.as_ref(), &patterns, &inputs);
+                for (r, result) in rows.iter().enumerate() {
+                    let n_local = r / s_bits;
+                    let level = (r % s_bits) as u32;
+                    let n_global = nt * n_tile + n_local;
+                    if n_global >= shape.n {
+                        continue;
+                    }
+                    let w = if level == self.cfg.weight_bits - 1 {
+                        -(1i64 << level)
+                    } else {
+                        1i64 << level
+                    };
+                    for (a, &v) in acc[n_global].iter_mut().zip(result) {
+                        *a += w * v;
+                    }
+                }
+            }
+        }
+        let out = MatI32::from_fn(shape.n, shape.m, |r, c| {
+            i32::try_from(acc[r][c]).expect("TransArray accumulation overflowed i32")
+        });
+        let report = self.finalize(shape, agg, (n_tiles * k_chunks) as u64);
+        (out, report)
+    }
+
+    /// Builds the static SI (offline calibration over the sampled tensor
+    /// patterns) when the config asks for static mode.
+    fn build_static_si(
+        &self,
+        n_tiles: usize,
+        k_chunks: usize,
+        step: usize,
+        source: &mut dyn PatternSource,
+    ) -> Option<StaticSi> {
+        if self.cfg.scoreboard_mode != ScoreboardMode::Static {
+            return None;
+        }
+        let mut all = Vec::new();
+        let total = n_tiles * k_chunks;
+        let mut idx = 0usize;
+        while idx < total {
+            let (nt, kc) = (idx / k_chunks, idx % k_chunks);
+            all.extend(source.subtile_patterns(nt, kc));
+            idx += step.max(1);
+        }
+        Some(StaticSi::from_patterns(self.cfg.scoreboard_config(), all))
+    }
+
+    fn finalize(&self, shape: GemmShape, agg: Agg, subtiles_total: u64) -> GemmReport {
+        let scale = if agg.simulated == 0 {
+            0.0
+        } else {
+            subtiles_total as f64 / agg.simulated as f64
+        };
+        // §4.5: 4-bit activations split each PPE/APE into two halves, so
+        // one pass covers `m_tile × act_split` input columns. Each op×m
+        // unit then denotes twice the elements at half the per-element
+        // adder/buffer cost, so the energy formulas below stay valid.
+        let m_reps = shape.m.div_ceil(self.cfg.m_tile * self.cfg.act_split()) as f64;
+        let units = self.cfg.units as f64;
+        let compute_cycles =
+            (agg.subtile_cycles as f64 * scale * m_reps / units).ceil() as u64;
+        let traffic = dram_traffic(
+            shape,
+            self.cfg.weight_bits,
+            self.cfg.act_bits,
+            (self.cfg.total_buffer_kb() * 1024.0) as u64,
+        );
+        let dram_cycles = (traffic.total() as f64 / DRAM_BYTES_PER_CYCLE).ceil() as u64;
+        let cycles = compute_cycles.max(dram_cycles).max(1);
+
+        let ops = agg.total_ops as f64 * scale * m_reps;
+        let ape_ops = agg.ape_ops as f64 * scale * m_reps;
+        let dense = agg.dense_bit_ops as f64 * scale * m_reps;
+        // Scoreboard runs once per weight sub-tile (not per M pass).
+        let sb_rows = agg.rows as f64 * scale;
+        // Group-wise rescale (§4.5, group 128): the VPU applies an integer
+        // scale to every output once per 128-wide reduction group.
+        let vpu = VpuModel::paper_default();
+        let rescale_groups = shape.k.div_ceil(128);
+        let vpu_cycles =
+            vpu.requant_cycles(shape.n * shape.m, self.cfg.act_bits) * rescale_groups as u64;
+        let mut energy = self.energy_breakdown(ops, ape_ops, sb_rows, &traffic, cycles);
+        energy.core += vpu.energy_pj(
+            (shape.n * shape.m * rescale_groups) as u64,
+            2.0,
+            self.cfg.act_bits,
+            self.energy.mac_pj(16),
+        );
+
+        GemmReport {
+            shape,
+            cycles,
+            compute_cycles,
+            dram_cycles,
+            total_ops: ops.round() as u64,
+            dense_bit_ops: dense.round() as u64,
+            density: if dense > 0.0 { ops / dense } else { 0.0 },
+            traffic,
+            energy,
+            subtiles_total,
+            subtiles_simulated: agg.simulated,
+            si_misses: (agg.si_misses as f64 * scale).round() as u64,
+            vpu_cycles,
+            seconds: self.energy.seconds(cycles),
+        }
+    }
+
+    /// Per-event energy accounting (see DESIGN.md §5 and the constants at
+    /// the top of this module). `ops`/`ape_ops` are already scaled to the
+    /// whole layer; each drives an `m_tile`-wide vector.
+    fn energy_breakdown(
+        &self,
+        ops: f64,
+        ape_ops: f64,
+        sb_rows: f64,
+        traffic: &TrafficReport,
+        cycles: u64,
+    ) -> EnergyBreakdown {
+        let e = &self.energy;
+        let m_t = self.cfg.m_tile as f64;
+        let t = self.cfg.width as f64;
+        let mut b = EnergyBreakdown::default();
+
+        // Core: PPE adds (12-bit), APE accumulations (24-bit), dynamic
+        // Scoreboard, NoC traversals.
+        let ppe = ops * m_t * e.add_pj(12);
+        let ape = ape_ops * m_t * e.add_pj(24);
+        let sb = if self.cfg.scoreboard_mode == ScoreboardMode::Dynamic {
+            sb_rows * SCOREBOARD_PJ_PER_ROW
+        } else {
+            0.0
+        };
+        let noc = ops * m_t * NOC_PJ_PER_BYTE;
+        b.core = ppe + ape + sb + noc;
+
+        // Buffers: bytes moved × capacity-dependent pJ/B.
+        let w_pj = e.sram_pj_per_byte(self.cfg.weight_buf_kb);
+        let i_pj = e.sram_pj_per_byte(self.cfg.input_buf_kb);
+        let o_pj = e.sram_pj_per_byte(self.cfg.output_buf_kb);
+        let p_pj = e.sram_pj_per_byte(self.cfg.prefix_buf_kb);
+        let d_pj = e.sram_pj_per_byte(self.cfg.double_buf_kb / 2.0);
+        // Weight patterns stream once per sub-tile M-pass: rows×T/8 bytes.
+        b.weight_buf = ops * (t / 8.0) * w_pj;
+        // Each op fetches one m_tile-wide input row (8-bit activations).
+        b.input_buf = ops * m_t * i_pj;
+        // Prefix buffer: read prefix + write result per PPE op, and one
+        // read per FR/APE accumulation — 12-bit entries (1.5 B).
+        b.prefix_buf = (2.0 * ops + ape_ops) * m_t * 1.5 * p_pj;
+        // Output psums: one banked 24-bit accumulate-write per APE op
+        // (the read side rides the APE accumulator register).
+        b.output_buf = ape_ops * m_t * 3.0 * o_pj;
+        // Double-buffer staging between crossbar and prefix buffer.
+        b.double_buf = ape_ops * m_t * 1.5 * d_pj;
+
+        b.dram_dynamic = e.dram_pj(traffic.total());
+        b.dram_static = e.static_pj(e.dram_static_mw, cycles);
+
+        let area = transarray_area(
+            self.cfg.units as u64,
+            self.cfg.width as u64,
+            self.cfg.m_tile as u64,
+            self.cfg.total_buffer_kb(),
+        );
+        let static_mw = e.core_static_mw_per_mm2 * area.core_mm2()
+            + e.sram_static_mw_per_kb * self.cfg.total_buffer_kb();
+        b.core_static = e.static_pj(static_mw, cycles);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_quant::gemm_i32;
+
+    fn small_cfg(weight_bits: u32, mode: ScoreboardMode) -> TransArrayConfig {
+        TransArrayConfig {
+            width: 4,
+            max_transrows: 16,
+            weight_bits,
+            act_bits: 8,
+            units: 2,
+            m_tile: 4,
+            scoreboard_mode: mode,
+            sample_limit: 0,
+            ..TransArrayConfig::paper_w8()
+        }
+    }
+
+    fn det_mat(rows: usize, cols: usize, bits: u32, seed: i64) -> MatI32 {
+        let hi = (1i64 << (bits - 1)) - 1;
+        let lo = -(1i64 << (bits - 1));
+        MatI32::from_fn(rows, cols, |r, c| {
+            let x = (r as i64 * 2654435761 + c as i64 * 40503 + seed * 9973) % (hi - lo + 1);
+            (if x < 0 { x + (hi - lo + 1) } else { x } + lo) as i32
+        })
+    }
+
+    #[test]
+    fn execute_matches_reference_dynamic() {
+        let ta = TransitiveArray::new(small_cfg(4, ScoreboardMode::Dynamic));
+        let w = det_mat(10, 13, 4, 1);
+        let x = det_mat(13, 7, 8, 2);
+        let (out, rep) = ta.execute_gemm(&w, &x);
+        assert_eq!(out, gemm_i32(&w, &x), "TransArray must be bit-exact");
+        assert!(rep.total_ops > 0);
+        assert!(rep.density > 0.0 && rep.density <= 1.0);
+        assert_eq!(rep.subtiles_simulated, rep.subtiles_total);
+    }
+
+    #[test]
+    fn execute_matches_reference_static() {
+        let ta = TransitiveArray::new(small_cfg(4, ScoreboardMode::Static));
+        let w = det_mat(9, 11, 4, 3);
+        let x = det_mat(11, 5, 8, 4);
+        let (out, _) = ta.execute_gemm(&w, &x);
+        assert_eq!(out, gemm_i32(&w, &x), "static mode must be bit-exact too");
+    }
+
+    #[test]
+    fn execute_matches_reference_8bit_weights() {
+        let cfg = TransArrayConfig {
+            width: 8,
+            max_transrows: 32,
+            weight_bits: 8,
+            units: 2,
+            m_tile: 4,
+            sample_limit: 0,
+            ..TransArrayConfig::paper_w8()
+        };
+        let ta = TransitiveArray::new(cfg);
+        let w = det_mat(8, 20, 8, 5);
+        let x = det_mat(20, 6, 8, 6);
+        let (out, _) = ta.execute_gemm(&w, &x);
+        assert_eq!(out, gemm_i32(&w, &x));
+    }
+
+    #[test]
+    fn negative_heavy_weights_are_exact() {
+        // All-negative weights exercise the MSB (−2^(S−1)) plane hard.
+        let ta = TransitiveArray::new(small_cfg(4, ScoreboardMode::Dynamic));
+        let w = MatI32::from_fn(6, 9, |r, c| -(((r * 9 + c) % 8) as i32) - 1);
+        let x = det_mat(9, 3, 8, 7);
+        let (out, _) = ta.execute_gemm(&w, &x);
+        assert_eq!(out, gemm_i32(&w, &x));
+    }
+
+    #[test]
+    fn simulate_layer_report_sane() {
+        let ta = TransitiveArray::new(TransArrayConfig {
+            sample_limit: 64,
+            ..TransArrayConfig::paper_w8()
+        });
+        let w = det_mat(64, 64, 8, 8);
+        let sliced = BitSlicedMatrix::slice(&w, 8);
+        let mut src = SlicedSource::new(&sliced, ta.config().n_tile(), 8);
+        let shape = GemmShape::new(64, 64, 128);
+        let rep = ta.simulate_layer(shape, &mut src);
+        assert!(rep.cycles >= rep.compute_cycles.min(rep.dram_cycles));
+        assert!(rep.density > 0.05 && rep.density < 1.0, "density {}", rep.density);
+        assert!(rep.energy.total() > 0.0);
+        assert!(rep.seconds > 0.0);
+        assert_eq!(rep.subtiles_total, 2 * 8);
+        assert!(rep.energy.buffer_total() > 0.0);
+    }
+
+    #[test]
+    fn sampling_approximates_full_simulation() {
+        let w = det_mat(256, 128, 8, 9);
+        let sliced = BitSlicedMatrix::slice(&w, 8);
+        let shape = GemmShape::new(256, 128, 64);
+
+        let full_cfg = TransArrayConfig { sample_limit: 0, ..TransArrayConfig::paper_w8() };
+        let full_ta = TransitiveArray::new(full_cfg);
+        let mut src = SlicedSource::new(&sliced, full_ta.config().n_tile(), 8);
+        let full = full_ta.simulate_layer(shape, &mut src);
+
+        let sampled_cfg = TransArrayConfig { sample_limit: 32, ..TransArrayConfig::paper_w8() };
+        let sampled_ta = TransitiveArray::new(sampled_cfg);
+        let mut src2 = SlicedSource::new(&sliced, sampled_ta.config().n_tile(), 8);
+        let sampled = sampled_ta.simulate_layer(shape, &mut src2);
+
+        assert!(sampled.subtiles_simulated < full.subtiles_simulated);
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!((0.8..1.25).contains(&ratio), "sampled/full cycle ratio {ratio}");
+    }
+
+    #[test]
+    fn w4_beats_w8_on_same_layer() {
+        // 4-bit weights double the rows per sub-tile and halve weight
+        // traffic → fewer cycles (the iso-accuracy win of §5.5).
+        let w8 = det_mat(128, 128, 8, 10);
+        let w4 = det_mat(128, 128, 4, 10);
+        let shape = GemmShape::new(128, 128, 256);
+
+        let ta8 = TransitiveArray::new(TransArrayConfig {
+            sample_limit: 0,
+            ..TransArrayConfig::paper_w8()
+        });
+        let s8 = BitSlicedMatrix::slice(&w8, 8);
+        let mut src8 = SlicedSource::new(&s8, ta8.config().n_tile(), 8);
+        let r8 = ta8.simulate_layer(shape, &mut src8);
+
+        let ta4 = TransitiveArray::new(TransArrayConfig {
+            sample_limit: 0,
+            ..TransArrayConfig::paper_w4()
+        });
+        let s4 = BitSlicedMatrix::slice(&w4, 4);
+        let mut src4 = SlicedSource::new(&s4, ta4.config().n_tile(), 8);
+        let r4 = ta4.simulate_layer(shape, &mut src4);
+
+        assert!(
+            r4.cycles * 3 < r8.cycles * 2,
+            "W4 ({}) should be ≥1.5x faster than W8 ({})",
+            r4.cycles,
+            r8.cycles
+        );
+    }
+
+    #[test]
+    fn four_bit_activations_double_throughput() {
+        // §4.5: splitting the PPE into two 6-bit halves doubles the input
+        // columns per cycle — same layer, A4 ≈ half the cycles of A8.
+        let w = det_mat(128, 128, 8, 12);
+        let sliced = BitSlicedMatrix::slice(&w, 8);
+        let shape = GemmShape::new(128, 128, 512);
+        let run = |act_bits: u32| {
+            let cfg = TransArrayConfig {
+                act_bits,
+                sample_limit: 0,
+                ..TransArrayConfig::paper_w8()
+            };
+            let ta = TransitiveArray::new(cfg);
+            let mut src = SlicedSource::new(&sliced, ta.config().n_tile(), 8);
+            ta.simulate_layer(shape, &mut src)
+        };
+        let a8 = run(8);
+        let a4 = run(4);
+        let ratio = a8.compute_cycles as f64 / a4.compute_cycles as f64;
+        assert!((1.9..2.1).contains(&ratio), "A8/A4 compute ratio {ratio}");
+        // 4-bit activations also halve input DRAM traffic.
+        assert!(a4.traffic.input_bytes < a8.traffic.input_bytes);
+    }
+
+    #[test]
+    fn four_bit_activations_stay_exact() {
+        let cfg = TransArrayConfig {
+            act_bits: 4,
+            ..small_cfg(4, ScoreboardMode::Dynamic)
+        };
+        let ta = TransitiveArray::new(cfg);
+        let w = det_mat(10, 12, 4, 13);
+        let x = det_mat(12, 9, 4, 14);
+        let (out, _) = ta.execute_gemm(&w, &x);
+        assert_eq!(out, gemm_i32(&w, &x));
+    }
+
+    #[test]
+    fn vpu_rescale_overlaps_behind_compute() {
+        // §4.5: "we can efficiently overlap the overhead" — at group 128
+        // the rescale stream is far below the GEMM's compute cycles.
+        let ta = TransitiveArray::new(TransArrayConfig {
+            sample_limit: 64,
+            ..TransArrayConfig::paper_w8()
+        });
+        let w = det_mat(256, 256, 8, 15);
+        let sliced = BitSlicedMatrix::slice(&w, 8);
+        let mut src = SlicedSource::new(&sliced, ta.config().n_tile(), 8);
+        let rep = ta.simulate_layer(GemmShape::new(256, 256, 256), &mut src);
+        assert!(rep.vpu_cycles > 0);
+        assert!(
+            rep.vpu_cycles < rep.compute_cycles,
+            "vpu {} must hide behind compute {}",
+            rep.vpu_cycles,
+            rep.compute_cycles
+        );
+    }
+
+    #[test]
+    fn zero_weights_are_nearly_free() {
+        let ta = TransitiveArray::new(small_cfg(4, ScoreboardMode::Dynamic));
+        let w = MatI32::zeros(8, 8);
+        let x = det_mat(8, 4, 8, 11);
+        let (out, rep) = ta.execute_gemm(&w, &x);
+        assert!(out.as_slice().iter().all(|&v| v == 0));
+        assert_eq!(rep.total_ops, 0);
+        assert_eq!(rep.density, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Pattern sources — where a layer's TransRow patterns come from.
+//!
+//! Performance simulation of a billion-parameter layer cannot materialize
+//! the whole weight matrix; it only ever needs the TransRow multiset of
+//! each weight sub-tile. [`PatternSource`] abstracts that: a real
+//! bit-sliced matrix ([`SlicedSource`]) for functional runs, or an
+//! on-the-fly generator (in `ta-models`) for at-scale runs.
+
+use ta_bitslice::{extract_subtile_transrows, BitSlicedMatrix};
+
+/// Supplies the TransRow patterns of weight sub-tile `(n_tile, k_chunk)`.
+///
+/// Implementations must be deterministic per index pair so sampling and
+/// re-runs agree.
+pub trait PatternSource {
+    /// TransRow width the patterns are produced at.
+    fn width(&self) -> u32;
+
+    /// Patterns of the sub-tile covering weight rows
+    /// `[n_tile·n, (n_tile+1)·n)` and reduction columns
+    /// `[k_chunk·T, (k_chunk+1)·T)`. Must return exactly
+    /// `rows_per_subtile` patterns (zero-padded at the matrix edge).
+    fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16>;
+
+    /// Binary rows per sub-tile (`S·n`).
+    fn rows_per_subtile(&self) -> usize;
+}
+
+/// Pattern source backed by an actual bit-sliced weight matrix.
+#[derive(Debug, Clone)]
+pub struct SlicedSource<'a> {
+    sliced: &'a BitSlicedMatrix,
+    width: u32,
+    n_tile_rows: usize,
+}
+
+impl<'a> SlicedSource<'a> {
+    /// Wraps a bit-sliced matrix, reading sub-tiles of `n_tile_rows`
+    /// weight rows at TransRow width `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=16` or `n_tile_rows` is zero.
+    pub fn new(sliced: &'a BitSlicedMatrix, n_tile_rows: usize, width: u32) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        assert!(n_tile_rows > 0, "n_tile_rows must be non-zero");
+        Self { sliced, width, n_tile_rows }
+    }
+}
+
+impl PatternSource for SlicedSource<'_> {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16> {
+        extract_subtile_transrows(
+            self.sliced,
+            n_tile * self.n_tile_rows,
+            self.n_tile_rows,
+            k_chunk * self.width as usize,
+            self.width,
+        )
+        .iter()
+        .map(|tr| tr.pattern())
+        .collect()
+    }
+
+    fn rows_per_subtile(&self) -> usize {
+        self.n_tile_rows * self.sliced.bits() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_quant::MatI32;
+
+    #[test]
+    fn sliced_source_covers_tiles() {
+        let w = MatI32::from_fn(4, 16, |r, c| ((r * 16 + c) as i32 % 15) - 7);
+        let sliced = BitSlicedMatrix::slice(&w, 4);
+        let mut src = SlicedSource::new(&sliced, 2, 8);
+        assert_eq!(src.width(), 8);
+        assert_eq!(src.rows_per_subtile(), 8);
+        let p00 = src.subtile_patterns(0, 0);
+        assert_eq!(p00.len(), 8);
+        // Deterministic.
+        assert_eq!(p00, src.subtile_patterns(0, 0));
+        // Different tiles generally differ.
+        let p01 = src.subtile_patterns(0, 1);
+        assert_ne!(p00, p01);
+    }
+
+    #[test]
+    fn edge_tiles_zero_padded() {
+        let w = MatI32::from_fn(3, 10, |_, _| -1); // all bits set
+        let sliced = BitSlicedMatrix::slice(&w, 4);
+        let mut src = SlicedSource::new(&sliced, 2, 8);
+        // k_chunk 1 covers columns 8..16, of which only 8,9 exist.
+        let p = src.subtile_patterns(0, 1);
+        assert!(p.iter().all(|&x| x == 0b0000_0011));
+        // n_tile 1 covers weight rows 2..4, of which only row 2 exists.
+        let p = src.subtile_patterns(1, 0);
+        assert!(p[..4].iter().all(|&x| x == 0xFF));
+        assert!(p[4..].iter().all(|&x| x == 0));
+    }
+}

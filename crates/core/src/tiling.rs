@@ -1,0 +1,173 @@
+//! GEMM shapes and the shared DRAM-traffic/tiling policy (Fig. 8 step ①).
+//!
+//! The traffic model is deliberately shared by the TransArray and every
+//! baseline (§5.1 methodology): given the on-chip buffer budget it picks
+//! the cheaper of the two canonical loop orders (input-block-resident vs
+//! weight-block-resident) and reports the resulting DRAM bytes.
+
+/// A GEMM: weights `N×K`, inputs `K×M`, outputs `N×M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Weight rows (output channels).
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Input columns (tokens / spatial positions).
+    pub m: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(n: usize, k: usize, m: usize) -> Self {
+        assert!(n > 0 && k > 0 && m > 0, "GEMM dimensions must be non-zero");
+        Self { n, k, m }
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.n as u64 * self.k as u64 * self.m as u64
+    }
+
+    /// Weight bytes at `bits` precision.
+    pub fn weight_bytes(&self, bits: u32) -> u64 {
+        (self.n as u64 * self.k as u64 * bits as u64).div_ceil(8)
+    }
+
+    /// Input bytes at `bits` precision.
+    pub fn input_bytes(&self, bits: u32) -> u64 {
+        (self.k as u64 * self.m as u64 * bits as u64).div_ceil(8)
+    }
+
+    /// Output bytes (requantized to 8-bit plus per-group scales ≈ 1 B/elem
+    /// — every accelerator in the roster writes back quantized outputs).
+    pub fn output_bytes(&self) -> u64 {
+        self.n as u64 * self.m as u64
+    }
+}
+
+/// DRAM traffic of one GEMM under the shared tiling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Weight bytes streamed (including reloads).
+    pub weight_bytes: u64,
+    /// Input bytes streamed (including reloads).
+    pub input_bytes: u64,
+    /// Output bytes written.
+    pub output_bytes: u64,
+}
+
+impl TrafficReport {
+    /// Total bytes on the memory channel.
+    pub fn total(&self) -> u64 {
+        self.weight_bytes + self.input_bytes + self.output_bytes
+    }
+}
+
+/// Computes DRAM traffic for `shape` with the given precisions and
+/// on-chip buffer budget (bytes). Picks the cheaper canonical loop order:
+///
+/// * **input-resident**: an input block of `m_blk` columns stays on chip;
+///   weights stream once per block → `W · ⌈M/m_blk⌉ + I + O`;
+/// * **weight-resident**: a weight block of `n_blk` rows stays on chip;
+///   inputs stream once per block → `W + I · ⌈N/n_blk⌉ + O`.
+///
+/// Half the buffer is reserved for the resident block (the other half
+/// double-buffers the streaming side).
+pub fn dram_traffic(
+    shape: GemmShape,
+    weight_bits: u32,
+    act_bits: u32,
+    buffer_bytes: u64,
+) -> TrafficReport {
+    let w = shape.weight_bytes(weight_bits);
+    let i = shape.input_bytes(act_bits);
+    let o = shape.output_bytes();
+    let resident = (buffer_bytes / 2).max(1);
+
+    // Input-resident: block of m_blk columns needs K·m_blk·act_bits/8 B.
+    let bytes_per_col = (shape.k as u64 * act_bits as u64).div_ceil(8).max(1);
+    let m_blk = (resident / bytes_per_col).max(1);
+    let input_resident = w * (shape.m as u64).div_ceil(m_blk) + i + o;
+
+    // Weight-resident: block of n_blk rows needs K·n_blk·weight_bits/8 B.
+    let bytes_per_row = (shape.k as u64 * weight_bits as u64).div_ceil(8).max(1);
+    let n_blk = (resident / bytes_per_row).max(1);
+    let weight_resident = w + i * (shape.n as u64).div_ceil(n_blk) + o;
+
+    if input_resident <= weight_resident {
+        TrafficReport {
+            weight_bytes: w * (shape.m as u64).div_ceil(m_blk),
+            input_bytes: i,
+            output_bytes: o,
+        }
+    } else {
+        TrafficReport {
+            weight_bytes: w,
+            input_bytes: i * (shape.n as u64).div_ceil(n_blk),
+            output_bytes: o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_byte_math() {
+        let s = GemmShape::new(64, 128, 32);
+        assert_eq!(s.macs(), 64 * 128 * 32);
+        assert_eq!(s.weight_bytes(8), 64 * 128);
+        assert_eq!(s.weight_bytes(4), 64 * 128 / 2);
+        assert_eq!(s.input_bytes(8), 128 * 32);
+        assert_eq!(s.output_bytes(), 64 * 32);
+    }
+
+    #[test]
+    fn everything_fits_no_reloads() {
+        let s = GemmShape::new(32, 64, 16);
+        let t = dram_traffic(s, 8, 8, 1 << 20);
+        assert_eq!(t.weight_bytes, s.weight_bytes(8));
+        assert_eq!(t.input_bytes, s.input_bytes(8));
+        assert_eq!(t.total(), s.weight_bytes(8) + s.input_bytes(8) + s.output_bytes());
+    }
+
+    #[test]
+    fn tiny_buffer_forces_reloads() {
+        let s = GemmShape::new(1024, 1024, 1024);
+        let small = dram_traffic(s, 8, 8, 64 * 1024);
+        let large = dram_traffic(s, 8, 8, 16 << 20);
+        assert!(small.total() > large.total());
+    }
+
+    #[test]
+    fn four_bit_weights_halve_weight_traffic() {
+        let s = GemmShape::new(4096, 4096, 2048);
+        let w8 = dram_traffic(s, 8, 8, 480 * 1024);
+        let w4 = dram_traffic(s, 4, 8, 480 * 1024);
+        assert!(w4.weight_bytes * 2 <= w8.weight_bytes + w8.weight_bytes / 8);
+        assert!(w4.total() < w8.total());
+    }
+
+    #[test]
+    fn picks_cheaper_loop_order() {
+        // Very wide input (M >> N): weight-resident wins.
+        let wide = GemmShape::new(64, 1024, 65536);
+        let t = dram_traffic(wide, 8, 8, 256 * 1024);
+        assert_eq!(t.input_bytes, wide.input_bytes(8), "input must stream once");
+        // Very tall weights (N >> M): input-resident wins.
+        let tall = GemmShape::new(65536, 1024, 64);
+        let t = dram_traffic(tall, 8, 8, 256 * 1024);
+        assert_eq!(t.weight_bytes, tall.weight_bytes(8), "weights must stream once");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+}

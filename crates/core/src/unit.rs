@@ -1,0 +1,293 @@
+//! One TransArray unit processing one sub-tile (Fig. 7(b), Fig. 8).
+//!
+//! Pipeline per sub-tile: PopCount sort → Scoreboard (dynamic) or SI
+//! lookup (static) → dispatch (XOR pruning + Benes/crossbar routing) →
+//! PPE (prefix adds) → APE (output accumulation). This module produces
+//! both the cycle/op report and, on demand, the functional node results.
+
+use crate::config::{ScoreboardMode, TransArrayConfig};
+use ta_bitslice::bitonic_depth;
+use ta_hasse::{ExecutionPlan, Scoreboard, StaticSi, TileStats};
+use ta_sim::Crossbar;
+
+/// Per-sub-tile performance report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtileReport {
+    /// TransRows processed.
+    pub rows: usize,
+    /// Accumulate ops (PPE slots incl. transit + outlier extras).
+    pub total_ops: u64,
+    /// Dense bit-ops baseline (`rows × T`).
+    pub dense_bit_ops: u64,
+    /// Scoreboard-stage cycles (0 in static mode — prefetched SI).
+    pub scoreboard_cycles: u64,
+    /// PPE-stage cycles (slowest lane).
+    pub ppe_cycles: u64,
+    /// APE-stage cycles (slowest lane).
+    pub ape_cycles: u64,
+    /// Crossbar conflict stall cycles for output-bank writes.
+    pub xbar_cycles: u64,
+    /// Steady-state cycles this sub-tile occupies the unit.
+    pub cycles: u64,
+    /// Bitonic sorter fill latency (amortized across the tile stream).
+    pub sort_depth: u32,
+    /// SI misses (static mode only).
+    pub si_misses: u64,
+    /// Detailed dynamic-mode statistics (None in static mode).
+    pub stats: Option<TileStats>,
+}
+
+/// Processes one sub-tile in **dynamic** mode: builds the private SI with
+/// the hardware Scoreboard and reports cycles.
+pub fn process_dynamic(cfg: &TransArrayConfig, patterns: &[u16]) -> (Scoreboard, SubtileReport) {
+    let sb = Scoreboard::build(cfg.scoreboard_config(), patterns.iter().copied());
+    let stats = TileStats::from_scoreboard(&sb);
+    let xbar_cycles = xbar_conflict_cycles(cfg, patterns);
+    let scoreboard_cycles = stats.scoreboard_cycles;
+    let ppe = stats.ppe_cycles();
+    let ape = stats.ape_cycles().max(xbar_cycles);
+    let cycles = scoreboard_cycles.max(ppe).max(ape).max(1);
+    let report = SubtileReport {
+        rows: patterns.len(),
+        total_ops: stats.total_ops,
+        dense_bit_ops: stats.dense_bit_ops,
+        scoreboard_cycles,
+        ppe_cycles: ppe,
+        ape_cycles: ape,
+        xbar_cycles,
+        cycles,
+        sort_depth: stats.sort_depth,
+        si_misses: 0,
+        stats: Some(stats),
+    };
+    (sb, report)
+}
+
+/// Processes one sub-tile in **static** mode: the shared SI was prefetched
+/// from DRAM; no Scoreboard stage runs, but chain materialization pays SI
+/// misses.
+pub fn process_static(cfg: &TransArrayConfig, si: &StaticSi, patterns: &[u16]) -> SubtileReport {
+    let rep = si.evaluate_tile(patterns);
+    let xbar_cycles = xbar_conflict_cycles(cfg, patterns);
+    let ppe = rep.lane_ops.iter().copied().max().unwrap_or(0);
+    let ape = rep.lane_rows.iter().copied().max().unwrap_or(0).max(xbar_cycles);
+    let cycles = ppe.max(ape).max(1);
+    SubtileReport {
+        rows: patterns.len(),
+        total_ops: rep.total_ops,
+        dense_bit_ops: rep.dense_bit_ops,
+        scoreboard_cycles: 0,
+        ppe_cycles: ppe,
+        ape_cycles: ape,
+        xbar_cycles,
+        cycles,
+        sort_depth: bitonic_depth(patterns.len()),
+        si_misses: rep.si_misses,
+        stats: None,
+    }
+}
+
+/// Processes a sub-tile in whichever mode the config selects, building
+/// the static SI lazily from the caller-provided table.
+pub fn process_subtile(
+    cfg: &TransArrayConfig,
+    static_si: Option<&StaticSi>,
+    patterns: &[u16],
+) -> SubtileReport {
+    match cfg.scoreboard_mode {
+        ScoreboardMode::Dynamic => process_dynamic(cfg, patterns).1,
+        ScoreboardMode::Static => {
+            let si = static_si.expect("static mode requires a prefetched SI");
+            process_static(cfg, si, patterns)
+        }
+    }
+}
+
+/// Crossbar throughput bound for the APE→output-bank writes (§4.4): rows
+/// are banked by their original row index; the crossbar's conflict queue
+/// plus the double buffer *conceal* transient collisions ("we implement a
+/// double buffer mechanism so that the partial sum buffer overlaps and
+/// conceals the overhead"), so the sustained limit is the most-loaded
+/// bank's total row count over the sub-tile — not per-group worst cases.
+fn xbar_conflict_cycles(cfg: &TransArrayConfig, patterns: &[u16]) -> u64 {
+    let banks = cfg.width as usize;
+    let mut occupancy = vec![0u64; banks];
+    for (i, &p) in patterns.iter().enumerate() {
+        if p != 0 {
+            occupancy[i % banks] += 1;
+        }
+    }
+    occupancy.into_iter().max().unwrap_or(0)
+}
+
+/// Per-group crossbar conflict statistics (energy/introspection): cycles
+/// the un-smoothed dispatch would need, using the Hamming-sorted order.
+pub fn xbar_group_conflicts(cfg: &TransArrayConfig, patterns: &[u16]) -> u64 {
+    let t = cfg.width as usize;
+    let mut xbar = Crossbar::new(cfg.width);
+    let mut order: Vec<(u32, usize)> =
+        patterns.iter().enumerate().map(|(i, &p)| (p.count_ones(), i)).collect();
+    order.sort_unstable();
+    let mut conflict = 0u64;
+    for group in order.chunks(t) {
+        let rows: Vec<u64> = group
+            .iter()
+            .filter(|(pc, _)| *pc > 0)
+            .map(|&(_, i)| i as u64)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        conflict += xbar.dispatch_rows(&rows);
+    }
+    conflict
+}
+
+/// Functional evaluation of one sub-tile: returns, for every binary row
+/// of the tile, its accumulated result vector (length `m`), honoring the
+/// configured Scoreboard mode. Zero rows yield zero vectors.
+///
+/// `inputs[j]` is the input-matrix row for TransRow bit `j` (length `m`).
+///
+/// # Panics
+///
+/// Panics if input arity disagrees with the width, or static mode lacks
+/// an SI.
+pub fn evaluate_subtile(
+    cfg: &TransArrayConfig,
+    static_si: Option<&StaticSi>,
+    patterns: &[u16],
+    inputs: &[Vec<i64>],
+) -> Vec<Vec<i64>> {
+    let m = inputs.first().map_or(0, Vec::len);
+    let computed: Vec<(u16, Vec<i64>)> = match cfg.scoreboard_mode {
+        ScoreboardMode::Dynamic => {
+            let (sb, _) = process_dynamic(cfg, patterns);
+            ExecutionPlan::from_scoreboard(&sb).evaluate(inputs)
+        }
+        ScoreboardMode::Static => {
+            let si = static_si.expect("static mode requires a prefetched SI");
+            si.evaluate_tile_functional(patterns, inputs)
+        }
+    };
+    let mut lookup: Vec<Option<&Vec<i64>>> = vec![None; 1usize << cfg.width];
+    for (p, v) in &computed {
+        lookup[*p as usize] = Some(v);
+    }
+    patterns
+        .iter()
+        .map(|&p| {
+            if p == 0 {
+                vec![0i64; m]
+            } else {
+                lookup[p as usize].expect("pattern must be computed").clone()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_hasse::ScoreboardConfig;
+
+    fn cfg() -> TransArrayConfig {
+        TransArrayConfig { width: 4, max_transrows: 8, weight_bits: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn dynamic_report_consistent() {
+        let c = cfg();
+        let patterns = [0b1011u16, 0b1111, 0b0011, 0b0010];
+        let (_, rep) = process_dynamic(&c, &patterns);
+        assert_eq!(rep.rows, 4);
+        assert_eq!(rep.total_ops, 4);
+        assert_eq!(rep.dense_bit_ops, 16);
+        assert!(rep.cycles >= rep.ppe_cycles);
+        assert!(rep.cycles >= rep.scoreboard_cycles);
+        assert_eq!(rep.si_misses, 0);
+        assert!(rep.stats.is_some());
+    }
+
+    #[test]
+    fn static_report_has_no_scoreboard_stage() {
+        let c = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
+        let patterns = vec![0b1011u16, 0b1111, 0b0011, 0b0010];
+        let si = StaticSi::from_patterns(
+            ScoreboardConfig::with_width(4),
+            patterns.iter().copied(),
+        );
+        let rep = process_static(&c, &si, &patterns);
+        assert_eq!(rep.scoreboard_cycles, 0);
+        assert_eq!(rep.total_ops, 4);
+        assert!(rep.stats.is_none());
+    }
+
+    #[test]
+    fn dynamic_functional_matches_subset_sums() {
+        let c = cfg();
+        let patterns = [0b1011u16, 0b1111, 0b0011, 0b0010, 0];
+        let inputs: Vec<Vec<i64>> = vec![vec![6, 1], vec![-2, 2], vec![-5, 3], vec![4, 4]];
+        let rows = evaluate_subtile(&c, None, &patterns, &inputs);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], vec![6 - 2 + 4, 1 + 2 + 4]);
+        assert_eq!(rows[1], vec![6 - 2 - 5 + 4, 1 + 2 + 3 + 4]);
+        assert_eq!(rows[2], vec![6 - 2, 1 + 2]);
+        assert_eq!(rows[3], vec![-2, 2]);
+        assert_eq!(rows[4], vec![0, 0]);
+    }
+
+    #[test]
+    fn static_functional_matches_dynamic() {
+        let dyn_cfg = cfg();
+        let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
+        let patterns = [0b0111u16, 0b0101, 0b1111, 0b0001, 0b0101];
+        let si = StaticSi::from_patterns(
+            ScoreboardConfig::with_width(4),
+            patterns.iter().copied(),
+        );
+        let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![j as i64 * 3 - 4]).collect();
+        let d = evaluate_subtile(&dyn_cfg, None, &patterns, &inputs);
+        let s = evaluate_subtile(&sta_cfg, Some(&si), &patterns, &inputs);
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn static_functional_handles_unknown_patterns() {
+        // Tile contains a pattern the calibration never saw.
+        let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
+        let si = StaticSi::from_patterns(
+            ScoreboardConfig::with_width(4),
+            [0b0001u16],
+        );
+        let patterns = [0b1010u16];
+        let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![1i64 << j]).collect();
+        let rows = evaluate_subtile(&sta_cfg, Some(&si), &patterns, &inputs);
+        assert_eq!(rows[0], vec![0b1010]);
+    }
+
+    #[test]
+    fn xbar_sustained_limit_is_worst_bank() {
+        let c = cfg();
+        // 8 non-zero rows over 4 banks → 2 per bank → 2 cycles sustained.
+        let patterns = [1u16, 1, 1, 1, 1, 1, 1, 1];
+        let (_, rep) = process_dynamic(&c, &patterns);
+        assert_eq!(rep.xbar_cycles, 2);
+        // Zero rows don't occupy banks.
+        let (_, rep0) = process_dynamic(&c, &[0u16, 0, 0, 0, 7, 0, 0, 0]);
+        assert_eq!(rep0.xbar_cycles, 1);
+    }
+
+    #[test]
+    fn xbar_group_stats_exceed_sustained_bound() {
+        let c = cfg();
+        let patterns: Vec<u16> =
+            (0..64u32).map(|i| ((i.wrapping_mul(2654435761)) >> 16) as u16 & 0xF).collect();
+        let sustained = {
+            let (_, rep) = process_dynamic(&c, &patterns);
+            rep.xbar_cycles
+        };
+        let grouped = xbar_group_conflicts(&c, &patterns);
+        assert!(grouped >= sustained, "{grouped} vs {sustained}");
+    }
+}

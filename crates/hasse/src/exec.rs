@@ -1,0 +1,265 @@
+//! Execution plans — the per-lane op streams a TransArray unit consumes.
+//!
+//! The Scoreboard's balanced forest linearizes into one op stream per
+//! lane (Hamming order guarantees every parent precedes its children, and
+//! chains never straddle lanes), plus a tail of outlier ops dispatched at
+//! the end (§5.2).
+
+use crate::scoreboard::Scoreboard;
+
+/// Why a node occupies a PPE slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// First occurrence of a present pattern with a valid prefix
+    /// (Prefix-Result-Reuse in the paper's taxonomy).
+    Present,
+    /// Absent node materialized only to pass a partial result along
+    /// (Transitive-Reuse).
+    Transit,
+}
+
+/// One node computation: `result[node] = result[prefix] + Σ input[diff bits]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOp {
+    /// Pattern being computed.
+    pub node: u16,
+    /// Pattern whose buffered result is reused (0 = empty sum).
+    pub prefix: u16,
+    /// `node ^ prefix` — the TranSparsity bits the dispatcher resolves
+    /// with one XOR (§4.3). Always exactly one bit for in-forest ops.
+    pub diff: u16,
+    /// Lane executing this op.
+    pub lane: u8,
+    /// Present or transit.
+    pub kind: OpKind,
+}
+
+/// One outlier computation: the pattern is accumulated from scratch
+/// (popcount adds), bypassing the forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutlierOp {
+    /// Pattern computed from scratch.
+    pub node: u16,
+    /// Lane it was appended to.
+    pub lane: u8,
+}
+
+/// The complete, ordered execution plan of one Scoreboard.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    width: u32,
+    lanes: Vec<Vec<PlanOp>>,
+    outliers: Vec<OutlierOp>,
+}
+
+impl ExecutionPlan {
+    /// Extracts the plan from a built Scoreboard.
+    pub fn from_scoreboard(sb: &Scoreboard) -> Self {
+        let lane_count = sb.config().effective_lanes() as usize;
+        let mut lanes: Vec<Vec<PlanOp>> = vec![Vec::new(); lane_count];
+        for p in sb.active_nodes() {
+            if sb.is_outlier(p) {
+                continue;
+            }
+            let e = sb.node(p);
+            let prefix = e.chosen_parent;
+            debug_assert_ne!(prefix, u16::MAX);
+            lanes[e.lane as usize].push(PlanOp {
+                node: p,
+                prefix,
+                diff: p ^ prefix,
+                lane: e.lane,
+                kind: if e.transit { OpKind::Transit } else { OpKind::Present },
+            });
+        }
+        let outliers = sb
+            .outliers()
+            .iter()
+            .map(|&p| OutlierOp { node: p, lane: sb.node(p).lane })
+            .collect();
+        Self { width: sb.config().width, lanes, outliers }
+    }
+
+    /// TransRow width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Per-lane op streams, parent-before-child within each lane.
+    pub fn lanes(&self) -> &[Vec<PlanOp>] {
+        &self.lanes
+    }
+
+    /// Outlier ops dispatched after the forest.
+    pub fn outliers(&self) -> &[OutlierOp] {
+        &self.outliers
+    }
+
+    /// All in-forest ops across lanes (unspecified inter-lane order).
+    pub fn iter_ops(&self) -> impl Iterator<Item = &PlanOp> {
+        self.lanes.iter().flatten()
+    }
+
+    /// Total PPE node computations (forest ops + outliers).
+    pub fn node_op_count(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum::<usize>() + self.outliers.len()
+    }
+
+    /// Functionally evaluates the plan: given the `T` input row-vectors of
+    /// the sub-tile (each of length `m`), returns the accumulated result
+    /// vector for every computed pattern, as `(pattern, Vec<i64>)` pairs in
+    /// execution order.
+    ///
+    /// This is the golden functional model of the PPE array: each op adds
+    /// exactly the diff-bit inputs onto its prefix's buffered result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != width` or the row vectors have unequal
+    /// lengths.
+    pub fn evaluate(&self, inputs: &[Vec<i64>]) -> Vec<(u16, Vec<i64>)> {
+        assert_eq!(inputs.len(), self.width as usize, "need one input row per TransRow bit");
+        let m = inputs.first().map_or(0, Vec::len);
+        assert!(inputs.iter().all(|v| v.len() == m), "ragged input rows");
+        let mut results: Vec<Option<Vec<i64>>> = vec![None; 1usize << self.width];
+        results[0] = Some(vec![0i64; m]);
+        let mut order = Vec::new();
+        // Lanes are independent; evaluate lane by lane (hardware runs them
+        // concurrently — results are identical because chains never cross).
+        for lane in &self.lanes {
+            for op in lane {
+                let base = results[op.prefix as usize]
+                    .as_ref()
+                    .expect("prefix must be computed before its suffix")
+                    .clone();
+                let mut acc = base;
+                let mut bits = op.diff;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    for (a, &x) in acc.iter_mut().zip(&inputs[j]) {
+                        *a += x;
+                    }
+                }
+                results[op.node as usize] = Some(acc.clone());
+                order.push((op.node, acc));
+            }
+        }
+        for op in &self.outliers {
+            let mut acc = vec![0i64; m];
+            let mut bits = op.node;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (a, &x) in acc.iter_mut().zip(&inputs[j]) {
+                    *a += x;
+                }
+            }
+            results[op.node as usize] = Some(acc.clone());
+            order.push((op.node, acc));
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoreboard::ScoreboardConfig;
+
+    fn plan_for(patterns: &[u16], width: u32) -> ExecutionPlan {
+        let sb = Scoreboard::build(ScoreboardConfig::with_width(width), patterns.iter().copied());
+        ExecutionPlan::from_scoreboard(&sb)
+    }
+
+    #[test]
+    fn fig1_motivating_example() {
+        // Fig. 1: binary rows 1011, 1111, 0011, 0010 over input
+        // [6, -5, -2, 4] (bit j ↔ input element j; the figure's leftmost
+        // matrix column is its bit 3). Expected row results: 8, 3, 2, -2
+        // with 4 total ops.
+        let patterns = [0b1011u16, 0b1111, 0b0011, 0b0010];
+        let plan = plan_for(&patterns, 4);
+        assert_eq!(plan.node_op_count(), 4, "transitive GEMM needs 4 ops");
+        // Inputs indexed by bit: bit0=6? Map: pattern bit j multiplies
+        // input[j]. Row 1011 must produce 6 + (-2) + 4 = 8 with
+        // bit0=6? 1011 has bits 0,1,3 → choose inputs so the paper's sums
+        // hold: input = [6, -2, 4 at bit3?]. Use bit0=6, bit1=-2, bit2=-5,
+        // bit3=4: row 1011 → 6-2+4=8 ✓; 1111 → 6-2-5+4=3 ✓; 0011 → 4 ✓…
+        let inputs: Vec<Vec<i64>> = vec![vec![6], vec![-2], vec![-5], vec![4]];
+        let results = plan.evaluate(&inputs);
+        let get = |p: u16| {
+            results.iter().find(|(n, _)| *n == p).map(|(_, v)| v[0]).unwrap()
+        };
+        assert_eq!(get(0b0010), -2);
+        assert_eq!(get(0b0011), 6 + -2);
+        assert_eq!(get(0b1011), 6 + -2 + 4);
+        assert_eq!(get(0b1111), 6 + -2 + -5 + 4);
+    }
+
+    #[test]
+    fn in_forest_diffs_are_single_bit() {
+        let patterns: Vec<u16> =
+            (0..150u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 20) as u16 & 0xFF).collect();
+        let plan = plan_for(&patterns, 8);
+        for op in plan.iter_ops() {
+            assert_eq!(op.diff.count_ones(), 1, "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn parents_precede_children_within_lane() {
+        let patterns: Vec<u16> =
+            (0..100u32).map(|i| (i.wrapping_mul(2654435761) >> 18) as u16 & 0x3F).collect();
+        let plan = plan_for(&patterns, 6);
+        for lane in plan.lanes() {
+            let mut seen = [false; 64];
+            seen[0] = true;
+            for op in lane {
+                assert!(seen[op.prefix as usize], "prefix {} not yet computed", op.prefix);
+                seen[op.node as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_direct_popcount_sum() {
+        // Every computed pattern's result must equal the direct sum of its
+        // set-bit inputs — regardless of the reuse path taken.
+        let patterns: Vec<u16> =
+            (0..80u32).map(|i| (i.wrapping_mul(40503) >> 10) as u16 & 0xFF).collect();
+        let plan = plan_for(&patterns, 8);
+        let inputs: Vec<Vec<i64>> =
+            (0..8).map(|j| vec![(j as i64 + 1) * 7 - 20, -(j as i64)]).collect();
+        for (pattern, result) in plan.evaluate(&inputs) {
+            let mut expect = vec![0i64; 2];
+            for (j, input) in inputs.iter().enumerate() {
+                if pattern & (1 << j) != 0 {
+                    expect[0] += input[0];
+                    expect[1] += input[1];
+                }
+            }
+            assert_eq!(result, expect, "pattern {pattern:#010b}");
+        }
+    }
+
+    #[test]
+    fn every_present_pattern_is_computed() {
+        let patterns = [7u16, 7, 3, 9, 12, 0, 1];
+        let plan = plan_for(&patterns, 4);
+        let computed: Vec<u16> =
+            plan.evaluate(&vec![vec![1]; 4]).iter().map(|(p, _)| *p).collect();
+        for p in [7u16, 3, 9, 12, 1] {
+            assert!(computed.contains(&p), "pattern {p} missing");
+        }
+        // Zero rows are never computed.
+        assert!(!computed.contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "need one input row")]
+    fn evaluate_checks_input_arity() {
+        let plan = plan_for(&[1u16], 4);
+        let _ = plan.evaluate(&[vec![1i64]]);
+    }
+}

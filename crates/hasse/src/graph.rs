@@ -1,0 +1,158 @@
+//! The Hasse graph of the subset partial order on `{0,1}^T` (§2.3, Fig. 4).
+//!
+//! The graph is never materialized as adjacency lists — neighbors are
+//! single-bit flips (the Translators of Fig. 6). This module provides the
+//! width-bound view plus the cached Hamming-order traversals the
+//! Scoreboard passes use.
+
+use std::sync::OnceLock;
+
+use ta_bitslice::hamming_order;
+
+/// Width-bound view of the Hasse graph for `T`-bit TransRows.
+///
+/// # Examples
+///
+/// ```
+/// use ta_hasse::HasseGraph;
+///
+/// let g = HasseGraph::new(4);
+/// assert_eq!(g.node_count(), 16);
+/// assert_eq!(g.level(0b1011), 3);
+/// assert_eq!(g.suffixes(0b0011).collect::<Vec<_>>(), vec![0b0111, 0b1011]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HasseGraph {
+    width: u32,
+}
+
+/// Cached Hamming orders for every supported width (1..=16).
+static ORDERS: [OnceLock<Vec<u16>>; 16] = [const { OnceLock::new() }; 16];
+
+impl HasseGraph {
+    /// Creates the graph view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=16`.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16, got {width}");
+        Self { width }
+    }
+
+    /// TransRow width `T`.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Total node count `2^T`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        1usize << self.width
+    }
+
+    /// Hasse level of a pattern (its popcount).
+    #[inline]
+    pub fn level(&self, pattern: u16) -> u32 {
+        pattern.count_ones()
+    }
+
+    /// Nodes in Hamming order (level-ascending — the forward-pass
+    /// traversal of Alg. 1). Cached per width.
+    pub fn forward_order(&self) -> &'static [u16] {
+        ORDERS[self.width as usize - 1].get_or_init(|| hamming_order(self.width))
+    }
+
+    /// Immediate suffixes: one 0→1 flip within the width.
+    #[inline]
+    pub fn suffixes(&self, pattern: u16) -> impl Iterator<Item = u16> + '_ {
+        let width = self.width;
+        (0..width).filter_map(move |j| {
+            let bit = 1u16 << j;
+            if pattern & bit == 0 {
+                Some(pattern | bit)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Immediate prefixes: one 1→0 flip.
+    #[inline]
+    pub fn prefixes(&self, pattern: u16) -> impl Iterator<Item = u16> {
+        let mut bits = pattern;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let bit = bits & bits.wrapping_neg();
+                bits &= bits - 1;
+                Some(pattern & !bit)
+            }
+        })
+    }
+
+    /// Validates that a pattern fits the width.
+    #[inline]
+    pub fn contains(&self, pattern: u16) -> bool {
+        (pattern as u32) < (1u32 << self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_and_levels() {
+        let g = HasseGraph::new(8);
+        assert_eq!(g.node_count(), 256);
+        assert_eq!(g.level(0), 0);
+        assert_eq!(g.level(0xFF), 8);
+    }
+
+    #[test]
+    fn forward_order_cached_and_monotone() {
+        let g = HasseGraph::new(5);
+        let o1 = g.forward_order();
+        let o2 = g.forward_order();
+        assert_eq!(o1.as_ptr(), o2.as_ptr(), "order must be cached");
+        assert_eq!(o1.len(), 32);
+        for w in o1.windows(2) {
+            assert!(g.level(w[0]) <= g.level(w[1]));
+        }
+    }
+
+    #[test]
+    fn suffix_prefix_iterators_match_fig4() {
+        let g = HasseGraph::new(4);
+        // Node 3 (0011): suffixes 7, 11 — prefixes 1, 2.
+        assert_eq!(g.suffixes(0b0011).collect::<Vec<_>>(), vec![0b0111, 0b1011]);
+        assert_eq!(g.prefixes(0b0011).collect::<Vec<_>>(), vec![0b0010, 0b0001]);
+        // Top node has no suffixes; bottom no prefixes.
+        assert_eq!(g.suffixes(0b1111).count(), 0);
+        assert_eq!(g.prefixes(0).count(), 0);
+    }
+
+    #[test]
+    fn suffixes_respect_width() {
+        let g = HasseGraph::new(3);
+        let s: Vec<u16> = g.suffixes(0b010).collect();
+        assert_eq!(s, vec![0b011, 0b110]);
+        assert!(s.iter().all(|&p| g.contains(p)));
+    }
+
+    #[test]
+    fn contains_checks_width() {
+        let g = HasseGraph::new(4);
+        assert!(g.contains(15));
+        assert!(!g.contains(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=16")]
+    fn zero_width_rejected() {
+        let _ = HasseGraph::new(0);
+    }
+}

@@ -1,0 +1,140 @@
+//! ResNet-18 on ImageNet (§5.10, Fig. 14): the 21 weighted layers the
+//! figure's x-axis enumerates (conv1, 16 block convs, 3 downsample convs,
+//! and the final FC), lowered to GEMMs via im2col.
+
+use ta_bitslice::ConvShape;
+use ta_core::GemmShape;
+
+/// One ResNet-18 layer: a convolution (lowered with im2col) or the final
+/// fully connected classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResnetLayer {
+    /// Layer index (1-based, matching Fig. 14's x-axis).
+    pub index: usize,
+    /// Layer name.
+    pub name: &'static str,
+    /// Convolution shape (None for the FC layer).
+    pub conv: Option<ConvShape>,
+    /// GEMM this layer lowers to.
+    pub gemm: GemmShape,
+    /// Weight precision the paper assigns (first conv & FC at 8-bit,
+    /// everything else 4-bit, §5.10).
+    pub weight_bits: u32,
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the layer-table columns
+fn conv_layer(
+    index: usize,
+    name: &'static str,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    in_hw: usize,
+    weight_bits: u32,
+) -> ResnetLayer {
+    let conv = ConvShape { in_c, out_c, kh: k, kw: k, stride, pad, in_h: in_hw, in_w: in_hw };
+    let (n, kk, m) = conv.gemm_dims();
+    ResnetLayer { index, name, conv: Some(conv), gemm: GemmShape::new(n, kk, m), weight_bits }
+}
+
+/// The 21 weighted layers of ResNet-18 at 224×224 input, in Fig. 14's
+/// order: conv1; layer1 (2×2 convs); layer2 (2 convs + downsample +
+/// 2 convs); layer3, layer4 likewise; fc.
+pub fn resnet18_layers() -> Vec<ResnetLayer> {
+    // Stem: 224×224×3, 7×7/2 → 112; maxpool/2 → 56 feeds layer1.
+    let mut v = vec![conv_layer(1, "conv1", 3, 64, 7, 2, 3, 224, 8)];
+    // layer1: two basic blocks at 56×56, 64→64.
+    v.push(conv_layer(2, "layer1.0.conv1", 64, 64, 3, 1, 1, 56, 4));
+    v.push(conv_layer(3, "layer1.0.conv2", 64, 64, 3, 1, 1, 56, 4));
+    v.push(conv_layer(4, "layer1.1.conv1", 64, 64, 3, 1, 1, 56, 4));
+    v.push(conv_layer(5, "layer1.1.conv2", 64, 64, 3, 1, 1, 56, 4));
+    // layer2: 64→128, stride 2 (56→28), with 1×1/2 downsample.
+    v.push(conv_layer(6, "layer2.0.conv1", 64, 128, 3, 2, 1, 56, 4));
+    v.push(conv_layer(7, "layer2.0.conv2", 128, 128, 3, 1, 1, 28, 4));
+    v.push(conv_layer(8, "layer2.0.downsample", 64, 128, 1, 2, 0, 56, 4));
+    v.push(conv_layer(9, "layer2.1.conv1", 128, 128, 3, 1, 1, 28, 4));
+    v.push(conv_layer(10, "layer2.1.conv2", 128, 128, 3, 1, 1, 28, 4));
+    // layer3: 128→256, stride 2 (28→14).
+    v.push(conv_layer(11, "layer3.0.conv1", 128, 256, 3, 2, 1, 28, 4));
+    v.push(conv_layer(12, "layer3.0.conv2", 256, 256, 3, 1, 1, 14, 4));
+    v.push(conv_layer(13, "layer3.0.downsample", 128, 256, 1, 2, 0, 28, 4));
+    v.push(conv_layer(14, "layer3.1.conv1", 256, 256, 3, 1, 1, 14, 4));
+    v.push(conv_layer(15, "layer3.1.conv2", 256, 256, 3, 1, 1, 14, 4));
+    // layer4: 256→512, stride 2 (14→7).
+    v.push(conv_layer(16, "layer4.0.conv1", 256, 512, 3, 2, 1, 14, 4));
+    v.push(conv_layer(17, "layer4.0.conv2", 512, 512, 3, 1, 1, 7, 4));
+    v.push(conv_layer(18, "layer4.0.downsample", 256, 512, 1, 2, 0, 14, 4));
+    v.push(conv_layer(19, "layer4.1.conv1", 512, 512, 3, 1, 1, 7, 4));
+    v.push(conv_layer(20, "layer4.1.conv2", 512, 512, 3, 1, 1, 7, 4));
+    // Classifier: 512 → 1000 on the pooled vector.
+    v.push(ResnetLayer {
+        index: 21,
+        name: "fc",
+        conv: None,
+        gemm: GemmShape::new(1000, 512, 1),
+        weight_bits: 8,
+    });
+    v
+}
+
+/// Total MACs of the network (≈1.8 GMACs for ResNet-18 at 224²).
+pub fn resnet18_total_macs() -> u64 {
+    resnet18_layers().iter().map(|l| l.gemm.macs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_21_layers() {
+        let layers = resnet18_layers();
+        assert_eq!(layers.len(), 21);
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l.index, i + 1);
+        }
+    }
+
+    #[test]
+    fn gemm_dims_of_known_layers() {
+        let layers = resnet18_layers();
+        // conv1: 64 × (3·7·7) × (112·112).
+        assert_eq!(layers[0].gemm, GemmShape::new(64, 147, 112 * 112));
+        // layer1 convs: 64 × 576 × 3136.
+        assert_eq!(layers[1].gemm, GemmShape::new(64, 576, 56 * 56));
+        // layer2.0.conv1 strides to 28×28.
+        assert_eq!(layers[5].gemm, GemmShape::new(128, 576, 28 * 28));
+        // downsample is a 1×1.
+        assert_eq!(layers[7].gemm, GemmShape::new(128, 64, 28 * 28));
+        // fc.
+        assert_eq!(layers[20].gemm, GemmShape::new(1000, 512, 1));
+    }
+
+    #[test]
+    fn total_macs_near_reference() {
+        // ResNet-18 is ~1.8 GMACs; our conv-only sum (no pooling/bn) must
+        // land in that ballpark.
+        let macs = resnet18_total_macs() as f64 / 1.0e9;
+        assert!((1.5..2.1).contains(&macs), "total {macs} GMACs");
+    }
+
+    #[test]
+    fn mixed_precision_assignment() {
+        let layers = resnet18_layers();
+        assert_eq!(layers[0].weight_bits, 8, "first conv at 8-bit");
+        assert_eq!(layers[20].weight_bits, 8, "fc at 8-bit");
+        assert!(layers[1..20].iter().all(|l| l.weight_bits == 4));
+    }
+
+    #[test]
+    fn conv_shapes_consistent_with_gemm() {
+        for l in resnet18_layers() {
+            if let Some(c) = l.conv {
+                let (n, k, m) = c.gemm_dims();
+                assert_eq!(l.gemm, GemmShape::new(n, k, m), "{}", l.name);
+            }
+        }
+    }
+}

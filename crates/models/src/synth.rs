@@ -1,0 +1,281 @@
+//! Synthetic tensor and pattern generators (the substitutions of
+//! DESIGN.md §3).
+//!
+//! Two pattern distributions drive the performance experiments:
+//!
+//! * [`UniformBitSource`] — uniform random 0/1 bits, the distribution of
+//!   the paper's design-space exploration (Fig. 9's "1024×1024 random 0-1
+//!   matrix") and the "Rand" series of Fig. 13;
+//! * [`QuantGaussianSource`] — Gaussian weights quantized then bit-sliced,
+//!   the stand-in for "real data" traces (Fig. 13's "Real" series): the
+//!   high bit planes carry 2's-complement sign correlation, yielding
+//!   slightly fewer unique TransRows than uniform bits — exactly the
+//!   effect §5.9 reports.
+//!
+//! Plus the LLM-like FP32 matrix generators the Table 3 accuracy study
+//! uses (Gaussian body, 40× outlier feature channels on activations,
+//! rare mild element outliers on weights — the SmoothQuant-documented
+//! structure).
+
+use crate::rng::{mix, StreamRng};
+use ta_core::PatternSource;
+use ta_quant::{MatF32, MatI32};
+
+/// Uniform random bit patterns, deterministic per sub-tile coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformBitSource {
+    width: u32,
+    rows_per_subtile: usize,
+    seed: u64,
+}
+
+impl UniformBitSource {
+    /// Creates the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=16` or `rows_per_subtile` is 0.
+    pub fn new(width: u32, rows_per_subtile: usize, seed: u64) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        assert!(rows_per_subtile > 0, "rows_per_subtile must be non-zero");
+        Self { width, rows_per_subtile, seed }
+    }
+}
+
+impl PatternSource for UniformBitSource {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16> {
+        let mut rng = StreamRng::new(mix(self.seed, n_tile as u64, k_chunk as u64, 0));
+        let mask = ((1u32 << self.width) - 1) as u16;
+        (0..self.rows_per_subtile).map(|_| (rng.next_u64() as u16) & mask).collect()
+    }
+
+    fn rows_per_subtile(&self) -> usize {
+        self.rows_per_subtile
+    }
+}
+
+/// Gaussian-quantized weight patterns: per sub-tile, an `n × width` block
+/// of `weight_bits`-bit 2's-complement values drawn from a Gaussian
+/// calibrated so the block absmax sits at the quantization ceiling, then
+/// bit-sliced row-major (`row·S + level`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantGaussianSource {
+    width: u32,
+    weight_bits: u32,
+    n_rows: usize,
+    seed: u64,
+    /// Quantized-domain standard deviation (absmax calibration over a
+    /// group-128 context puts σ_q near `qmax/3.2`).
+    sigma_q: f32,
+}
+
+impl QuantGaussianSource {
+    /// Creates the source for `n_rows` weight rows per sub-tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths are out of range or `n_rows` is zero.
+    pub fn new(width: u32, weight_bits: u32, n_rows: usize, seed: u64) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        assert!((2..=16).contains(&weight_bits), "weight_bits in 2..=16");
+        assert!(n_rows > 0, "n_rows must be non-zero");
+        let qmax = ((1i32 << (weight_bits - 1)) - 1) as f32;
+        Self { width, weight_bits, n_rows, seed, sigma_q: qmax / 3.2 }
+    }
+
+    /// One quantized weight value at global coordinates.
+    fn value(&self, n_tile: usize, k_chunk: usize, r: usize, c: usize) -> i32 {
+        let key = mix(
+            self.seed,
+            (n_tile * self.n_rows + r) as u64,
+            (k_chunk * self.width as usize + c) as u64,
+            0x51C9,
+        );
+        let mut rng = StreamRng::new(key);
+        let qmax = (1i32 << (self.weight_bits - 1)) - 1;
+        let v = (rng.next_gaussian() * self.sigma_q).round() as i32;
+        v.clamp(-qmax, qmax)
+    }
+}
+
+impl PatternSource for QuantGaussianSource {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16> {
+        let s = self.weight_bits;
+        let t = self.width as usize;
+        let mut patterns = vec![0u16; self.n_rows * s as usize];
+        for r in 0..self.n_rows {
+            for c in 0..t {
+                let v = self.value(n_tile, k_chunk, r, c) as u32 & ((1u64 << s) - 1) as u32;
+                for level in 0..s {
+                    if v & (1 << level) != 0 {
+                        patterns[r * s as usize + level as usize] |= 1 << c;
+                    }
+                }
+            }
+        }
+        patterns
+    }
+
+    fn rows_per_subtile(&self) -> usize {
+        self.n_rows * self.weight_bits as usize
+    }
+}
+
+/// LLM-like weight matrix: Gaussian body with ~0.1% mild (6σ) element
+/// outliers — the structure PTQ papers report for Transformer weights
+/// (smooth bodies, rare spikes; OliVe's outlier-victim pairs target
+/// exactly these).
+pub fn llm_weight_matrix(n: usize, k: usize, seed: u64) -> MatF32 {
+    let mut m = MatF32::from_fn(n, k, |r, c| {
+        StreamRng::new(mix(seed, r as u64, c as u64, 1)).next_gaussian()
+    });
+    // Rare mild element outliers.
+    let total = n * k;
+    let mut idx = 17usize;
+    while idx < total {
+        let (r, c) = (idx / k, idx % k);
+        let sign = if m.get(r, c) < 0.0 { -1.0 } else { 1.0 };
+        m.set(r, c, sign * 6.0);
+        idx += 997;
+    }
+    m
+}
+
+/// LLM-like activation matrix: Gaussian body with 40× outlier feature
+/// rows (the SmoothQuant-documented structure, also §5.9 of the paper).
+pub fn llm_activation_matrix(k: usize, mcols: usize, seed: u64) -> MatF32 {
+    let mut m = MatF32::from_fn(k, mcols, |r, c| {
+        StreamRng::new(mix(seed, r as u64, c as u64, 2)).next_gaussian()
+    });
+    for &f in &outlier_features(k) {
+        for c in 0..mcols {
+            let v = m.get(f, c) * 40.0;
+            m.set(f, c, v);
+        }
+    }
+    m
+}
+
+/// The outlier feature indices for a `k`-feature tensor (~1.5% of
+/// features, deterministic).
+fn outlier_features(k: usize) -> Vec<usize> {
+    let count = (k / 64).max(1);
+    (0..count).map(|i| (i * 64 + 3).min(k - 1)).collect()
+}
+
+/// Quantized integer LLM-like weights for functional runs.
+pub fn llm_weight_matrix_int(n: usize, k: usize, bits: u32, seed: u64) -> MatI32 {
+    let qmax = (1i32 << (bits - 1)) - 1;
+    let sigma = qmax as f32 / 3.2;
+    MatI32::from_fn(n, k, |r, c| {
+        let g = StreamRng::new(mix(seed, r as u64, c as u64, 3)).next_gaussian();
+        ((g * sigma).round() as i32).clamp(-qmax, qmax)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_source_deterministic_and_distinct() {
+        let mut a = UniformBitSource::new(8, 64, 7);
+        let mut b = UniformBitSource::new(8, 64, 7);
+        assert_eq!(a.subtile_patterns(3, 5), b.subtile_patterns(3, 5));
+        assert_ne!(a.subtile_patterns(3, 5), a.subtile_patterns(3, 6));
+        assert_eq!(a.rows_per_subtile(), 64);
+    }
+
+    #[test]
+    fn uniform_source_respects_width() {
+        let mut s = UniformBitSource::new(5, 200, 11);
+        for p in s.subtile_patterns(0, 0) {
+            assert!(p < 32);
+        }
+    }
+
+    #[test]
+    fn uniform_bit_density_near_half() {
+        let mut s = UniformBitSource::new(8, 4096, 13);
+        let ones: u64 =
+            s.subtile_patterns(0, 0).iter().map(|p| p.count_ones() as u64).sum();
+        let density = ones as f64 / (4096.0 * 8.0);
+        assert!((density - 0.5).abs() < 0.02, "{density}");
+    }
+
+    #[test]
+    fn quant_source_shape_and_determinism() {
+        let mut s = QuantGaussianSource::new(8, 8, 32, 21);
+        let p = s.subtile_patterns(1, 2);
+        assert_eq!(p.len(), 256);
+        assert_eq!(p, s.subtile_patterns(1, 2));
+    }
+
+    #[test]
+    fn real_like_has_fewer_unique_patterns_than_uniform() {
+        // §5.9: real data shows *fewer* unique TransRows than uniform
+        // random (162 expected for uniform 256-of-256).
+        let mut uni = UniformBitSource::new(8, 256, 3);
+        let mut real = QuantGaussianSource::new(8, 8, 32, 3);
+        let mut uni_unique = 0usize;
+        let mut real_unique = 0usize;
+        for tile in 0..20 {
+            uni_unique += uni
+                .subtile_patterns(tile, 0)
+                .iter()
+                .copied()
+                .collect::<HashSet<u16>>()
+                .len();
+            real_unique += real
+                .subtile_patterns(tile, 0)
+                .iter()
+                .copied()
+                .collect::<HashSet<u16>>()
+                .len();
+        }
+        assert!(
+            real_unique < uni_unique,
+            "real {real_unique} should be < uniform {uni_unique}"
+        );
+    }
+
+    #[test]
+    fn activation_outliers_present() {
+        let a = llm_activation_matrix(256, 16, 5);
+        let body: f32 = (0..16).map(|c| a.get(0, c).abs()).sum::<f32>() / 16.0;
+        let outlier: f32 = (0..16).map(|c| a.get(3, c).abs()).sum::<f32>() / 16.0;
+        assert!(outlier > 10.0 * body, "outlier {outlier} vs body {body}");
+    }
+
+    #[test]
+    fn weight_matrix_int_fits_bits() {
+        let w = llm_weight_matrix_int(16, 32, 4, 9);
+        assert!(w.fits_signed_bits(4));
+        let w8 = llm_weight_matrix_int(16, 32, 8, 9);
+        assert!(w8.fits_signed_bits(8));
+        // Distribution actually uses the range.
+        let (lo, hi) = w8.min_max();
+        assert!(lo < -40 && hi > 40, "{lo}..{hi}");
+    }
+
+    #[test]
+    fn weight_matrix_has_rare_element_outliers() {
+        let w = llm_weight_matrix(32, 128, 1);
+        let spikes = w.as_slice().iter().filter(|v| v.abs() >= 5.5).count();
+        let total = w.len();
+        let frac = spikes as f64 / total as f64;
+        assert!(
+            (0.0003..0.01).contains(&frac),
+            "element-outlier fraction {frac} should be ~0.1%"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! # ta-quant — quantization substrate for the Transitive Array reproduction
+//!
+//! Implements the quantization layer the paper's pipeline sits on (Fig. 2):
+//! FP32/FP16 tensors → `S`-bit signed integers at per-tensor, per-channel,
+//! or group-wise granularity — plus the emulated quantization *methods* of
+//! the accuracy study (Table 3): BitFusion, ANT, OliVe, Tender, BitVert,
+//! and the QServe-style W4A8/W8A8 recipe TransArray rides.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ta_quant::{quantize_absmax, dequantize, Granularity, MatF32, QuantScheme};
+//!
+//! let w = MatF32::from_rows(&[&[1.2, -3.4, 0.5, 2.2]]);
+//! let scheme = QuantScheme::new(8, Granularity::PerChannel);
+//! let (q, params) = quantize_absmax(&w, scheme);
+//! let back = dequantize(&q, &params);
+//! assert!((back.get(0, 1) - -3.4).abs() < 0.05);
+//! ```
+//!
+//! The integer matrices produced here feed `ta-bitslice`, which decomposes
+//! them into the binary planes the Transitive Array operates on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod matrix;
+pub mod methods;
+mod quantize;
+mod scheme;
+
+pub use error::{cosine_similarity, max_abs_err, mse, nmse, pseudo_perplexity, sqnr_db};
+pub use matrix::{gemm_f32, gemm_i32, MatF32, MatI32};
+pub use methods::{evaluate_method, table3_roster, MethodReport, QuantMethod};
+pub use quantize::{calibrate, dequantize, fake_quantize, quantize, quantize_absmax};
+pub use scheme::{Granularity, QuantParams, QuantScheme};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat_strategy(max_dim: usize) -> impl Strategy<Value = MatF32> {
+        (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-100.0f32..100.0, r * c)
+                .prop_map(move |v| MatF32::from_vec(r, c, v))
+        })
+    }
+
+    proptest! {
+        /// Quantize→dequantize error is bounded by half an LSB per element.
+        #[test]
+        fn quant_roundtrip_error_bounded(m in mat_strategy(12), bits in 4u32..=12) {
+            let scheme = QuantScheme::new(bits, Granularity::PerChannel);
+            let (q, params) = quantize_absmax(&m, scheme);
+            let back = dequantize(&q, &params);
+            for r in 0..m.rows() {
+                let scale = params.scale_at(r, 0);
+                for c in 0..m.cols() {
+                    let err = (m.get(r, c) - back.get(r, c)).abs();
+                    prop_assert!(err <= scale * 0.5 + 1e-5,
+                        "err {err} scale {scale} bits {bits}");
+                }
+            }
+        }
+
+        /// Quantized values always fit the declared signed bit width.
+        #[test]
+        fn quant_values_fit(m in mat_strategy(10), bits in 2u32..=16) {
+            let scheme = QuantScheme::new(bits, Granularity::PerTensor);
+            let (q, _) = quantize_absmax(&m, scheme);
+            prop_assert!(q.fits_signed_bits(bits));
+        }
+
+        /// Integer GEMM agrees with f32 GEMM when values are small ints.
+        #[test]
+        fn int_gemm_matches_f32(
+            n in 1usize..6, k in 1usize..6, mcols in 1usize..6,
+            seed in 0u64..1000
+        ) {
+            let val = |r: usize, c: usize, s: u64| {
+                (((r as u64 * 31 + c as u64 * 7 + s) % 17) as i32) - 8
+            };
+            let a = MatI32::from_fn(n, k, |r, c| val(r, c, seed));
+            let b = MatI32::from_fn(k, mcols, |r, c| val(r, c, seed.wrapping_add(99)));
+            let ci = gemm_i32(&a, &b);
+            let cf = gemm_f32(&a.to_f32(), &b.to_f32());
+            for r in 0..n {
+                for c in 0..mcols {
+                    prop_assert_eq!(ci.get(r, c) as f32, cf.get(r, c));
+                }
+            }
+        }
+
+        /// NMSE of a fake-quantized tensor decreases (weakly) with more bits.
+        #[test]
+        fn more_bits_never_hurt(m in mat_strategy(10)) {
+            let e4 = nmse(&m, &fake_quantize(&m, QuantScheme::new(4, Granularity::PerChannel)));
+            let e8 = nmse(&m, &fake_quantize(&m, QuantScheme::new(8, Granularity::PerChannel)));
+            prop_assert!(e8 <= e4 + 1e-9, "e8={e8} e4={e4}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! ANT's quantization with group-wise extension.
+//!
+//! ANT (MICRO'22) uses a fixed-length adaptive numeric type ("flint") that
+//! spends bits on exponent or mantissa depending on magnitude. The paper
+//! modified ANT "to support group-wise quantization for a fair comparison"
+//! (§5.4). We emulate the adaptive type as: per group of channels, pick
+//! the per-group scale, then encode each value either as a plain integer
+//! (small values) or with one fewer mantissa bit and a power-of-two
+//! exponent reach (large values) — which is the accuracy-relevant essence
+//! of flint: wider dynamic range at the same bit budget.
+
+use crate::matrix::MatF32;
+use crate::methods::QuantMethod;
+
+/// Group-wise adaptive-type quantizer (`bits` total, group along rows for
+/// activations / along columns for weights as in group-wise LLM PTQ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AntQuant {
+    bits: u32,
+    group: usize,
+}
+
+impl AntQuant {
+    /// Creates the method (the paper evaluates 8-bit with group 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `3..=16` (flint needs at least one tag
+    /// bit) or `group` is zero.
+    pub fn new(bits: u32, group: usize) -> Self {
+        assert!((3..=16).contains(&bits), "bits must be in 3..=16");
+        assert!(group > 0, "group must be non-zero");
+        Self { bits, group }
+    }
+
+    fn qmax(&self) -> f32 {
+        ((1i32 << (self.bits - 1)) - 1) as f32
+    }
+
+    /// Encodes one value given the group scale: small magnitudes use the
+    /// full integer grid; the top octave uses a float-ish grid with half
+    /// the mantissa resolution but reaching 2× further (flint's trade).
+    fn encode(&self, v: f32, scale: f32) -> f32 {
+        let qmax = self.qmax();
+        let x = v / scale;
+        if x.abs() <= qmax {
+            (x.round()).clamp(-qmax, qmax) * scale
+        } else {
+            // Extended octave: step doubles, range reaches 2·qmax.
+            let half = ((x / 2.0).round() * 2.0).clamp(-2.0 * qmax, 2.0 * qmax);
+            half * scale
+        }
+    }
+
+    fn quantize_groups(&self, t: &MatF32) -> MatF32 {
+        let qmax = self.qmax();
+        let mut out = MatF32::zeros(t.rows(), t.cols());
+        for r in 0..t.rows() {
+            let row = t.row(r);
+            let mut c0 = 0;
+            while c0 < row.len() {
+                let c1 = (c0 + self.group).min(row.len());
+                let absmax = row[c0..c1].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                // Calibrate so the group's absmax lands in the extended
+                // octave: scale covers absmax/2 on the integer grid.
+                let scale = if absmax == 0.0 { 1.0 } else { (absmax / 2.0).max(f32::MIN_POSITIVE) / qmax };
+                for c in c0..c1 {
+                    out.set(r, c, self.encode(t.get(r, c), scale));
+                }
+                c0 = c1;
+            }
+        }
+        out
+    }
+}
+
+impl QuantMethod for AntQuant {
+    fn name(&self) -> &str {
+        "ANT"
+    }
+
+    fn weight_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn act_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn quantize_weight(&self, w: &MatF32) -> MatF32 {
+        self.quantize_groups(w)
+    }
+
+    fn quantize_activation(&self, a: &MatF32) -> MatF32 {
+        self.quantize_groups(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::nmse;
+    use crate::methods::BitFusionQuant;
+
+    #[test]
+    fn group_isolation() {
+        // An outlier in group 0 must not destroy group 1's resolution.
+        let mut a = MatF32::from_fn(1, 256, |_, c| ((c as f32) * 0.05).sin() * 0.3);
+        a.set(0, 0, 100.0);
+        let q = AntQuant::new(8, 128).quantize_activation(&a);
+        for c in 128..256 {
+            assert!((q.get(0, c) - a.get(0, c)).abs() < 0.01, "col {c}");
+        }
+    }
+
+    #[test]
+    fn beats_per_tensor_on_outlier_data() {
+        let mut w = MatF32::from_fn(8, 256, |r, c| ((r * 256 + c) as f32 * 0.031).sin());
+        w.set(3, 40, 250.0);
+        let ant = AntQuant::new(8, 128).quantize_weight(&w);
+        let bf = BitFusionQuant::new(8).quantize_weight(&w);
+        assert!(nmse(&w, &ant) < nmse(&w, &bf) / 4.0);
+    }
+
+    #[test]
+    fn extended_octave_reaches_absmax() {
+        let a = MatF32::from_rows(&[&[10.0, 0.1, -0.2, 0.05]]);
+        let q = AntQuant::new(8, 4).quantize_activation(&a);
+        // The absmax (10.0) is representable within ~1 extended step.
+        assert!((q.get(0, 0) - 10.0).abs() / 10.0 < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "group must be non-zero")]
+    fn zero_group_rejected() {
+        let _ = AntQuant::new(8, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! BitFusion's quantization: plain per-tensor symmetric integers.
+//!
+//! BitFusion (ISCA'18) composes 2-bit PEs into arbitrary precisions but
+//! applies no outlier handling and no fine granularity — the paper notes
+//! "due to the lack of optimization for quantization, BitFusion exhibits a
+//! larger gap compared to the FP16 results" (§5.4). Per-tensor absmax
+//! reproduces exactly that gap on outlier-heavy tensors.
+
+use crate::matrix::MatF32;
+use crate::methods::QuantMethod;
+use crate::quantize::fake_quantize;
+use crate::scheme::{Granularity, QuantScheme};
+
+/// Per-tensor symmetric `bits`-bit quantization for both weights and
+/// activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFusionQuant {
+    bits: u32,
+}
+
+impl BitFusionQuant {
+    /// Creates the method at the given bit width (the paper evaluates 8-bit
+    /// for FC layers and 16-bit for attention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        Self { bits }
+    }
+}
+
+impl QuantMethod for BitFusionQuant {
+    fn name(&self) -> &str {
+        "BF"
+    }
+
+    fn weight_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn act_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn quantize_weight(&self, w: &MatF32) -> MatF32 {
+        fake_quantize(w, QuantScheme::new(self.bits, Granularity::PerTensor))
+    }
+
+    fn quantize_activation(&self, a: &MatF32) -> MatF32 {
+        fake_quantize(a, QuantScheme::new(self.bits, Granularity::PerTensor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::nmse;
+
+    #[test]
+    fn outliers_crush_per_tensor_resolution() {
+        // One 1000x outlier forces the whole tensor onto a coarse grid.
+        let mut w = MatF32::from_fn(16, 16, |r, c| ((r * 16 + c) as f32).sin());
+        w.set(0, 0, 1000.0);
+        let q = BitFusionQuant::new(8).quantize_weight(&w);
+        // Everything except the outlier collapses toward zero…
+        let body_err = nmse(&w, &q);
+        assert!(body_err > 1e-4, "per-tensor int8 should visibly hurt, got {body_err}");
+        // …while without the outlier int8 per-tensor is near-lossless.
+        let clean = MatF32::from_fn(16, 16, |r, c| ((r * 16 + c) as f32).sin());
+        let qc = BitFusionQuant::new(8).quantize_weight(&clean);
+        assert!(nmse(&clean, &qc) < 1e-4);
+    }
+
+    #[test]
+    fn bits_reported() {
+        let m = BitFusionQuant::new(16);
+        assert_eq!(m.weight_bits(), 16);
+        assert_eq!(m.act_bits(), 16);
+        assert_eq!(m.name(), "BF");
+    }
+}

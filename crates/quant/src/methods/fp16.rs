@@ -1,0 +1,151 @@
+//! FP16 reference "method": rounds `f32` to IEEE-754 binary16 precision.
+//!
+//! This is Table 3's FP16 column — the accuracy floor every quantization
+//! method is measured against.
+
+use crate::matrix::MatF32;
+use crate::methods::QuantMethod;
+
+/// Rounds every element to the nearest representable `f16` value
+/// (round-to-nearest-even), then widens back to `f32`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fp16Reference;
+
+impl Fp16Reference {
+    /// Creates the FP16 reference method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Converts an `f32` to the nearest `f16` and back, entirely in software
+/// (no `half` dependency). Handles normals, subnormals, overflow to ±inf,
+/// and preserves NaN.
+pub fn f32_to_f16_round_trip(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN pass through.
+        return x;
+    }
+
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflows f16 → ±inf.
+        return f32::from_bits(sign | 0x7F80_0000);
+    }
+    if e >= -14 {
+        // Normal f16: keep 10 mantissa bits with round-to-nearest-even.
+        let shift = 13u32;
+        let lsb = 1u32 << shift;
+        let round_bit = lsb >> 1;
+        let mut m = mant;
+        let tail = m & (lsb - 1);
+        m &= !(lsb - 1);
+        if tail > round_bit || (tail == round_bit && (m & lsb) != 0) {
+            m += lsb;
+        }
+        if m > 0x007F_FFFF {
+            // Mantissa rounding overflowed into the exponent.
+            let new_exp = exp + 1;
+            if new_exp - 127 > 15 {
+                return f32::from_bits(sign | 0x7F80_0000);
+            }
+            return f32::from_bits(sign | ((new_exp as u32) << 23));
+        }
+        return f32::from_bits(sign | ((exp as u32) << 23) | m);
+    }
+    if e < -25 {
+        // Below smallest f16 subnormal → ±0.
+        return f32::from_bits(sign);
+    }
+    // f16 subnormal: value = m_16 · 2^-24 with m_16 in 0..1024.
+    let scaled = x.abs() * (1u64 << 24) as f32;
+    let m16 = (scaled + 0.5).floor() as u32; // ties handled coarsely; fine at 2^-24 granularity
+    let m16 = m16.min(1024);
+    let mag = m16 as f32 / (1u64 << 24) as f32;
+    if sign != 0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+impl QuantMethod for Fp16Reference {
+    fn name(&self) -> &str {
+        "FP16"
+    }
+
+    fn weight_bits(&self) -> u32 {
+        16
+    }
+
+    fn act_bits(&self) -> u32 {
+        16
+    }
+
+    fn quantize_weight(&self, w: &MatF32) -> MatF32 {
+        MatF32::from_fn(w.rows(), w.cols(), |r, c| f32_to_f16_round_trip(w.get(r, c)))
+    }
+
+    fn quantize_activation(&self, a: &MatF32) -> MatF32 {
+        self.quantize_weight(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_survive() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            assert_eq!(f32_to_f16_round_trip(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn rounding_error_bounded() {
+        // Relative error of f16 normals ≤ 2^-11.
+        for i in 1..2000 {
+            let v = i as f32 * 0.123;
+            let r = f32_to_f16_round_trip(v);
+            assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7, "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn overflow_to_inf() {
+        assert_eq!(f32_to_f16_round_trip(1e6), f32::INFINITY);
+        assert_eq!(f32_to_f16_round_trip(-1e6), f32::NEG_INFINITY);
+        // 65520 rounds up to 65536 which overflows f16.
+        assert_eq!(f32_to_f16_round_trip(65520.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn tiny_values_flush_or_subnormal() {
+        // Smallest f16 subnormal is 2^-24 ≈ 5.96e-8.
+        let sub = f32_to_f16_round_trip(6e-8);
+        assert!(sub > 0.0 && sub < 1e-7);
+        assert_eq!(f32_to_f16_round_trip(1e-9), 0.0);
+        assert_eq!(f32_to_f16_round_trip(-1e-9), -0.0);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(f32_to_f16_round_trip(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn method_is_near_identity_on_moderate_data() {
+        let m = MatF32::from_fn(8, 8, |r, c| (r as f32 + 1.0) * 0.37 - c as f32 * 0.11);
+        let q = Fp16Reference::new().quantize_weight(&m);
+        for (a, b) in m.as_slice().iter().zip(q.as_slice()) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-6);
+        }
+    }
+}

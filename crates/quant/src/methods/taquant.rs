@@ -1,0 +1,163 @@
+//! TransArray's quantization: QServe-style group-wise W4A8 / W8A8 with
+//! SmoothQuant-style scale migration.
+//!
+//! The paper implements TransArray inside QServe (§5.4): weights at 4 or 8
+//! bits with group-128 symmetric scales, activations at 8 bits. QServe's
+//! recipe first *migrates* activation outliers into the weights via an
+//! exact per-feature rescaling (`w·diag(s) , diag(s)⁻¹·a`, SmoothQuant's
+//! α=0.5 rule) — without it, W4 group quantization drowns the small weight
+//! columns that pair with outlier activation features. TransArray itself is
+//! "generalized integer-based … without special requirements", which is
+//! why it can ride the best available PTQ recipe while the datatype-bound
+//! baselines cannot.
+
+use crate::matrix::MatF32;
+use crate::methods::QuantMethod;
+use crate::quantize::fake_quantize;
+use crate::scheme::{Granularity, QuantScheme};
+
+/// Group-wise weight quantization + per-channel activation quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaQuant {
+    weight_bits: u32,
+    act_bits: u32,
+    group: usize,
+}
+
+impl TaQuant {
+    /// Creates the method (`weight_bits` ∈ {4, 8} in the paper, `act_bits`
+    /// = 8, `group` = 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bit widths are outside `2..=16` or `group` is zero.
+    pub fn new(weight_bits: u32, act_bits: u32, group: usize) -> Self {
+        assert!((2..=16).contains(&weight_bits), "weight bits must be in 2..=16");
+        assert!((2..=16).contains(&act_bits), "act bits must be in 2..=16");
+        assert!(group > 0, "group must be non-zero");
+        Self { weight_bits, act_bits, group }
+    }
+}
+
+impl QuantMethod for TaQuant {
+    fn name(&self) -> &str {
+        match (self.weight_bits, self.act_bits) {
+            (4, 8) => "TA-W4A8",
+            (8, 8) => "TA-W8A8",
+            _ => "TA",
+        }
+    }
+
+    fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    fn act_bits(&self) -> u32 {
+        self.act_bits
+    }
+
+    fn quantize_weight(&self, w: &MatF32) -> MatF32 {
+        fake_quantize(w, QuantScheme::new(self.weight_bits, Granularity::Group(self.group)))
+    }
+
+    fn quantize_activation(&self, a: &MatF32) -> MatF32 {
+        fake_quantize(a, QuantScheme::new(self.act_bits, Granularity::PerChannel))
+    }
+
+    fn quantize_pair(&self, w: &MatF32, a: &MatF32) -> (MatF32, MatF32) {
+        let (ws, as_) = smooth_migrate(w, a, 0.5);
+        (self.quantize_weight(&ws), self.quantize_activation(&as_))
+    }
+}
+
+/// SmoothQuant scale migration: for each shared feature `k`, rescale
+/// `w[:,k] *= s_k` and `a[k,:] /= s_k` with
+/// `s_k = absmax(a[k,:])^α / absmax(w[:,k])^(1-α)`.
+///
+/// The transformation is mathematically exact on the product; it only
+/// redistributes dynamic range so both tensors quantize well.
+///
+/// # Panics
+///
+/// Panics if `w.cols() != a.rows()`.
+pub fn smooth_migrate(w: &MatF32, a: &MatF32, alpha: f32) -> (MatF32, MatF32) {
+    assert_eq!(w.cols(), a.rows(), "w/a feature dimensions must agree");
+    let k = w.cols();
+    let mut scales = vec![1.0f32; k];
+    for (f, s) in scales.iter_mut().enumerate() {
+        let amax = (0..a.cols()).fold(0.0f32, |m, c| m.max(a.get(f, c).abs()));
+        let wmax = (0..w.rows()).fold(0.0f32, |m, r| m.max(w.get(r, f).abs()));
+        if amax > 0.0 && wmax > 0.0 {
+            *s = (amax.powf(alpha) / wmax.powf(1.0 - alpha)).max(f32::MIN_POSITIVE);
+        }
+    }
+    let ws = MatF32::from_fn(w.rows(), w.cols(), |r, c| w.get(r, c) * scales[c]);
+    let as_ = MatF32::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) / scales[r]);
+    (ws, as_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::nmse;
+    use crate::methods::BitFusionQuant;
+
+    #[test]
+    fn w4_group_beats_w8_per_tensor_with_outliers() {
+        let mut w = MatF32::from_fn(8, 512, |r, c| ((r * 512 + c) as f32 * 0.013).sin());
+        w.set(2, 100, 200.0);
+        let ta4 = TaQuant::new(4, 8, 128).quantize_weight(&w);
+        let bf8 = BitFusionQuant::new(8).quantize_weight(&w);
+        assert!(
+            nmse(&w, &ta4) < nmse(&w, &bf8),
+            "group-wise int4 should beat per-tensor int8 on outlier data"
+        );
+    }
+
+    #[test]
+    fn w8_group_near_lossless() {
+        let w = MatF32::from_fn(8, 256, |r, c| ((r + c * 3) as f32 * 0.07).cos() * 1.5);
+        let q = TaQuant::new(8, 8, 128).quantize_weight(&w);
+        assert!(nmse(&w, &q) < 1e-4);
+    }
+
+    #[test]
+    fn names_match_table3() {
+        assert_eq!(TaQuant::new(4, 8, 128).name(), "TA-W4A8");
+        assert_eq!(TaQuant::new(8, 8, 128).name(), "TA-W8A8");
+    }
+
+    #[test]
+    fn smoothing_is_exact_on_product() {
+        use crate::matrix::gemm_f32;
+        let w = MatF32::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.7).sin());
+        let a = MatF32::from_fn(8, 5, |r, c| ((r * 5 + c) as f32 * 0.3).cos() * 2.0);
+        let (ws, as_) = smooth_migrate(&w, &a, 0.5);
+        let ref_out = gemm_f32(&w, &a);
+        let smooth_out = gemm_f32(&ws, &as_);
+        for (x, y) in ref_out.as_slice().iter().zip(smooth_out.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn smoothing_balances_outlier_features() {
+        // Feature 2 is a 40x activation outlier with tiny weights.
+        let mut w = MatF32::from_fn(4, 8, |r, c| ((r + c) as f32 * 0.31).sin());
+        let mut a = MatF32::from_fn(8, 4, |r, c| ((r * 4 + c) as f32 * 0.17).cos());
+        for c in 0..4 {
+            let v = a.get(2, c) * 40.0;
+            a.set(2, c, v);
+        }
+        for r in 0..4 {
+            let v = w.get(r, 2) / 8.0;
+            w.set(r, 2, v);
+        }
+        let (ws, as_) = smooth_migrate(&w, &a, 0.5);
+        let a_out_max = (0..4).fold(0.0f32, |m, c| m.max(as_.get(2, c).abs()));
+        let a_body_max = (0..4).fold(0.0f32, |m, c| m.max(as_.get(0, c).abs()));
+        // Outlier feature magnitude comes down to the body's ballpark.
+        assert!(a_out_max < 8.0 * a_body_max, "{a_out_max} vs {a_body_max}");
+        assert!(ws.abs_max() < 10.0 * w.abs_max());
+    }
+}

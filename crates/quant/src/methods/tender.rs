@@ -1,0 +1,151 @@
+//! Tender's quantization: feature-dimension sub-tensors with power-of-two
+//! scale factors.
+//!
+//! Tender (ISCA'24) "decomposes activation tensors along feature dimensions
+//! into sub-tensors, with scale factors set to powers of two" so that
+//! rescaling is a shift. The power-of-two restriction costs up to 2× scale
+//! resolution; at 4 bits this is catastrophic on LLMs (Table 3's TD-4
+//! column: PPL 23–55), at 8 bits it is benign (TD-8 ≈ the other 8-bit
+//! methods) — exactly the behaviour this emulation produces.
+
+use crate::matrix::MatF32;
+use crate::methods::QuantMethod;
+
+/// Sub-tensor (channel-group) quantization with power-of-two scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenderQuant {
+    bits: u32,
+    /// Number of feature channels per sub-tensor.
+    subtensor: usize,
+}
+
+impl TenderQuant {
+    /// Creates the method at `bits` precision with the default sub-tensor
+    /// width of 16 channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn new(bits: u32) -> Self {
+        Self::with_subtensor(bits, 16)
+    }
+
+    /// Creates the method with an explicit sub-tensor width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16` or `subtensor` is zero.
+    pub fn with_subtensor(bits: u32, subtensor: usize) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        assert!(subtensor > 0, "subtensor width must be non-zero");
+        Self { bits, subtensor }
+    }
+
+    fn qmax(&self) -> f32 {
+        ((1i32 << (self.bits - 1)) - 1) as f32
+    }
+
+    /// Quantizes with one power-of-two scale per row-group of `subtensor`
+    /// consecutive rows (the feature dimension of an activation `K×M`
+    /// matrix runs along rows).
+    fn quantize_rows_pow2(&self, t: &MatF32) -> MatF32 {
+        let qmax = self.qmax();
+        let mut out = MatF32::zeros(t.rows(), t.cols());
+        let mut r0 = 0;
+        while r0 < t.rows() {
+            let r1 = (r0 + self.subtensor).min(t.rows());
+            let mut absmax = 0.0f32;
+            for r in r0..r1 {
+                absmax = absmax.max(t.row(r).iter().fold(0.0f32, |m, &v| m.max(v.abs())));
+            }
+            let scale = pow2_scale(absmax, qmax);
+            for r in r0..r1 {
+                for c in 0..t.cols() {
+                    let q = (t.get(r, c) / scale).round().clamp(-qmax, qmax);
+                    out.set(r, c, q * scale);
+                }
+            }
+            r0 = r1;
+        }
+        out
+    }
+}
+
+/// Smallest power of two ≥ `absmax / qmax` (so the range still covers the
+/// data, paying up to 2× in resolution). Returns 1.0 for all-zero groups.
+fn pow2_scale(absmax: f32, qmax: f32) -> f32 {
+    if absmax == 0.0 {
+        return 1.0;
+    }
+    let ideal = absmax / qmax;
+    let exp = ideal.log2().ceil();
+    exp.exp2()
+}
+
+impl QuantMethod for TenderQuant {
+    fn name(&self) -> &str {
+        match self.bits {
+            4 => "TD-4",
+            8 => "TD-8",
+            _ => "TD",
+        }
+    }
+
+    fn weight_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn act_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn quantize_weight(&self, w: &MatF32) -> MatF32 {
+        // Weights: per-channel-group along rows, same pow2 restriction.
+        self.quantize_rows_pow2(w)
+    }
+
+    fn quantize_activation(&self, a: &MatF32) -> MatF32 {
+        self.quantize_rows_pow2(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::nmse;
+
+    #[test]
+    fn pow2_scale_covers_range() {
+        let s = pow2_scale(10.0, 7.0);
+        assert!(s >= 10.0 / 7.0);
+        assert!(s < 2.0 * 10.0 / 7.0);
+        assert_eq!(s.log2().fract(), 0.0, "scale must be a power of two");
+        assert_eq!(pow2_scale(0.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn eight_bit_is_benign_four_bit_is_not() {
+        let w = MatF32::from_fn(32, 32, |r, c| ((r * 31 + c * 7) as f32 * 0.1).sin() * 3.0);
+        let e8 = nmse(&w, &TenderQuant::new(8).quantize_weight(&w));
+        let e4 = nmse(&w, &TenderQuant::new(4).quantize_weight(&w));
+        assert!(e8 < 1e-3, "TD-8 should be benign, got {e8}");
+        assert!(e4 > 30.0 * e8, "TD-4 must be much worse: {e4} vs {e8}");
+    }
+
+    #[test]
+    fn subtensor_groups_isolate_outliers_partially() {
+        // Outlier in rows 0..16 must not affect rows 16..32 (different
+        // sub-tensor), but *does* affect its own group.
+        let mut a = MatF32::from_fn(32, 8, |_, _| 0.5);
+        a.set(0, 0, 500.0);
+        let q = TenderQuant::new(8).quantize_activation(&a);
+        assert!((q.get(20, 0) - 0.5).abs() < 0.01, "other group unaffected");
+        assert!((q.get(8, 0) - 0.5).abs() > 0.01, "own group degraded");
+    }
+
+    #[test]
+    fn names_match_table3_columns() {
+        assert_eq!(TenderQuant::new(4).name(), "TD-4");
+        assert_eq!(TenderQuant::new(8).name(), "TD-8");
+    }
+}

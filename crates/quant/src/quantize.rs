@@ -1,0 +1,188 @@
+//! Calibration, quantization, and dequantization.
+//!
+//! Implements the symmetric absmax quantizer the paper's pipeline assumes
+//! (Fig. 2: FP16 → Int4/Int8), at any [`Granularity`]. Scales are chosen so
+//! the largest-magnitude element of a scale group maps to `qmax`.
+
+use crate::matrix::{MatF32, MatI32};
+use crate::scheme::{Granularity, QuantParams, QuantScheme};
+
+/// Calibrates absmax scales for `tensor` under `scheme`.
+///
+/// Groups whose absmax is zero receive scale 1.0 so dequantization stays
+/// well-defined.
+///
+/// # Examples
+///
+/// ```
+/// use ta_quant::{calibrate, Granularity, MatF32, QuantScheme};
+///
+/// let w = MatF32::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]]);
+/// let scheme = QuantScheme::new(8, Granularity::PerChannel);
+/// let params = calibrate(&w, scheme);
+/// assert!((params.scale_at(0, 0) - 2.0 / 127.0).abs() < 1e-7);
+/// ```
+pub fn calibrate(tensor: &MatF32, scheme: QuantScheme) -> QuantParams {
+    let qmax = scheme.qmax() as f32;
+    match scheme.granularity() {
+        Granularity::PerTensor => {
+            let m = tensor.abs_max();
+            let scale = if m == 0.0 { 1.0 } else { m / qmax };
+            QuantParams::new(scheme, tensor.rows(), 1, vec![scale])
+        }
+        Granularity::PerChannel => {
+            let scales = (0..tensor.rows())
+                .map(|r| {
+                    let m = tensor.row(r).iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    if m == 0.0 {
+                        1.0
+                    } else {
+                        m / qmax
+                    }
+                })
+                .collect();
+            QuantParams::new(scheme, tensor.rows(), 1, scales)
+        }
+        Granularity::Group(g) => {
+            let gpr = scheme.granularity().groups_per_row(tensor.cols());
+            let mut scales = Vec::with_capacity(tensor.rows() * gpr);
+            for r in 0..tensor.rows() {
+                let row = tensor.row(r);
+                for gi in 0..gpr {
+                    let lo = gi * g;
+                    let hi = ((gi + 1) * g).min(row.len());
+                    let m = row[lo..hi].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    scales.push(if m == 0.0 { 1.0 } else { m / qmax });
+                }
+            }
+            QuantParams::new(scheme, tensor.rows(), gpr, scales)
+        }
+    }
+}
+
+/// Quantizes `tensor` with precomputed `params` (round-to-nearest, clamp to
+/// the scheme's restricted range).
+///
+/// # Panics
+///
+/// Panics if `params` were calibrated for a different number of rows.
+pub fn quantize(tensor: &MatF32, params: &QuantParams) -> MatI32 {
+    assert_eq!(tensor.rows(), params.rows(), "params calibrated for different row count");
+    let scheme = params.scheme();
+    let (qmin, qmax) = (scheme.qmin(), scheme.qmax());
+    MatI32::from_fn(tensor.rows(), tensor.cols(), |r, c| {
+        let s = params.scale_at(r, c);
+        let q = (tensor.get(r, c) / s).round() as i64;
+        q.clamp(qmin as i64, qmax as i64) as i32
+    })
+}
+
+/// Convenience: calibrate + quantize in one call.
+pub fn quantize_absmax(tensor: &MatF32, scheme: QuantScheme) -> (MatI32, QuantParams) {
+    let params = calibrate(tensor, scheme);
+    let q = quantize(tensor, &params);
+    (q, params)
+}
+
+/// Dequantizes back to `f32` (`x̂ = q · scale`).
+pub fn dequantize(q: &MatI32, params: &QuantParams) -> MatF32 {
+    MatF32::from_fn(q.rows(), q.cols(), |r, c| q.get(r, c) as f32 * params.scale_at(r, c))
+}
+
+/// Fake-quantization: quantize then dequantize, returning the `f32` tensor
+/// a downstream consumer would effectively see. The standard tool for
+/// accuracy studies (Table 3).
+pub fn fake_quantize(tensor: &MatF32, scheme: QuantScheme) -> MatF32 {
+    let (q, params) = quantize_absmax(tensor, scheme);
+    dequantize(&q, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32, eps: f32) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn per_tensor_roundtrip_error_bounded() {
+        let w = MatF32::from_fn(8, 8, |r, c| ((r * 8 + c) as f32 - 31.5) / 7.0);
+        let scheme = QuantScheme::new(8, Granularity::PerTensor);
+        let fq = fake_quantize(&w, scheme);
+        let scale = w.abs_max() / 127.0;
+        for (a, b) in w.as_slice().iter().zip(fq.as_slice()) {
+            assert!(close(*a, *b, scale * 0.5 + 1e-6), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn absmax_maps_to_qmax() {
+        let w = MatF32::from_rows(&[&[-4.0, 1.0, 2.0]]);
+        let scheme = QuantScheme::new(4, Granularity::PerTensor);
+        let (q, _) = quantize_absmax(&w, scheme);
+        assert_eq!(q.get(0, 0), -7);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let w = MatF32::zeros(4, 4);
+        let scheme = QuantScheme::new(8, Granularity::Group(2));
+        let (q, params) = quantize_absmax(&w, scheme);
+        assert!(q.as_slice().iter().all(|&v| v == 0));
+        assert!(params.scales().iter().all(|&s| s == 1.0));
+        assert_eq!(dequantize(&q, &params).as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn per_channel_isolates_rows() {
+        // A huge outlier in row 0 must not affect row 1's resolution.
+        let w = MatF32::from_rows(&[&[1000.0, 1.0], &[0.5, -0.5]]);
+        let scheme = QuantScheme::new(8, Granularity::PerChannel);
+        let fq = fake_quantize(&w, scheme);
+        assert!(close(fq.get(1, 0), 0.5, 0.01));
+        assert!(close(fq.get(1, 1), -0.5, 0.01));
+        // With per-tensor the small row would collapse to zero.
+        let fq_pt = fake_quantize(&w, QuantScheme::new(8, Granularity::PerTensor));
+        assert_eq!(fq_pt.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn group_scales_are_local() {
+        let w = MatF32::from_rows(&[&[100.0, 100.0, 0.125, -0.125]]);
+        let scheme = QuantScheme::new(8, Granularity::Group(2));
+        let fq = fake_quantize(&w, scheme);
+        assert!(close(fq.get(0, 2), 0.125, 0.002));
+        assert!(close(fq.get(0, 3), -0.125, 0.002));
+    }
+
+    #[test]
+    fn group_edge_partial_group() {
+        // 5 columns with group 2 → 3 groups, last group has one element.
+        let w = MatF32::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0]]);
+        let scheme = QuantScheme::new(8, Granularity::Group(2));
+        let params = calibrate(&w, scheme);
+        assert_eq!(params.groups_per_row(), 3);
+        assert!(close(params.scale_at(0, 4), 5.0 / 127.0, 1e-7));
+    }
+
+    #[test]
+    fn quantized_values_fit_bits() {
+        let w = MatF32::from_fn(16, 16, |r, c| ((r as f32).sin() * 3.0 + (c as f32).cos()) * 7.3);
+        for bits in [2u32, 3, 4, 8, 12, 16] {
+            let scheme = QuantScheme::new(bits, Granularity::PerChannel);
+            let (q, _) = quantize_absmax(&w, scheme);
+            assert!(q.fits_signed_bits(bits), "bits={bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different row count")]
+    fn quantize_with_mismatched_params_panics() {
+        let w = MatF32::zeros(2, 2);
+        let scheme = QuantScheme::new(8, Granularity::PerChannel);
+        let params = calibrate(&w, scheme);
+        let other = MatF32::zeros(3, 2);
+        let _ = quantize(&other, &params);
+    }
+}

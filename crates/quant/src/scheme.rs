@@ -1,0 +1,257 @@
+//! Quantization schemes: bit-width, granularity, symmetry.
+//!
+//! The paper's pipeline quantizes FP16 tensors to `S`-bit signed integers
+//! (Fig. 2) before bit-slicing. Different baselines use different
+//! granularities: per-tensor (BitFusion), per-channel, or group-wise with
+//! group size 128 (the QServe-style setting TransArray uses, §4.5).
+
+use std::fmt;
+
+/// How scale factors are shared across a weight/activation matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ta_quant::Granularity;
+///
+/// assert_eq!(Granularity::Group(128).groups_per_row(256), 2);
+/// assert_eq!(Granularity::PerTensor.groups_per_row(256), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One scale for the whole tensor.
+    PerTensor,
+    /// One scale per output channel (matrix row).
+    PerChannel,
+    /// One scale per contiguous group of `usize` elements along a row
+    /// (the paper uses group size 128, §4.5).
+    Group(usize),
+}
+
+impl Granularity {
+    /// Number of scale groups covering a row of `row_len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size is zero.
+    pub fn groups_per_row(self, row_len: usize) -> usize {
+        match self {
+            Granularity::PerTensor | Granularity::PerChannel => 1,
+            Granularity::Group(g) => {
+                assert!(g > 0, "group size must be non-zero");
+                row_len.div_ceil(g)
+            }
+        }
+    }
+
+    /// Index of the scale group that element `col` of a row belongs to.
+    pub fn group_of(self, col: usize) -> usize {
+        match self {
+            Granularity::PerTensor | Granularity::PerChannel => 0,
+            Granularity::Group(g) => col / g,
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Granularity::PerTensor => write!(f, "per-tensor"),
+            Granularity::PerChannel => write!(f, "per-channel"),
+            Granularity::Group(g) => write!(f, "group-{g}"),
+        }
+    }
+}
+
+/// A complete scheme: signed symmetric quantization at `bits` precision
+/// with a given [`Granularity`].
+///
+/// Symmetric quantization maps `x` to `round(x / scale)` clamped to
+/// `[-2^(bits-1) + 1, 2^(bits-1) - 1]` (restricted range, the common
+/// hardware-friendly choice that keeps the representation symmetric).
+///
+/// # Examples
+///
+/// ```
+/// use ta_quant::{Granularity, QuantScheme};
+///
+/// let s = QuantScheme::new(8, Granularity::PerTensor);
+/// assert_eq!(s.qmax(), 127);
+/// assert_eq!(s.qmin(), -127);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantScheme {
+    bits: u32,
+    granularity: Granularity,
+}
+
+impl QuantScheme {
+    /// Creates a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16` (the range the bit-slicing
+    /// engine supports) or if a group size is zero.
+    pub fn new(bits: u32, granularity: Granularity) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        if let Granularity::Group(g) = granularity {
+            assert!(g > 0, "group size must be non-zero");
+        }
+        Self { bits, granularity }
+    }
+
+    /// Bit width `S`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Scale-sharing granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Largest representable quantized value, `2^(bits-1) - 1`.
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest representable quantized value in restricted range,
+    /// `-(2^(bits-1) - 1)`.
+    pub fn qmin(&self) -> i32 {
+        -self.qmax()
+    }
+}
+
+impl fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "int{}/{}", self.bits, self.granularity)
+    }
+}
+
+/// Scale factors produced by calibration; one entry per (row, group).
+///
+/// Stored densely: `scales[row * groups_per_row + group]`. For
+/// [`Granularity::PerTensor`] there is a single entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantParams {
+    scheme: QuantScheme,
+    rows: usize,
+    groups_per_row: usize,
+    scales: Vec<f32>,
+}
+
+impl QuantParams {
+    /// Creates parameter storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len() != rows * groups_per_row` (or `!= 1` for
+    /// per-tensor schemes).
+    pub fn new(scheme: QuantScheme, rows: usize, groups_per_row: usize, scales: Vec<f32>) -> Self {
+        let expected = match scheme.granularity() {
+            Granularity::PerTensor => 1,
+            _ => rows * groups_per_row,
+        };
+        assert_eq!(scales.len(), expected, "scale count mismatch");
+        Self { scheme, rows, groups_per_row, scales }
+    }
+
+    /// The scheme these parameters quantize for.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Scale applied to element `(row, col)`.
+    #[inline]
+    pub fn scale_at(&self, row: usize, col: usize) -> f32 {
+        match self.scheme.granularity() {
+            Granularity::PerTensor => self.scales[0],
+            Granularity::PerChannel => self.scales[row],
+            Granularity::Group(_) => {
+                let g = self.scheme.granularity().group_of(col);
+                self.scales[row * self.groups_per_row + g]
+            }
+        }
+    }
+
+    /// All scales (dense layout described on the type).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Number of rows the parameters were calibrated for.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of scale groups per row.
+    pub fn groups_per_row(&self) -> usize {
+        self.groups_per_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_per_row_math() {
+        assert_eq!(Granularity::Group(128).groups_per_row(128), 1);
+        assert_eq!(Granularity::Group(128).groups_per_row(129), 2);
+        assert_eq!(Granularity::Group(128).groups_per_row(0), 0);
+        assert_eq!(Granularity::PerChannel.groups_per_row(999), 1);
+    }
+
+    #[test]
+    fn group_of_math() {
+        assert_eq!(Granularity::Group(4).group_of(0), 0);
+        assert_eq!(Granularity::Group(4).group_of(3), 0);
+        assert_eq!(Granularity::Group(4).group_of(4), 1);
+        assert_eq!(Granularity::PerTensor.group_of(1000), 0);
+    }
+
+    #[test]
+    fn scheme_ranges() {
+        let s4 = QuantScheme::new(4, Granularity::PerTensor);
+        assert_eq!(s4.qmax(), 7);
+        assert_eq!(s4.qmin(), -7);
+        let s8 = QuantScheme::new(8, Granularity::PerChannel);
+        assert_eq!(s8.qmax(), 127);
+        assert_eq!(s8.qmin(), -127);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=16")]
+    fn scheme_rejects_bad_bits() {
+        let _ = QuantScheme::new(1, Granularity::PerTensor);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn scheme_rejects_zero_group() {
+        let _ = QuantScheme::new(8, Granularity::Group(0));
+    }
+
+    #[test]
+    fn params_scale_lookup() {
+        let scheme = QuantScheme::new(8, Granularity::Group(2));
+        let p = QuantParams::new(scheme, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.scale_at(0, 0), 1.0);
+        assert_eq!(p.scale_at(0, 1), 1.0);
+        assert_eq!(p.scale_at(0, 2), 2.0);
+        assert_eq!(p.scale_at(1, 3), 4.0);
+    }
+
+    #[test]
+    fn params_per_tensor_single_scale() {
+        let scheme = QuantScheme::new(8, Granularity::PerTensor);
+        let p = QuantParams::new(scheme, 10, 1, vec![0.5]);
+        assert_eq!(p.scale_at(9, 9), 0.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QuantScheme::new(4, Granularity::Group(128)).to_string(), "int4/group-128");
+        assert_eq!(Granularity::PerTensor.to_string(), "per-tensor");
+    }
+}

@@ -1,0 +1,170 @@
+//! Area model — the component table behind Table 2.
+//!
+//! Component areas come **from the paper's own Table 2** (synthesized with
+//! Design Compiler + ARM 28 nm cells); buffer areas follow a CACTI-like
+//! per-KB density. The model exists to regenerate Table 2 and to feed the
+//! static-power integrals.
+
+/// Area of one component instance in µm², with its array multiplicity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Display name (e.g. `"PPE"`).
+    pub name: String,
+    /// Area of one instance (µm²).
+    pub unit_um2: f64,
+    /// Number of instances.
+    pub count: u64,
+}
+
+impl Component {
+    /// Creates a component row.
+    pub fn new(name: impl Into<String>, unit_um2: f64, count: u64) -> Self {
+        Self { name: name.into(), unit_um2, count }
+    }
+
+    /// Total area (mm²).
+    pub fn total_mm2(&self) -> f64 {
+        self.unit_um2 * self.count as f64 / 1.0e6
+    }
+}
+
+/// An accelerator's area budget: compute components + buffer capacity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AreaModel {
+    /// Compute-core components.
+    pub components: Vec<Component>,
+    /// On-chip buffer capacity (KB).
+    pub buffer_kb: f64,
+}
+
+/// SRAM density at 28 nm, mm² per KB (≈0.0012 mm²/KB — 6T cells plus
+/// periphery).
+pub const SRAM_MM2_PER_KB: f64 = 0.0012;
+
+impl AreaModel {
+    /// Total compute-core area (mm²) — the "Computation Core" column of
+    /// Table 2.
+    pub fn core_mm2(&self) -> f64 {
+        self.components.iter().map(Component::total_mm2).sum()
+    }
+
+    /// Buffer area (mm²).
+    pub fn buffer_mm2(&self) -> f64 {
+        self.buffer_kb * SRAM_MM2_PER_KB
+    }
+
+    /// Total area (mm²).
+    pub fn total_mm2(&self) -> f64 {
+        self.core_mm2() + self.buffer_mm2()
+    }
+}
+
+/// Table 2's published component areas (µm² per instance, 28 nm).
+pub mod table2 {
+    /// TransArray Prefix PE (12-bit adder + control).
+    pub const PPE_UM2: f64 = 50.3;
+    /// TransArray Accumulation PE (24-bit accumulator).
+    pub const APE_UM2: f64 = 101.7;
+    /// One TransArray unit's NoC (8-way Benes + crossbar).
+    pub const NOC_UM2: f64 = 19_520.0;
+    /// The shared dynamic Scoreboard unit.
+    pub const SCOREBOARD_UM2: f64 = 92_507.0;
+    /// BitFusion 8-bit PE.
+    pub const BITFUSION_PE_UM2: f64 = 548.0;
+    /// ANT 4-bit PE.
+    pub const ANT_PE_UM2: f64 = 210.0;
+    /// Olive 4-bit PE.
+    pub const OLIVE_PE_UM2: f64 = 319.0;
+    /// BitVert 8-bit PE.
+    pub const BITVERT_PE_UM2: f64 = 985.0;
+    /// Tender 4-bit PE.
+    pub const TENDER_PE_UM2: f64 = 329.0;
+}
+
+/// The TransArray area model of Table 2: 6 units × (8×32 PPE + 8×32 APE +
+/// NoC) + one Scoreboard, 480 KB of buffer.
+pub fn transarray_area(units: u64, lanes: u64, vector_width: u64, buffer_kb: f64) -> AreaModel {
+    let pes = units * lanes * vector_width;
+    AreaModel {
+        components: vec![
+            Component::new("PPE", table2::PPE_UM2, pes),
+            Component::new("APE", table2::APE_UM2, pes),
+            Component::new("NoC", table2::NOC_UM2, units),
+            Component::new("Scoreboard", table2::SCOREBOARD_UM2, 1),
+        ],
+        buffer_kb,
+    }
+}
+
+/// A baseline's area model from its Table 2 PE geometry.
+pub fn baseline_area(name: &str, pe_um2: f64, rows: u64, cols: u64, buffer_kb: f64) -> AreaModel {
+    AreaModel {
+        components: vec![Component::new(name, pe_um2, rows * cols)],
+        buffer_kb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transarray_core_matches_table2() {
+        // Table 2: TransArray (6 units) core = 0.443 mm².
+        let a = transarray_area(6, 8, 32, 480.0);
+        let core = a.core_mm2();
+        assert!(
+            (core - 0.443).abs() < 0.015,
+            "TransArray core {core:.3} mm² vs Table 2's 0.443"
+        );
+    }
+
+    #[test]
+    fn baselines_match_table2() {
+        // (name, pe µm², rows, cols, expected core mm²)
+        let rows = [
+            ("BitFusion", table2::BITFUSION_PE_UM2, 28u64, 32u64, 0.491),
+            ("ANT", table2::ANT_PE_UM2, 36, 64, 0.484),
+            ("Olive", table2::OLIVE_PE_UM2, 32, 48, 0.489),
+            ("BitVert", table2::BITVERT_PE_UM2, 16, 30, 0.473),
+            ("Tender", table2::TENDER_PE_UM2, 30, 48, 0.474),
+        ];
+        for (name, pe, r, c, expected) in rows {
+            let a = baseline_area(name, pe, r, c, 512.0);
+            let core = a.core_mm2();
+            assert!(
+                (core - expected).abs() < 0.02,
+                "{name}: {core:.3} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn transarray_core_is_smallest() {
+        // The paper's claim: TA has the lowest core area of the roster.
+        let ta = transarray_area(6, 8, 32, 480.0).core_mm2();
+        for (pe, r, c) in [
+            (table2::BITFUSION_PE_UM2, 28u64, 32u64),
+            (table2::ANT_PE_UM2, 36, 64),
+            (table2::OLIVE_PE_UM2, 32, 48),
+            (table2::BITVERT_PE_UM2, 16, 30),
+            (table2::TENDER_PE_UM2, 30, 48),
+        ] {
+            assert!(ta < baseline_area("x", pe, r, c, 512.0).core_mm2());
+        }
+    }
+
+    #[test]
+    fn buffer_area_proportional() {
+        let a = transarray_area(6, 8, 32, 480.0);
+        let b = transarray_area(6, 8, 32, 960.0);
+        assert!((b.buffer_mm2() / a.buffer_mm2() - 2.0).abs() < 1e-12);
+        assert!(a.total_mm2() > a.core_mm2());
+    }
+
+    #[test]
+    fn component_total() {
+        let c = Component::new("X", 100.0, 1000);
+        assert!((c.total_mm2() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,327 @@
+//! Benes network — the non-blocking distribution network of the
+//! TransArray dispatcher (§4.4).
+//!
+//! A Benes network on `N = 2^k` terminals has `2k − 1` switch stages of
+//! `N/2` two-by-two crossbars and can realize **any** permutation without
+//! blocking. This module implements the classic recursive *looping*
+//! routing algorithm, a functional `apply` that pushes data through the
+//! switch settings, and the depth/switch-count figures the area and
+//! energy models consume (the paper quotes `2·log(N)+1` levels counting
+//! the terminal stages).
+
+/// A Benes network for a power-of-two terminal count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenesNetwork {
+    n: usize,
+}
+
+/// Switch settings produced by routing one permutation. The tree mirrors
+/// the recursive construction: an input column, two half-size
+/// sub-networks, and an output column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenesRouting {
+    /// A single 2×2 switch: `false` = straight, `true` = crossed.
+    Leaf(bool),
+    /// A recursive stage.
+    Stage {
+        /// Input-column switch settings (`n/2` entries).
+        input: Vec<bool>,
+        /// Upper half-size sub-network.
+        upper: Box<BenesRouting>,
+        /// Lower half-size sub-network.
+        lower: Box<BenesRouting>,
+        /// Output-column switch settings (`n/2` entries).
+        output: Vec<bool>,
+    },
+}
+
+impl BenesNetwork {
+    /// Creates a network with `n` terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and `n ≥ 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "Benes network needs a power-of-two size ≥ 2");
+        Self { n }
+    }
+
+    /// Terminal count.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Switch stages: `2·log2(n) − 1`.
+    pub fn depth(&self) -> u32 {
+        2 * self.n.trailing_zeros() - 1
+    }
+
+    /// Total 2×2 switches: `(n/2) · depth`.
+    pub fn switch_count(&self) -> usize {
+        self.n / 2 * self.depth() as usize
+    }
+
+    /// Routes `perm`, where `perm[output] = input` (output `o` must
+    /// receive the data presented at input `perm[o]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn route(&self, perm: &[usize]) -> BenesRouting {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            assert!(p < self.n, "permutation entry {p} out of range");
+            assert!(!seen[p], "duplicate permutation entry {p}");
+            seen[p] = true;
+        }
+        route_rec(perm)
+    }
+
+    /// Pushes `inputs` through the routed switches, returning the outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length or routing shape disagrees with the
+    /// network size.
+    pub fn apply<T: Clone>(&self, routing: &BenesRouting, inputs: &[T]) -> Vec<T> {
+        assert_eq!(inputs.len(), self.n, "input length mismatch");
+        apply_rec(routing, inputs)
+    }
+}
+
+/// Recursive looping algorithm. `perm[o] = i`.
+fn route_rec(perm: &[usize]) -> BenesRouting {
+    let n = perm.len();
+    if n == 2 {
+        // Crossed iff output 0 takes input 1.
+        return BenesRouting::Leaf(perm[0] == 1);
+    }
+    // inv[input] = output position.
+    let mut inv = vec![0usize; n];
+    for (o, &i) in perm.iter().enumerate() {
+        inv[i] = o;
+    }
+    // 2-color inputs into subnets: inputs sharing an input switch (i, i^1)
+    // must differ; inputs sharing an output switch (perm[2k], perm[2k+1])
+    // must differ. The constraint graph is a disjoint union of even
+    // cycles, so greedy chain-walking 2-colors it.
+    const UNSET: u8 = 2;
+    let mut color = vec![UNSET; n];
+    for start in 0..n {
+        if color[start] != UNSET {
+            continue;
+        }
+        let mut cur = start;
+        color[cur] = 0;
+        loop {
+            // Input-switch partner takes the opposite subnet.
+            let partner = cur ^ 1;
+            if color[partner] != UNSET {
+                break;
+            }
+            color[partner] = color[cur] ^ 1;
+            // Output-switch partner of `partner` must take the opposite of
+            // partner's color.
+            let out_partner = perm[inv[partner] ^ 1];
+            if color[out_partner] != UNSET {
+                break;
+            }
+            color[out_partner] = color[partner] ^ 1;
+            cur = out_partner;
+        }
+    }
+    // Input column: switch k handles inputs 2k (top) and 2k+1 (bottom).
+    // Setting=false (straight) sends the top input to the upper subnet.
+    let half = n / 2;
+    let mut input_sw = vec![false; half];
+    for k in 0..half {
+        // Crossed iff the top input goes to the lower subnet.
+        input_sw[k] = color[2 * k] == 1;
+    }
+    // Output column: switch k drives outputs 2k, 2k+1; straight takes the
+    // upper-subnet arrival to output 2k.
+    let mut output_sw = vec![false; half];
+    for k in 0..half {
+        output_sw[k] = color[perm[2 * k]] == 1;
+    }
+    // Sub-permutations. Input i sits at sub-position i/2 of its subnet;
+    // output o arrives from sub-position o/2 of the subnet that carries it.
+    let mut upper_perm = vec![0usize; half];
+    let mut lower_perm = vec![0usize; half];
+    for o in (0..n).step_by(2) {
+        let k = o / 2;
+        for &out in &[o, o + 1] {
+            let i = perm[out];
+            if color[i] == 0 {
+                upper_perm[k] = i / 2;
+            } else {
+                lower_perm[k] = i / 2;
+            }
+        }
+    }
+    BenesRouting::Stage {
+        input: input_sw,
+        upper: Box::new(route_rec(&upper_perm)),
+        lower: Box::new(route_rec(&lower_perm)),
+        output: output_sw,
+    }
+}
+
+fn apply_rec<T: Clone>(routing: &BenesRouting, inputs: &[T]) -> Vec<T> {
+    match routing {
+        BenesRouting::Leaf(crossed) => {
+            assert_eq!(inputs.len(), 2, "leaf expects 2 inputs");
+            if *crossed {
+                vec![inputs[1].clone(), inputs[0].clone()]
+            } else {
+                inputs.to_vec()
+            }
+        }
+        BenesRouting::Stage { input, upper, lower, output } => {
+            let n = inputs.len();
+            let half = n / 2;
+            assert_eq!(input.len(), half, "input column size mismatch");
+            let mut up_in = Vec::with_capacity(half);
+            let mut lo_in = Vec::with_capacity(half);
+            for k in 0..half {
+                let (top, bottom) = (&inputs[2 * k], &inputs[2 * k + 1]);
+                if input[k] {
+                    up_in.push(bottom.clone());
+                    lo_in.push(top.clone());
+                } else {
+                    up_in.push(top.clone());
+                    lo_in.push(bottom.clone());
+                }
+            }
+            let up_out = apply_rec(upper, &up_in);
+            let lo_out = apply_rec(lower, &lo_in);
+            let mut out = Vec::with_capacity(n);
+            for k in 0..half {
+                if output[k] {
+                    out.push(lo_out[k].clone());
+                    out.push(up_out[k].clone());
+                } else {
+                    out.push(up_out[k].clone());
+                    out.push(lo_out[k].clone());
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_perm(net: &BenesNetwork, perm: &[usize]) {
+        let routing = net.route(perm);
+        let inputs: Vec<usize> = (0..net.size()).collect();
+        let outputs = net.apply(&routing, &inputs);
+        for (o, &expected_input) in perm.iter().enumerate() {
+            assert_eq!(outputs[o], expected_input, "output {o} of {perm:?}");
+        }
+    }
+
+    #[test]
+    fn identity_and_reverse() {
+        for n in [2usize, 4, 8, 16] {
+            let net = BenesNetwork::new(n);
+            let id: Vec<usize> = (0..n).collect();
+            check_perm(&net, &id);
+            let rev: Vec<usize> = (0..n).rev().collect();
+            check_perm(&net, &rev);
+        }
+    }
+
+    #[test]
+    fn all_permutations_of_4_route() {
+        let net = BenesNetwork::new(4);
+        let mut perm = [0usize, 1, 2, 3];
+        permute_all(&mut perm, 4, &mut |p| check_perm(&net, p));
+    }
+
+    #[test]
+    fn all_permutations_of_8_route() {
+        let net = BenesNetwork::new(8);
+        let mut perm = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        permute_all(&mut perm, 8, &mut |p| check_perm(&net, p));
+    }
+
+    fn permute_all(v: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == 1 {
+            f(v);
+            return;
+        }
+        for i in 0..k {
+            permute_all(v, k - 1, f);
+            if k % 2 == 0 {
+                v.swap(i, k - 1);
+            } else {
+                v.swap(0, k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rotations_of_16() {
+        let net = BenesNetwork::new(16);
+        for shift in 0..16 {
+            let perm: Vec<usize> = (0..16).map(|o| (o + shift) % 16).collect();
+            check_perm(&net, &perm);
+        }
+    }
+
+    #[test]
+    fn pseudo_random_perms_of_32() {
+        let net = BenesNetwork::new(32);
+        let mut state = 0x12345678u64;
+        for _ in 0..50 {
+            // Fisher–Yates with xorshift.
+            let mut perm: Vec<usize> = (0..32).collect();
+            for i in (1..32).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let j = (state % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+            check_perm(&net, &perm);
+        }
+    }
+
+    #[test]
+    fn depth_and_switches() {
+        // The 8-way net of the paper (Table 1: "An 8-way Benes net").
+        let net = BenesNetwork::new(8);
+        assert_eq!(net.depth(), 5);
+        assert_eq!(net.switch_count(), 20);
+        let net16 = BenesNetwork::new(16);
+        assert_eq!(net16.depth(), 7);
+        assert_eq!(net16.switch_count(), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = BenesNetwork::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate permutation entry")]
+    fn non_permutation_rejected() {
+        let net = BenesNetwork::new(4);
+        let _ = net.route(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn apply_routes_payloads_not_just_indices() {
+        let net = BenesNetwork::new(4);
+        let perm = [2usize, 0, 3, 1];
+        let routing = net.route(&perm);
+        let data = ["a", "b", "c", "d"];
+        let out = net.apply(&routing, &data);
+        assert_eq!(out, vec!["c", "a", "d", "b"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Crossbar with conflict queue — the data-arrangement stage between the
+//! dispatcher and the prefix buffer (§4.4).
+//!
+//! Each cycle the dispatcher emits up to `T` partial-sum vectors whose
+//! destination banks derive from their row indices. Vectors aimed at the
+//! same bank conflict; a queue serializes them, and the double-buffer
+//! overlap hides the latency as long as queue occupancy stays bounded.
+
+/// Crossbar conflict model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crossbar {
+    banks: u32,
+    dispatches: u64,
+    conflict_cycles: u64,
+    max_queue: u64,
+    traversals: u64,
+}
+
+impl Crossbar {
+    /// Creates a crossbar over `banks` destination banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: u32) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        Self { banks, dispatches: 0, conflict_cycles: 0, max_queue: 0, traversals: 0 }
+    }
+
+    /// Bank count.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Schedules one dispatch group (the bank id of each concurrent
+    /// vector) and returns the cycles the group occupies the crossbar:
+    /// 1 for a conflict-free group, more when a bank is oversubscribed.
+    pub fn dispatch(&mut self, bank_ids: &[u32]) -> u64 {
+        self.dispatches += 1;
+        self.traversals += bank_ids.len() as u64;
+        let mut occupancy = vec![0u64; self.banks as usize];
+        for &b in bank_ids {
+            occupancy[(b % self.banks) as usize] += 1;
+        }
+        let worst = occupancy.into_iter().max().unwrap_or(0).max(1);
+        let extra = worst - 1;
+        self.conflict_cycles += extra;
+        self.max_queue = self.max_queue.max(extra);
+        worst
+    }
+
+    /// Convenience: derives bank ids from row indices (`row % banks`).
+    pub fn dispatch_rows(&mut self, rows: &[u64]) -> u64 {
+        let ids: Vec<u32> = rows.iter().map(|&r| (r % self.banks as u64) as u32).collect();
+        self.dispatch(&ids)
+    }
+
+    /// Dispatch groups scheduled.
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Total stall cycles caused by bank conflicts.
+    pub fn conflict_cycles(&self) -> u64 {
+        self.conflict_cycles
+    }
+
+    /// Deepest queue occupancy observed.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue
+    }
+
+    /// Total element traversals (an energy event count).
+    pub fn traversals(&self) -> u64 {
+        self.traversals
+    }
+
+    /// Resets the counters.
+    pub fn reset(&mut self) {
+        self.dispatches = 0;
+        self.conflict_cycles = 0;
+        self.max_queue = 0;
+        self.traversals = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_free_group_is_one_cycle() {
+        let mut x = Crossbar::new(8);
+        assert_eq!(x.dispatch(&[0, 1, 2, 3, 4, 5, 6, 7]), 1);
+        assert_eq!(x.conflict_cycles(), 0);
+    }
+
+    #[test]
+    fn full_conflict_serializes() {
+        let mut x = Crossbar::new(8);
+        assert_eq!(x.dispatch(&[3; 8]), 8);
+        assert_eq!(x.conflict_cycles(), 7);
+        assert_eq!(x.max_queue_depth(), 7);
+    }
+
+    #[test]
+    fn partial_conflicts() {
+        let mut x = Crossbar::new(4);
+        // Banks: 0,0,1,2 → bank 0 has 2 → 2 cycles.
+        assert_eq!(x.dispatch(&[0, 0, 1, 2]), 2);
+        assert_eq!(x.conflict_cycles(), 1);
+    }
+
+    #[test]
+    fn dispatch_rows_mods_banks() {
+        let mut x = Crossbar::new(4);
+        // Rows 0, 4, 8 all hit bank 0.
+        assert_eq!(x.dispatch_rows(&[0, 4, 8]), 3);
+    }
+
+    #[test]
+    fn empty_group_costs_one() {
+        let mut x = Crossbar::new(2);
+        assert_eq!(x.dispatch(&[]), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut x = Crossbar::new(2);
+        x.dispatch(&[0, 0]);
+        x.dispatch(&[0, 1]);
+        assert_eq!(x.dispatch_count(), 2);
+        assert_eq!(x.traversals(), 4);
+        x.reset();
+        assert_eq!(x.dispatch_count(), 0);
+        assert_eq!(x.conflict_cycles(), 0);
+    }
+}

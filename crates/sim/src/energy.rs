@@ -1,0 +1,237 @@
+//! Energy model — per-event pJ constants at the paper's 28 nm / 500 MHz
+//! operating point, and the breakdown accounting behind Fig. 10/11.
+//!
+//! The constants are scaled from the published 45 nm energy tables
+//! (Horowitz, ISSCC'14: 32-bit add ≈ 0.1 pJ, 8-bit mult ≈ 0.2 pJ, SRAM
+//! and DRAM access figures) by the standard ~0.5× dynamic-energy factor
+//! for 45→28 nm, with SRAM access energy following a CACTI-like
+//! `a + b·√KB` law. Absolute joules are **not** the reproduction target —
+//! every figure reports ratios, which these constants preserve (DESIGN.md
+//! §3).
+
+/// Per-event energies (picojoules) and static powers (milliwatts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Technology scale factor applied to the 45 nm base numbers.
+    pub tech_scale: f64,
+    /// DRAM dynamic energy per byte (pJ/B).
+    pub dram_pj_per_byte: f64,
+    /// DRAM static (background + refresh) power in mW.
+    pub dram_static_mw: f64,
+    /// Core static power per mm² of logic (mW/mm²).
+    pub core_static_mw_per_mm2: f64,
+    /// SRAM static power per KB (mW/KB).
+    pub sram_static_mw_per_kb: f64,
+    /// Clock frequency (Hz) — converts cycle counts to seconds for the
+    /// static-energy integrals.
+    pub freq_hz: f64,
+}
+
+impl EnergyModel {
+    /// The paper's operating point: 28 nm, 500 MHz.
+    pub fn paper_28nm() -> Self {
+        Self {
+            tech_scale: 0.5,
+            // LPDDR4X-class device energy, ~3 pJ/bit (interface + array;
+            // the accelerator literature's common figure for mobile-class
+            // DRAM at this node).
+            dram_pj_per_byte: 24.0,
+            dram_static_mw: 140.0,
+            core_static_mw_per_mm2: 60.0,
+            sram_static_mw_per_kb: 0.009,
+            freq_hz: 500.0e6,
+        }
+    }
+
+    /// Energy of one `bits`-wide integer addition (pJ).
+    ///
+    /// Linear in width from the 45 nm anchor (32-bit add = 0.1 pJ,
+    /// Horowitz), times the technology scale.
+    pub fn add_pj(&self, bits: u32) -> f64 {
+        self.tech_scale * 0.1 * bits as f64 / 32.0
+    }
+
+    /// Energy of one `bits × bits` integer multiply (pJ).
+    ///
+    /// Quadratic in width from the 45 nm anchor (8-bit mult = 0.2 pJ).
+    pub fn mult_pj(&self, bits: u32) -> f64 {
+        self.tech_scale * 0.2 * (bits as f64 / 8.0).powi(2)
+    }
+
+    /// Energy of one `bits`-precision MAC (multiply + accumulate at 4×
+    /// accumulator width).
+    pub fn mac_pj(&self, bits: u32) -> f64 {
+        self.mult_pj(bits) + self.add_pj(4 * bits)
+    }
+
+    /// SRAM access energy per byte for a buffer of `capacity_kb` KB
+    /// (pJ/B): CACTI-like `a + b·√KB` law anchored at ~0.08 pJ/B for 8 KB
+    /// and growing with bank size.
+    pub fn sram_pj_per_byte(&self, capacity_kb: f64) -> f64 {
+        self.tech_scale * (0.06 + 0.04 * capacity_kb.max(1.0).sqrt())
+    }
+
+    /// DRAM access energy for `bytes` (pJ).
+    pub fn dram_pj(&self, bytes: u64) -> f64 {
+        self.dram_pj_per_byte * bytes as f64
+    }
+
+    /// Static energy (pJ) burned by `mw` milliwatts over `cycles` cycles.
+    pub fn static_pj(&self, mw: f64, cycles: u64) -> f64 {
+        // mW · s = µJ; ×1e6 → pJ.
+        mw * (cycles as f64 / self.freq_hz) * 1.0e9
+    }
+
+    /// Seconds for a cycle count at the model frequency.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_28nm()
+    }
+}
+
+/// Energy breakdown in pJ, matching Fig. 11's slices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// PE-array / scoreboard / NoC dynamic energy.
+    pub core: f64,
+    /// Weight-buffer accesses.
+    pub weight_buf: f64,
+    /// Input-buffer accesses.
+    pub input_buf: f64,
+    /// Output-buffer accesses.
+    pub output_buf: f64,
+    /// Prefix-buffer accesses (TransArray only).
+    pub prefix_buf: f64,
+    /// Double-buffer / crossbar queue accesses.
+    pub double_buf: f64,
+    /// DRAM dynamic (request) energy.
+    pub dram_dynamic: f64,
+    /// DRAM static energy over the execution time.
+    pub dram_static: f64,
+    /// Core + SRAM leakage over the execution time.
+    pub core_static: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total buffer energy (the "Buffer" super-slice of Fig. 11).
+    pub fn buffer_total(&self) -> f64 {
+        self.weight_buf + self.input_buf + self.output_buf + self.prefix_buf + self.double_buf
+    }
+
+    /// Grand total (pJ).
+    pub fn total(&self) -> f64 {
+        self.core
+            + self.buffer_total()
+            + self.dram_dynamic
+            + self.dram_static
+            + self.core_static
+    }
+
+    /// Elementwise accumulation.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.core += other.core;
+        self.weight_buf += other.weight_buf;
+        self.input_buf += other.input_buf;
+        self.output_buf += other.output_buf;
+        self.prefix_buf += other.prefix_buf;
+        self.double_buf += other.double_buf;
+        self.dram_dynamic += other.dram_dynamic;
+        self.dram_static += other.dram_static;
+        self.core_static += other.core_static;
+    }
+
+    /// Scales every slice (used by the sampling extrapolation).
+    pub fn scale(&mut self, factor: f64) {
+        self.core *= factor;
+        self.weight_buf *= factor;
+        self.input_buf *= factor;
+        self.output_buf *= factor;
+        self.prefix_buf *= factor;
+        self.double_buf *= factor;
+        self.dram_dynamic *= factor;
+        self.dram_static *= factor;
+        self.core_static *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_energy_scales_linearly() {
+        let m = EnergyModel::paper_28nm();
+        let e12 = m.add_pj(12);
+        let e24 = m.add_pj(24);
+        assert!((e24 / e12 - 2.0).abs() < 1e-12);
+        // 32-bit add at 28nm ≈ 0.05 pJ.
+        assert!((m.add_pj(32) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mult_energy_scales_quadratically() {
+        let m = EnergyModel::paper_28nm();
+        assert!((m.mult_pj(16) / m.mult_pj(8) - 4.0).abs() < 1e-9);
+        assert!((m.mult_pj(4) / m.mult_pj(8) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mac_dominated_by_multiplier() {
+        let m = EnergyModel::paper_28nm();
+        assert!(m.mac_pj(8) > m.mult_pj(8));
+        assert!(m.mac_pj(8) < 2.0 * m.mult_pj(8) + m.add_pj(32));
+    }
+
+    #[test]
+    fn adder_vs_mac_ratio_motivates_multiplication_free() {
+        // The paper's multiplication-free pitch: a 12-bit PPE add must be
+        // far cheaper than an 8-bit MAC.
+        let m = EnergyModel::paper_28nm();
+        assert!(m.mac_pj(8) / m.add_pj(12) > 5.0);
+    }
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let m = EnergyModel::paper_28nm();
+        assert!(m.sram_pj_per_byte(80.0) > m.sram_pj_per_byte(8.0));
+        assert!(m.sram_pj_per_byte(8.0) > 0.0);
+    }
+
+    #[test]
+    fn static_energy_accumulates_with_time() {
+        let m = EnergyModel::paper_28nm();
+        let e1 = m.static_pj(100.0, 500);
+        let e2 = m.static_pj(100.0, 1000);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+        // 100 mW for 1 s = 0.1 J = 1e11 pJ.
+        let one_second = m.freq_hz as u64;
+        assert!((m.static_pj(100.0, one_second) - 1.0e11).abs() / 1.0e11 < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let mut b = EnergyBreakdown {
+            core: 1.0,
+            weight_buf: 2.0,
+            input_buf: 3.0,
+            output_buf: 4.0,
+            prefix_buf: 5.0,
+            double_buf: 6.0,
+            dram_dynamic: 7.0,
+            dram_static: 8.0,
+            core_static: 9.0,
+        };
+        assert_eq!(b.buffer_total(), 20.0);
+        assert_eq!(b.total(), 45.0);
+        let c = b;
+        b.add(&c);
+        assert_eq!(b.total(), 90.0);
+        b.scale(0.5);
+        assert_eq!(b.total(), 45.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Pipeline composition math — the 3-stage double-buffered schedule of
+//! §4.6 (dynamic Scoreboarding → PPE array → APE array).
+//!
+//! With double buffering between stages, consecutive tiles overlap: tile
+//! `i`'s stage `s` can start once stage `s` finished tile `i−1` *and*
+//! stage `s−1` finished tile `i`. Total latency follows the classic
+//! dataflow recurrence; in steady state the slowest stage dominates —
+//! which the paper uses to argue the PPE array is the critical path.
+
+/// Computes the total cycles to push every tile through an `S`-stage
+/// pipeline, given each tile's per-stage service times.
+///
+/// `tiles[i][s]` = cycles stage `s` spends on tile `i`.
+///
+/// # Examples
+///
+/// ```
+/// use ta_sim::pipeline_cycles;
+///
+/// // Two tiles, two balanced stages of 10 → fill (10) + 2·10 = 30.
+/// assert_eq!(pipeline_cycles(&[vec![10, 10], vec![10, 10]]), 30);
+/// ```
+pub fn pipeline_cycles(tiles: &[Vec<u64>]) -> u64 {
+    let Some(first) = tiles.first() else {
+        return 0;
+    };
+    let stages = first.len();
+    if stages == 0 {
+        return 0;
+    }
+    let mut finish = vec![0u64; stages];
+    for tile in tiles {
+        assert_eq!(tile.len(), stages, "all tiles must have the same stage count");
+        let mut prev_stage_finish = 0u64;
+        for (s, &latency) in tile.iter().enumerate() {
+            let start = finish[s].max(prev_stage_finish);
+            finish[s] = start + latency;
+            prev_stage_finish = finish[s];
+        }
+    }
+    finish[stages - 1]
+}
+
+/// Steady-state throughput bound: the sum over tiles of each tile's
+/// slowest stage (what the pipeline converges to once full, ignoring
+/// fill/drain).
+pub fn steady_state_cycles(tiles: &[Vec<u64>]) -> u64 {
+    tiles.iter().map(|t| t.iter().copied().max().unwrap_or(0)).sum()
+}
+
+/// Pipeline-fill overhead: total minus steady state (≥ 0 only when the
+/// workload is stage-balanced; reported for model introspection).
+pub fn fill_overhead(tiles: &[Vec<u64>]) -> i64 {
+    pipeline_cycles(tiles) as i64 - steady_state_cycles(tiles) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(pipeline_cycles(&[]), 0);
+        assert_eq!(pipeline_cycles(&[vec![]]), 0);
+        assert_eq!(pipeline_cycles(&[vec![5]]), 5);
+    }
+
+    #[test]
+    fn single_tile_is_sum_of_stages() {
+        assert_eq!(pipeline_cycles(&[vec![3, 4, 5]]), 12);
+    }
+
+    #[test]
+    fn balanced_stages_overlap() {
+        // n tiles × S stages of c cycles → (S−1)·c fill + n·c.
+        let tiles = vec![vec![10u64, 10, 10]; 5];
+        assert_eq!(pipeline_cycles(&tiles), 2 * 10 + 5 * 10);
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates() {
+        // Stage 1 is 3× slower; steady state is governed by it.
+        let tiles = vec![vec![10u64, 30, 10]; 10];
+        let total = pipeline_cycles(&tiles);
+        assert_eq!(total, 10 + 10 * 30 + 10); // fill + bottleneck + drain
+        assert_eq!(steady_state_cycles(&tiles), 300);
+    }
+
+    #[test]
+    fn paper_claim_ppe_is_critical_path() {
+        // §4.6: PPE ≥ APE always, SB ≤ both; steady state = Σ PPE.
+        let tiles: Vec<Vec<u64>> =
+            (0..20).map(|i| vec![8, 32 + (i % 3), 32]).collect();
+        let total_ppe: u64 = tiles.iter().map(|t| t[1]).sum();
+        assert_eq!(steady_state_cycles(&tiles), total_ppe);
+    }
+
+    #[test]
+    fn varying_tiles_respect_dependencies() {
+        // Hand-checked schedule: two stages.
+        // Tile A: [2, 10], tile B: [9, 1].
+        // s0: A 0–2, B 2–11. s1: A 2–12, B max(12,11)=12–13.
+        assert_eq!(pipeline_cycles(&[vec![2, 10], vec![9, 1]]), 13);
+    }
+
+    #[test]
+    fn fill_overhead_nonnegative_for_uniform() {
+        let tiles = vec![vec![7u64, 7]; 4];
+        assert!(fill_overhead(&tiles) >= 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same stage count")]
+    fn ragged_tiles_rejected() {
+        let _ = pipeline_cycles(&[vec![1, 2], vec![3]]);
+    }
+}

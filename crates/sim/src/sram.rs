@@ -1,0 +1,231 @@
+//! On-chip SRAM buffer models: access counting, capacity checks, banking,
+//! and double buffering (§4.4, Table 1's buffer budget).
+
+use crate::energy::EnergyModel;
+
+/// A banked SRAM buffer that counts accesses for the energy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramBuffer {
+    name: String,
+    capacity_bytes: u64,
+    banks: u32,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl SramBuffer {
+    /// Creates a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or bank count is zero.
+    pub fn new(name: impl Into<String>, capacity_bytes: u64, banks: u32) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be non-zero");
+        assert!(banks > 0, "need at least one bank");
+        Self {
+            name: name.into(),
+            capacity_bytes,
+            banks,
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Buffer name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Capacity in KB (f64, for the energy law).
+    pub fn capacity_kb(&self) -> f64 {
+        self.capacity_bytes as f64 / 1024.0
+    }
+
+    /// Bank count.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Records a read of `bytes`.
+    pub fn read(&mut self, bytes: u64) {
+        self.reads += 1;
+        self.bytes_read += bytes;
+    }
+
+    /// Records a write of `bytes`.
+    pub fn write(&mut self, bytes: u64) {
+        self.writes += 1;
+        self.bytes_written += bytes;
+    }
+
+    /// Total read accesses.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total write accesses.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes moved (reads + writes).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Dynamic energy of all recorded accesses (pJ) under `model`.
+    pub fn energy_pj(&self, model: &EnergyModel) -> f64 {
+        model.sram_pj_per_byte(self.capacity_kb()) * self.bytes_total() as f64
+    }
+
+    /// Whether a working set of `bytes` fits.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.capacity_bytes
+    }
+
+    /// Resets the counters (e.g. between experiments).
+    pub fn reset(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+
+    /// Bank index a row-id maps to (the crossbar's conflict criterion,
+    /// §4.4).
+    pub fn bank_of(&self, row_id: u64) -> u32 {
+        (row_id % self.banks as u64) as u32
+    }
+}
+
+/// A double buffer: two same-sized halves that swap roles each tile so
+/// fill and drain overlap (§4.4: "double buffer mechanism so that the
+/// partial sum buffer overlaps and conceals the overhead").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoubleBuffer {
+    front: SramBuffer,
+    back: SramBuffer,
+    swaps: u64,
+}
+
+impl DoubleBuffer {
+    /// Creates a double buffer of `total_bytes` split into two halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes < 2`.
+    pub fn new(name: &str, total_bytes: u64, banks: u32) -> Self {
+        assert!(total_bytes >= 2, "double buffer needs ≥ 2 bytes");
+        let half = total_bytes / 2;
+        Self {
+            front: SramBuffer::new(format!("{name}.front"), half, banks),
+            back: SramBuffer::new(format!("{name}.back"), half, banks),
+            swaps: 0,
+        }
+    }
+
+    /// The half currently serving the compute stage.
+    pub fn front(&mut self) -> &mut SramBuffer {
+        &mut self.front
+    }
+
+    /// The half currently being filled/drained.
+    pub fn back(&mut self) -> &mut SramBuffer {
+        &mut self.back
+    }
+
+    /// Swaps roles (end of a tile).
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.front, &mut self.back);
+        self.swaps += 1;
+    }
+
+    /// Number of swaps performed.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Combined access energy (pJ).
+    pub fn energy_pj(&self, model: &EnergyModel) -> f64 {
+        self.front.energy_pj(model) + self.back.energy_pj(model)
+    }
+
+    /// Combined bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.front.bytes_total() + self.back.bytes_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_counting() {
+        let mut b = SramBuffer::new("w", 8192, 4);
+        b.read(64);
+        b.read(64);
+        b.write(32);
+        assert_eq!(b.read_count(), 2);
+        assert_eq!(b.write_count(), 1);
+        assert_eq!(b.bytes_total(), 160);
+        b.reset();
+        assert_eq!(b.bytes_total(), 0);
+    }
+
+    #[test]
+    fn energy_proportional_to_bytes() {
+        let model = EnergyModel::paper_28nm();
+        let mut a = SramBuffer::new("a", 8 * 1024, 1);
+        let mut b = SramBuffer::new("b", 8 * 1024, 1);
+        a.read(100);
+        b.read(200);
+        assert!((b.energy_pj(&model) / a.energy_pj(&model) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_buffers_cost_more_per_byte() {
+        let model = EnergyModel::paper_28nm();
+        let mut small = SramBuffer::new("s", 8 * 1024, 1);
+        let mut large = SramBuffer::new("l", 128 * 1024, 1);
+        small.read(1000);
+        large.read(1000);
+        assert!(large.energy_pj(&model) > small.energy_pj(&model));
+    }
+
+    #[test]
+    fn capacity_checks() {
+        let b = SramBuffer::new("x", 1000, 2);
+        assert!(b.fits(1000));
+        assert!(!b.fits(1001));
+        assert_eq!(b.bank_of(0), 0);
+        assert_eq!(b.bank_of(3), 1);
+    }
+
+    #[test]
+    fn double_buffer_swaps() {
+        let mut db = DoubleBuffer::new("psum", 2048, 2);
+        db.front().write(10);
+        db.swap();
+        db.front().write(20);
+        assert_eq!(db.swap_count(), 1);
+        assert_eq!(db.bytes_total(), 30);
+        // After the swap, the original front (10 bytes) is now back.
+        assert_eq!(db.back().bytes_total(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = SramBuffer::new("z", 0, 1);
+    }
+}

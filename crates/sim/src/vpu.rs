@@ -1,0 +1,99 @@
+//! Vector Processing Unit model — the non-GEMM operations every
+//! accelerator in the roster must run (de-quantization, softmax, …),
+//! "similar to previous studies" (§4.5).
+//!
+//! Attention layers interleave GEMMs with softmax over the score matrix;
+//! the VPU time is common to all accelerators (it scales with precision,
+//! not with the GEMM engine) and compresses attention speedups relative
+//! to FC layers — the effect visible in Fig. 12.
+
+/// A SIMD vector unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VpuModel {
+    /// Elementwise 8-bit ops per cycle across all lanes.
+    pub ops_per_cycle_8bit: f64,
+}
+
+/// Elementwise op count per softmax element (max-subtract, exp
+/// approximation, accumulate, divide — amortized).
+const SOFTMAX_OPS_PER_ELEM: f64 = 6.0;
+
+/// Elementwise ops per de-/re-quantization element (scale multiply +
+/// round/clamp).
+const REQUANT_OPS_PER_ELEM: f64 = 2.0;
+
+impl VpuModel {
+    /// The paper-scale VPU: 40 lanes' worth of 8-bit throughput at
+    /// 500 MHz (shared by the 6 units).
+    pub fn paper_default() -> Self {
+        Self { ops_per_cycle_8bit: 40.0 }
+    }
+
+    /// Throughput at `bits` precision (wider elements halve lane count).
+    pub fn ops_per_cycle(&self, bits: u32) -> f64 {
+        self.ops_per_cycle_8bit * 8.0 / bits.max(1) as f64
+    }
+
+    /// Cycles to softmax a `rows × cols` score matrix at `bits` precision.
+    pub fn softmax_cycles(&self, rows: usize, cols: usize, bits: u32) -> u64 {
+        let elems = rows as f64 * cols as f64;
+        (elems * SOFTMAX_OPS_PER_ELEM / self.ops_per_cycle(bits)).ceil() as u64
+    }
+
+    /// Cycles to requantize `elems` outputs (group-wise rescale, §4.5).
+    pub fn requant_cycles(&self, elems: usize, bits: u32) -> u64 {
+        (elems as f64 * REQUANT_OPS_PER_ELEM / self.ops_per_cycle(bits)).ceil() as u64
+    }
+
+    /// VPU dynamic energy for `elems` × `ops_per_elem` at `bits`:
+    /// modeled as one `bits`-wide multiply-add per op.
+    pub fn energy_pj(&self, elems: u64, ops_per_elem: f64, bits: u32, mac_pj: f64) -> f64 {
+        let _ = bits;
+        elems as f64 * ops_per_elem * mac_pj
+    }
+}
+
+impl Default for VpuModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_elements_are_slower() {
+        let v = VpuModel::paper_default();
+        let c8 = v.softmax_cycles(128, 128, 8);
+        let c16 = v.softmax_cycles(128, 128, 16);
+        assert!((c16 as f64 / c8 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn softmax_scales_with_elements() {
+        let v = VpuModel::paper_default();
+        let small = v.softmax_cycles(64, 64, 8) as f64;
+        let big = v.softmax_cycles(128, 128, 8) as f64;
+        assert!((big / small - 4.0).abs() < 0.01, "{big} vs {small}");
+    }
+
+    #[test]
+    fn requant_cheaper_than_softmax() {
+        let v = VpuModel::paper_default();
+        assert!(v.requant_cycles(4096, 8) < v.softmax_cycles(64, 64, 8));
+    }
+
+    #[test]
+    fn attention_softmax_is_gemm_scale() {
+        // For seq 2048 the softmax over one head's scores must be the same
+        // order of magnitude as a TransArray QK^T pass — the Fig. 12
+        // compression effect.
+        let v = VpuModel::paper_default();
+        let softmax = v.softmax_cycles(2048, 2048, 8);
+        let ta_qk_cycles = 2048u64 * 128 * 2048 / 1536; // ideal TA-8bit
+        let ratio = softmax as f64 / ta_qk_cycles as f64;
+        assert!((0.5..4.0).contains(&ratio), "ratio {ratio}");
+    }
+}

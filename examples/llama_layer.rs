@@ -1,0 +1,62 @@
+//! Simulate one LLaMA-1-7B FC layer (q_proj, 4096×4096×2048) on the
+//! Transitive Array at both weight precisions and on every baseline,
+//! printing the Fig. 10-style comparison for a single layer.
+//!
+//! Run with: `cargo run --release --example llama_layer`
+
+use transitive_array::baselines::Baseline;
+use transitive_array::core::{GemmShape, TransArrayConfig, TransitiveArray};
+use transitive_array::models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use transitive_array::sim::EnergyModel;
+
+fn main() {
+    let layer = LlamaConfig::l1_7b().fc_layers(PAPER_SEQ_LEN)[0];
+    let shape = GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m);
+    println!(
+        "LLaMA-1-7B {}: GEMM {}x{}x{} ({:.1} GMACs)\n",
+        layer.name,
+        shape.n,
+        shape.k,
+        shape.m,
+        shape.macs() as f64 / 1e9
+    );
+
+    let em = EnergyModel::paper_28nm();
+    println!("{:<16} {:>14} {:>12} {:>12}", "accelerator", "cycles", "ms@500MHz", "energy(uJ)");
+
+    for (b, wbits) in [
+        (Baseline::bitfusion(), 8u32),
+        (Baseline::ant(), 8),
+        (Baseline::olive(), 8),
+        (Baseline::tender(), 4),
+        (Baseline::bitvert(), 8),
+    ] {
+        let rep = b.simulate_gemm(shape, wbits, 8, &em);
+        println!(
+            "{:<16} {:>14} {:>12.2} {:>12.1}",
+            format!("{}-{}b", b.name(), wbits),
+            rep.cycles,
+            rep.seconds * 1e3,
+            rep.energy.total() / 1e6
+        );
+    }
+
+    for (label, cfg, wbits) in [
+        ("TA-8bit", TransArrayConfig::paper_w8(), 8u32),
+        ("TA-4bit", TransArrayConfig::paper_w4(), 4),
+    ] {
+        let ta = TransitiveArray::new(TransArrayConfig { sample_limit: 1024, ..cfg });
+        let mut src = QuantGaussianSource::new(8, wbits, ta.config().n_tile(), 7);
+        let rep = ta.simulate_layer(shape, &mut src);
+        println!(
+            "{:<16} {:>14} {:>12.2} {:>12.1}   (density {:.1}%, {} of {} sub-tiles simulated)",
+            label,
+            rep.cycles,
+            rep.seconds * 1e3,
+            rep.energy.total() / 1e6,
+            100.0 * rep.density,
+            rep.subtiles_simulated,
+            rep.subtiles_total
+        );
+    }
+}
