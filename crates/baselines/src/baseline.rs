@@ -149,13 +149,7 @@ impl Baseline {
 
     /// The full Fig. 10 roster in the paper's plotting order.
     pub fn roster() -> Vec<Baseline> {
-        vec![
-            Self::bitfusion(),
-            Self::ant(),
-            Self::olive(),
-            Self::tender(),
-            Self::bitvert(),
-        ]
+        vec![Self::bitfusion(), Self::ant(), Self::olive(), Self::tender(), Self::bitvert()]
     }
 
     /// Accelerator name.
@@ -207,8 +201,7 @@ impl Baseline {
     ) -> BaselineReport {
         let macs = shape.macs() as f64;
         let compute_cycles = (macs / self.macs_per_cycle(wbits, abits)).ceil() as u64;
-        let traffic =
-            dram_traffic(shape, wbits, abits, (self.buffer_kb * 1024.0) as u64);
+        let traffic = dram_traffic(shape, wbits, abits, (self.buffer_kb * 1024.0) as u64);
         let dram_cycles = (traffic.total() as f64 / DRAM_BYTES_PER_CYCLE).ceil() as u64;
         let cycles = compute_cycles.max(dram_cycles).max(1);
 
@@ -233,8 +226,8 @@ impl Baseline {
 
         b.dram_dynamic = em.dram_pj(traffic.total());
         b.dram_static = em.static_pj(em.dram_static_mw, cycles);
-        let static_mw = em.core_static_mw_per_mm2 * self.core_mm2()
-            + em.sram_static_mw_per_kb * self.buffer_kb;
+        let static_mw =
+            em.core_static_mw_per_mm2 * self.core_mm2() + em.sram_static_mw_per_kb * self.buffer_kb;
         b.core_static = em.static_pj(static_mw, cycles);
 
         BaselineReport {

@@ -14,9 +14,7 @@ fn bench_slice(c: &mut Criterion) {
         b.iter(|| BitSlicedMatrix::slice(black_box(&w), 8))
     });
     let sliced = BitSlicedMatrix::slice(&w, 8);
-    c.bench_function("reconstruct_256x256_int8", |b| {
-        b.iter(|| black_box(&sliced).reconstruct())
-    });
+    c.bench_function("reconstruct_256x256_int8", |b| b.iter(|| black_box(&sliced).reconstruct()));
     c.bench_function("extract_subtile_32x8", |b| {
         b.iter(|| extract_subtile_transrows(black_box(&sliced), 0, 32, 0, 8))
     });

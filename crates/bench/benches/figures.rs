@@ -12,9 +12,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig9_panel_a_point", |b| {
         b.iter(|| experiments::fig9::design_point(8, 256, 2, 42))
     });
-    g.bench_function("fig11_breakdown", |b| {
-        b.iter(|| experiments::fig11::breakdown(scale))
-    });
+    g.bench_function("fig11_breakdown", |b| b.iter(|| experiments::fig11::breakdown(scale)));
     g.bench_function("fig13_point_row256", |b| {
         b.iter(|| {
             use ta_models::UniformBitSource;
@@ -27,9 +25,7 @@ fn bench_figures(c: &mut Criterion) {
 
     let mut slow = c.benchmark_group("figures_quick_slow");
     slow.sample_size(10);
-    slow.bench_function("table3_accuracy", |b| {
-        b.iter(|| experiments::tables::table3(scale))
-    });
+    slow.bench_function("table3_accuracy", |b| b.iter(|| experiments::tables::table3(scale)));
     slow.bench_function("fig14_resnet", |b| b.iter(|| experiments::fig14::simulate(scale)));
     slow.finish();
 }

@@ -26,23 +26,18 @@ fn bench_build(c: &mut Criterion) {
 fn bench_stats_and_plan(c: &mut Criterion) {
     let p = patterns(256);
     let sb = Scoreboard::build(ScoreboardConfig::with_width(8), p.iter().copied());
-    c.bench_function("tile_stats_256", |b| {
-        b.iter(|| TileStats::from_scoreboard(black_box(&sb)))
-    });
+    c.bench_function("tile_stats_256", |b| b.iter(|| TileStats::from_scoreboard(black_box(&sb))));
     c.bench_function("execution_plan_256", |b| {
         b.iter(|| ExecutionPlan::from_scoreboard(black_box(&sb)))
     });
 }
 
 fn bench_static_si(c: &mut Criterion) {
-    let calib: Vec<u16> = (0..8).flat_map(|t| {
-        UniformBitSource::new(8, 256, 7).subtile_patterns(t, 0)
-    }).collect();
+    let calib: Vec<u16> =
+        (0..8).flat_map(|t| UniformBitSource::new(8, 256, 7).subtile_patterns(t, 0)).collect();
     let si = StaticSi::from_patterns(ScoreboardConfig::with_width(8), calib);
     let tile = patterns(256);
-    c.bench_function("static_si_evaluate_256", |b| {
-        b.iter(|| si.evaluate_tile(black_box(&tile)))
-    });
+    c.bench_function("static_si_evaluate_256", |b| b.iter(|| si.evaluate_tile(black_box(&tile))));
 }
 
 criterion_group!(benches, bench_build, bench_stats_and_plan, bench_static_si);

@@ -33,10 +33,7 @@ pub fn distance_cap(scale: Scale) -> Table {
         &["cap", "density_%", "outlier_rows_%", "transit_ops_%"],
     );
     for cap in 1u8..=8 {
-        let cfg = ScoreboardConfig {
-            max_distance: cap.min(9),
-            ..ScoreboardConfig::with_width(8)
-        };
+        let cfg = ScoreboardConfig { max_distance: cap.min(9), ..ScoreboardConfig::with_width(8) };
         let s = sweep(cfg, 256, scale.tiles, 77);
         t.push_row(vec![
             cap.to_string(),

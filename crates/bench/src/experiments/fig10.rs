@@ -59,20 +59,15 @@ pub fn simulate(scale: Scale) -> Vec<FcResult> {
             ("TA-8bit", TransArrayConfig::paper_w8(), 8u32),
             ("TA-4bit", TransArrayConfig::paper_w4(), 4u32),
         ] {
-            let ta = TransitiveArray::new(TransArrayConfig {
-                sample_limit: scale.sample_limit,
-                ..cfg
-            });
+            let ta =
+                TransitiveArray::new(TransArrayConfig { sample_limit: scale.sample_limit, ..cfg });
             let n_tile = ta.config().n_tile();
             let mut cycles = 0u64;
             let mut energy = 0.0f64;
             for (i, l) in layers.iter().enumerate() {
-                let mut src =
-                    QuantGaussianSource::new(8, wbits, n_tile, 1000 + i as u64);
-                let rep = ta.simulate_layer(
-                    GemmShape::new(l.shape.n, l.shape.k, l.shape.m),
-                    &mut src,
-                );
+                let mut src = QuantGaussianSource::new(8, wbits, n_tile, 1000 + i as u64);
+                let rep =
+                    ta.simulate_layer(GemmShape::new(l.shape.n, l.shape.k, l.shape.m), &mut src);
                 cycles += rep.cycles;
                 energy += rep.energy_nj();
             }
@@ -104,14 +99,10 @@ pub fn accel_order() -> Vec<&'static str> {
 /// with a GeoMean row), and the energy tables.
 pub fn run(scale: Scale) -> Vec<Table> {
     let results = simulate(scale);
-    let models: Vec<String> =
-        LlamaConfig::roster().iter().map(|m| m.name.to_string()).collect();
+    let models: Vec<String> = LlamaConfig::roster().iter().map(|m| m.name.to_string()).collect();
     let accels = accel_order();
     let get = |model: &str, accel: &str| -> &FcResult {
-        results
-            .iter()
-            .find(|r| r.model == model && r.accel == accel)
-            .expect("result present")
+        results.iter().find(|r| r.model == model && r.accel == accel).expect("result present")
     };
 
     let mut headers = vec!["model".to_string()];
@@ -175,11 +166,8 @@ mod tests {
         // 7B geomeans stay in generous bands around those factors.
         let rs = results();
         let cycles = |accel: &str| -> f64 {
-            let v: Vec<f64> = rs
-                .iter()
-                .filter(|r| r.accel == accel)
-                .map(|r| r.cycles as f64)
-                .collect();
+            let v: Vec<f64> =
+                rs.iter().filter(|r| r.accel == accel).map(|r| r.cycles as f64).collect();
             geomean(&v)
         };
         let ta4 = cycles("TA-4bit");
@@ -199,8 +187,7 @@ mod tests {
         // Paper: 2.31× energy reduction vs Olive, 1.65× vs ANT.
         let rs = results();
         let energy = |accel: &str| -> f64 {
-            let v: Vec<f64> =
-                rs.iter().filter(|r| r.accel == accel).map(|r| r.energy_nj).collect();
+            let v: Vec<f64> = rs.iter().filter(|r| r.accel == accel).map(|r| r.energy_nj).collect();
             geomean(&v)
         };
         let ratio_olive = energy("Olive-8bit") / energy("TA-4bit");

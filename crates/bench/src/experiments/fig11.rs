@@ -15,10 +15,8 @@ pub fn breakdown(scale: Scale) -> EnergyBreakdown {
     });
     let layer = LlamaConfig::l1_7b().fc_layers(PAPER_SEQ_LEN)[0];
     let mut src = QuantGaussianSource::new(8, 8, ta.config().n_tile(), 11);
-    let rep = ta.simulate_layer(
-        GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m),
-        &mut src,
-    );
+    let rep =
+        ta.simulate_layer(GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m), &mut src);
     rep.energy
 }
 
@@ -34,11 +32,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // Paper slice values from Fig. 11 for side-by-side comparison.
     t.push_row(vec!["DRAM dynamic".into(), pct(b.dram_dynamic), "21.1".into()]);
     t.push_row(vec!["DRAM static".into(), pct(b.dram_static), "9.9".into()]);
-    t.push_row(vec![
-        "Core (+leak)".into(),
-        pct(b.core + b.core_static),
-        "12.7".into(),
-    ]);
+    t.push_row(vec!["Core (+leak)".into(), pct(b.core + b.core_static), "12.7".into()]);
     t.push_row(vec!["Weight buffer".into(), pct(b.weight_buf), "5.1".into()]);
     t.push_row(vec!["Input buffer".into(), pct(b.input_buf), "5.1".into()]);
     t.push_row(vec!["Prefix buffer".into(), pct(b.prefix_buf), "29.0".into()]);
@@ -76,10 +70,8 @@ mod tests {
         let tables = run(Scale::quick());
         let t = &tables[0];
         // All slices except the "Buffer total" summary row.
-        let sum: f64 = t.rows[..t.rows.len() - 1]
-            .iter()
-            .map(|r| r[1].parse::<f64>().unwrap())
-            .sum();
+        let sum: f64 =
+            t.rows[..t.rows.len() - 1].iter().map(|r| r[1].parse::<f64>().unwrap()).sum();
         assert!((sum - 100.0).abs() < 1.0, "sum {sum}");
     }
 }

@@ -61,11 +61,7 @@ pub fn simulate(scale: Scale) -> Vec<AttnResult> {
         for (g, count) in &gemms {
             c += ant.simulate_gemm(g.shape, 8, 8, &em).cycles * *count as u64;
         }
-        out.push(AttnResult {
-            accel: "ANT-8bit".into(),
-            model: model.name.into(),
-            cycles: c,
-        });
+        out.push(AttnResult { accel: "ANT-8bit".into(), model: model.name.into(), cycles: c });
 
         // TransArray at 8-bit with the dynamic Scoreboard (the K/V caches
         // are dynamic activations — no offline pass is possible).
@@ -77,10 +73,7 @@ pub fn simulate(scale: Scale) -> Vec<AttnResult> {
         let mut c = heads * softmax_per_head_8;
         for (i, (g, count)) in gemms.iter().enumerate() {
             let mut src = QuantGaussianSource::new(8, 8, n_tile, 300 + i as u64);
-            let rep = ta.simulate_layer(
-                GemmShape::new(g.shape.n, g.shape.k, g.shape.m),
-                &mut src,
-            );
+            let rep = ta.simulate_layer(GemmShape::new(g.shape.n, g.shape.k, g.shape.m), &mut src);
             c += rep.cycles * *count as u64;
         }
         out.push(AttnResult {
@@ -109,10 +102,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .cycles as f64;
         let mut row = vec![model.name.to_string()];
         for (ai, accel) in accels.iter().enumerate() {
-            let r = results
-                .iter()
-                .find(|r| r.model == model.name && r.accel == *accel)
-                .unwrap();
+            let r = results.iter().find(|r| r.model == model.name && r.accel == *accel).unwrap();
             let sp = base / r.cycles as f64;
             row.push(fmt3(sp));
             per_accel[ai].push(sp);
@@ -145,11 +135,8 @@ mod tests {
                     .find(|r| r.model == m.name && r.accel == "BitFusion-16bit")
                     .unwrap()
                     .cycles as f64;
-                let c = rs
-                    .iter()
-                    .find(|r| r.model == m.name && r.accel == accel)
-                    .unwrap()
-                    .cycles as f64;
+                let c = rs.iter().find(|r| r.model == m.name && r.accel == accel).unwrap().cycles
+                    as f64;
                 v.push(base / c);
             }
             geomean(&v)

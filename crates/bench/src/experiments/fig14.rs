@@ -42,19 +42,15 @@ pub fn simulate(scale: Scale) -> Vec<LayerCycles> {
         } else {
             TransArrayConfig::paper_w8()
         };
-        let ta = TransitiveArray::new(TransArrayConfig {
-            sample_limit: scale.sample_limit,
-            ..cfg
-        });
+        let ta = TransitiveArray::new(TransArrayConfig { sample_limit: scale.sample_limit, ..cfg });
         let mut src = QuantGaussianSource::new(
             8,
             layer.weight_bits,
             ta.config().n_tile(),
             900 + layer.index as u64,
         );
-        let ta_cycles = ta
-            .simulate_layer(GemmShape::new(shape.n, shape.k, shape.m), &mut src)
-            .cycles;
+        let ta_cycles =
+            ta.simulate_layer(GemmShape::new(shape.n, shape.k, shape.m), &mut src).cycles;
         out.push(LayerCycles {
             index: layer.index,
             name: layer.name.to_string(),

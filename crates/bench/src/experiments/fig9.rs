@@ -37,12 +37,7 @@ pub fn design_point(width: u32, row_size: usize, tiles: usize, seed: u64) -> Til
 
 /// Runs all four panels.
 pub fn run(scale: Scale) -> Vec<Table> {
-    vec![
-        panel_a(scale),
-        panel_b(scale),
-        panel_c(scale),
-        panel_d(scale),
-    ]
+    vec![panel_a(scale), panel_b(scale), panel_c(scale), panel_d(scale)]
 }
 
 /// Panel (a): overall density (%) vs tiling row size for every bit width.

@@ -15,27 +15,15 @@ pub fn table1() -> Vec<Table> {
     let w4 = TransArrayConfig::paper_w4();
     let mut t = Table::new("Table 1 TransArray unit specification", &["field", "value"]);
     t.push_row(vec!["Bit-width".into(), format!("T = {}-bit TranSparsity", w8.width)]);
-    t.push_row(vec![
-        "TransRow number".into(),
-        format!("max {} 1-bit TransRows", w8.max_transrows),
-    ]);
+    t.push_row(vec!["TransRow number".into(), format!("max {} 1-bit TransRows", w8.max_transrows)]);
     t.push_row(vec![
         "Weight tiling".into(),
         format!("N = {} for 8-bit wgt; N = {} for 4-bit wgt", w8.n_tile(), w4.n_tile()),
     ]);
     t.push_row(vec!["Input tiling".into(), format!("M = {} for 8-bit input", w8.m_tile)]);
-    t.push_row(vec![
-        "PPE array".into(),
-        format!("{} x {} 12-bit adders", w8.width, w8.m_tile),
-    ]);
-    t.push_row(vec![
-        "APE array".into(),
-        format!("{} x {} 24-bit adders", w8.width, w8.m_tile),
-    ]);
-    t.push_row(vec![
-        "NoC".into(),
-        format!("an {}-way Benes net and crossbar", w8.width),
-    ]);
+    t.push_row(vec!["PPE array".into(), format!("{} x {} 12-bit adders", w8.width, w8.m_tile)]);
+    t.push_row(vec!["APE array".into(), format!("{} x {} 24-bit adders", w8.width, w8.m_tile)]);
+    t.push_row(vec!["NoC".into(), format!("an {}-way Benes net and crossbar", w8.width)]);
     t.push_row(vec![
         "Scoreboard".into(),
         format!("two {}-way {}-entry tables; a sorter", w8.width, 1 << w8.width),
@@ -113,10 +101,7 @@ pub fn table3(scale: Scale) -> Vec<Table> {
     let mut headers = vec!["model".to_string(), "metric".to_string()];
     headers.extend(methods.iter().map(|m| m.name().to_string()));
     let hs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        "Table 3 model accuracy proxy (pseudo-PPL / output SQNR dB)",
-        &hs,
-    );
+    let mut t = Table::new("Table 3 model accuracy proxy (pseudo-PPL / output SQNR dB)", &hs);
     let dim = scale.accuracy_dim;
     for (i, (model, base_ppl)) in FP16_PPL.iter().enumerate() {
         // Model size scales the feature dimension mildly so bigger models

@@ -22,8 +22,28 @@ impl Scale {
         Self { tiles: 3, sample_limit: 96, accuracy_dim: 64 }
     }
 
-    /// Reads `TA_SCALE=quick|full` from the environment (default full).
+    /// Reads `TA_SCALE=quick|full` from the environment (default full). A
+    /// `--smoke` or `--quick` CLI argument also selects [`Scale::quick`], so
+    /// `cargo run -p ta-bench --bin fig9 -- --smoke` works without env setup.
+    /// Any other argument is rejected — the figure binaries take nothing
+    /// else, and silently ignoring a typo'd flag would run the multi-minute
+    /// full-scale simulation instead of the intended smoke run.
     pub fn from_env() -> Self {
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" | "--quick" => quick = true,
+                other => {
+                    eprintln!(
+                        "error: unrecognized argument '{other}' (expected --smoke or --quick)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        if quick {
+            return Self::quick();
+        }
         match std::env::var("TA_SCALE").as_deref() {
             Ok("quick") => Self::quick(),
             _ => Self::full(),

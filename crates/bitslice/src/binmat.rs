@@ -162,8 +162,7 @@ impl BinaryMatrix {
                 break;
             }
             let src = &self.words[sr * self.words_per_row..(sr + 1) * self.words_per_row];
-            out.words[r * self.words_per_row..(r + 1) * self.words_per_row]
-                .copy_from_slice(src);
+            out.words[r * self.words_per_row..(r + 1) * self.words_per_row].copy_from_slice(src);
         }
         out
     }

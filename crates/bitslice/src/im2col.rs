@@ -140,10 +140,8 @@ pub fn conv_direct(shape: &ConvShape, weights: &MatI32, input: &MatI32) -> MatI3
                                 && (iy as usize) < shape.in_h
                                 && (ix as usize) < shape.in_w
                             {
-                                let w =
-                                    weights.get(oc, (c * shape.kh + ky) * shape.kw + kx) as i64;
-                                let x =
-                                    input.get(c, iy as usize * shape.in_w + ix as usize) as i64;
+                                let w = weights.get(oc, (c * shape.kh + ky) * shape.kw + kx) as i64;
+                                let x = input.get(c, iy as usize * shape.in_w + ix as usize) as i64;
                                 acc += w * x;
                             }
                         }

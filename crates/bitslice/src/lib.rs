@@ -54,8 +54,7 @@ mod proptests {
         let hi = (1i32 << (bits - 1)) - 1;
         let lo = -(1i32 << (bits - 1));
         (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
-            proptest::collection::vec(lo..=hi, r * c)
-                .prop_map(move |v| MatI32::from_vec(r, c, v))
+            proptest::collection::vec(lo..=hi, r * c).prop_map(move |v| MatI32::from_vec(r, c, v))
         })
     }
 

@@ -90,10 +90,7 @@ mod tests {
         // The exact traversal order hard-coded in Alg. 1 (with node 15 at
         // the end, which the paper's forward list omits because level-4
         // nodes have no suffixes to propagate to).
-        assert_eq!(
-            hamming_order(4),
-            vec![0, 1, 2, 4, 8, 3, 5, 6, 9, 10, 12, 7, 11, 13, 14, 15]
-        );
+        assert_eq!(hamming_order(4), vec![0, 1, 2, 4, 8, 3, 5, 6, 9, 10, 12, 7, 11, 13, 14, 15]);
     }
 
     #[test]

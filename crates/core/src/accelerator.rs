@@ -253,19 +253,15 @@ impl TransitiveArray {
     }
 
     fn finalize(&self, shape: GemmShape, agg: Agg, subtiles_total: u64) -> GemmReport {
-        let scale = if agg.simulated == 0 {
-            0.0
-        } else {
-            subtiles_total as f64 / agg.simulated as f64
-        };
+        let scale =
+            if agg.simulated == 0 { 0.0 } else { subtiles_total as f64 / agg.simulated as f64 };
         // §4.5: 4-bit activations split each PPE/APE into two halves, so
         // one pass covers `m_tile × act_split` input columns. Each op×m
         // unit then denotes twice the elements at half the per-element
         // adder/buffer cost, so the energy formulas below stay valid.
         let m_reps = shape.m.div_ceil(self.cfg.m_tile * self.cfg.act_split()) as f64;
         let units = self.cfg.units as f64;
-        let compute_cycles =
-            (agg.subtile_cycles as f64 * scale * m_reps / units).ceil() as u64;
+        let compute_cycles = (agg.subtile_cycles as f64 * scale * m_reps / units).ceil() as u64;
         let traffic = dram_traffic(
             shape,
             self.cfg.weight_bits,
@@ -532,11 +528,8 @@ mod tests {
         let sliced = BitSlicedMatrix::slice(&w, 8);
         let shape = GemmShape::new(128, 128, 512);
         let run = |act_bits: u32| {
-            let cfg = TransArrayConfig {
-                act_bits,
-                sample_limit: 0,
-                ..TransArrayConfig::paper_w8()
-            };
+            let cfg =
+                TransArrayConfig { act_bits, sample_limit: 0, ..TransArrayConfig::paper_w8() };
             let ta = TransitiveArray::new(cfg);
             let mut src = SlicedSource::new(&sliced, ta.config().n_tile(), 8);
             ta.simulate_layer(shape, &mut src)
@@ -551,10 +544,7 @@ mod tests {
 
     #[test]
     fn four_bit_activations_stay_exact() {
-        let cfg = TransArrayConfig {
-            act_bits: 4,
-            ..small_cfg(4, ScoreboardMode::Dynamic)
-        };
+        let cfg = TransArrayConfig { act_bits: 4, ..small_cfg(4, ScoreboardMode::Dynamic) };
         let ta = TransitiveArray::new(cfg);
         let w = det_mat(10, 12, 4, 13);
         let x = det_mat(12, 9, 4, 14);

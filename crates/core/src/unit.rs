@@ -130,11 +130,8 @@ pub fn xbar_group_conflicts(cfg: &TransArrayConfig, patterns: &[u16]) -> u64 {
     order.sort_unstable();
     let mut conflict = 0u64;
     for group in order.chunks(t) {
-        let rows: Vec<u64> = group
-            .iter()
-            .filter(|(pc, _)| *pc > 0)
-            .map(|&(_, i)| i as u64)
-            .collect();
+        let rows: Vec<u64> =
+            group.iter().filter(|(pc, _)| *pc > 0).map(|&(_, i)| i as u64).collect();
         if rows.is_empty() {
             continue;
         }
@@ -213,10 +210,7 @@ mod tests {
     fn static_report_has_no_scoreboard_stage() {
         let c = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
         let patterns = vec![0b1011u16, 0b1111, 0b0011, 0b0010];
-        let si = StaticSi::from_patterns(
-            ScoreboardConfig::with_width(4),
-            patterns.iter().copied(),
-        );
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
         let rep = process_static(&c, &si, &patterns);
         assert_eq!(rep.scoreboard_cycles, 0);
         assert_eq!(rep.total_ops, 4);
@@ -242,10 +236,7 @@ mod tests {
         let dyn_cfg = cfg();
         let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
         let patterns = [0b0111u16, 0b0101, 0b1111, 0b0001, 0b0101];
-        let si = StaticSi::from_patterns(
-            ScoreboardConfig::with_width(4),
-            patterns.iter().copied(),
-        );
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
         let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![j as i64 * 3 - 4]).collect();
         let d = evaluate_subtile(&dyn_cfg, None, &patterns, &inputs);
         let s = evaluate_subtile(&sta_cfg, Some(&si), &patterns, &inputs);
@@ -256,10 +247,7 @@ mod tests {
     fn static_functional_handles_unknown_patterns() {
         // Tile contains a pattern the calibration never saw.
         let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
-        let si = StaticSi::from_patterns(
-            ScoreboardConfig::with_width(4),
-            [0b0001u16],
-        );
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), [0b0001u16]);
         let patterns = [0b1010u16];
         let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![1i64 << j]).collect();
         let rows = evaluate_subtile(&sta_cfg, Some(&si), &patterns, &inputs);

@@ -1,0 +1,178 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The workspace must build without network access, so the real statistical
+//! harness cannot be a dependency. This crate implements the subset of the
+//! criterion API used by `crates/bench/benches/`: benchmarks compile
+//! unmodified, and running them executes each body a small fixed number of
+//! iterations, reporting the best observed wall-clock time. See this crate's
+//! `README.md` for the swap-back-to-real-criterion procedure.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark. Deliberately tiny: the goal is a smoke run that
+/// proves the benchmark bodies still execute, not a statistical measurement.
+const SMOKE_ITERS: u32 = 3;
+
+/// Entry point handed to each benchmark function, mirroring
+/// `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+}
+
+/// A named benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke harness ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the smoke harness ignores it.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as a named benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Run `f` with `input` as a parameterised benchmark within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the smoke harness).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the benchmark parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Timing loop handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best of a few iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if self.best.is_none_or(|b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+fn run_one<F>(id: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { best: None };
+    f(&mut bencher);
+    match bencher.best {
+        Some(best) => println!("bench {id:<48} best {best:>12.2?} (smoke, {SMOKE_ITERS} iters)"),
+        None => println!("bench {id:<48} (no timing loop executed)"),
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles benchmark functions into
+/// one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generates `fn main` running the
+/// given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, SMOKE_ITERS);
+    }
+
+    #[test]
+    fn group_with_input_runs_body() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| b.iter(|| seen = n));
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+}

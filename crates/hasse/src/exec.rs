@@ -72,11 +72,8 @@ impl ExecutionPlan {
                 kind: if e.transit { OpKind::Transit } else { OpKind::Present },
             });
         }
-        let outliers = sb
-            .outliers()
-            .iter()
-            .map(|&p| OutlierOp { node: p, lane: sb.node(p).lane })
-            .collect();
+        let outliers =
+            sb.outliers().iter().map(|&p| OutlierOp { node: p, lane: sb.node(p).lane }).collect();
         Self { width: sb.config().width, lanes, outliers }
     }
 
@@ -188,9 +185,7 @@ mod tests {
         // bit3=4: row 1011 → 6-2+4=8 ✓; 1111 → 6-2-5+4=3 ✓; 0011 → 4 ✓…
         let inputs: Vec<Vec<i64>> = vec![vec![6], vec![-2], vec![-5], vec![4]];
         let results = plan.evaluate(&inputs);
-        let get = |p: u16| {
-            results.iter().find(|(n, _)| *n == p).map(|(_, v)| v[0]).unwrap()
-        };
+        let get = |p: u16| results.iter().find(|(n, _)| *n == p).map(|(_, v)| v[0]).unwrap();
         assert_eq!(get(0b0010), -2);
         assert_eq!(get(0b0011), 6 + -2);
         assert_eq!(get(0b1011), 6 + -2 + 4);
@@ -247,8 +242,7 @@ mod tests {
     fn every_present_pattern_is_computed() {
         let patterns = [7u16, 7, 3, 9, 12, 0, 1];
         let plan = plan_for(&patterns, 4);
-        let computed: Vec<u16> =
-            plan.evaluate(&vec![vec![1]; 4]).iter().map(|(p, _)| *p).collect();
+        let computed: Vec<u16> = plan.evaluate(&vec![vec![1]; 4]).iter().map(|(p, _)| *p).collect();
         for p in [7u16, 3, 9, 12, 1] {
             assert!(computed.contains(&p), "pattern {p} missing");
         }

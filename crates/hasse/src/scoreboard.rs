@@ -346,15 +346,15 @@ impl Scoreboard {
                 let rotation = (i as u32) % width;
                 // (candidate parent, lane, activation cost).
                 let mut best: Option<(u16, u8, u64)> = None;
-                let consider = |parent: u16, lane: u8, extra: u64,
-                                    best: &mut Option<(u16, u8, u64)>,
-                                    workload: &[u64]| {
+                let consider = |parent: u16,
+                                lane: u8,
+                                extra: u64,
+                                best: &mut Option<(u16, u8, u64)>,
+                                workload: &[u64]| {
                     let score = workload[lane as usize] + extra;
                     let better = match best {
                         None => true,
-                        Some((_, bl, bextra)) => {
-                            score < workload[*bl as usize] + *bextra
-                        }
+                        Some((_, bl, bextra)) => score < workload[*bl as usize] + *bextra,
                     };
                     if better {
                         *best = Some((parent, lane, extra));
@@ -371,8 +371,7 @@ impl Scoreboard {
                     if pl != NO_LANE {
                         // Active, laned parent (present or transit stop).
                         consider(parent, pl, 0, &mut best, &self.lane_workload);
-                    } else if parent.count_ones() == 1 && self.nodes[parent as usize].count == 0
-                    {
+                    } else if parent.count_ones() == 1 && self.nodes[parent as usize].count == 0 {
                         // Absent level-1 parent: can open the least-loaded
                         // lane as a fresh transit root. Scored with a
                         // penalty of 2 — the extra transit add itself plus
@@ -482,8 +481,7 @@ mod tests {
         // Paper's result: Lane A = {1,5,7,15} (4 ops), Lane B = {2,2,6,14}
         // (4 ops). Our tie-breaks may swap lane ids or pick transit 10, but
         // the workload split must be 4/4.
-        let mut loads: Vec<u64> =
-            sb.lane_workload().iter().copied().filter(|&w| w > 0).collect();
+        let mut loads: Vec<u64> = sb.lane_workload().iter().copied().filter(|&w| w > 0).collect();
         loads.sort_unstable();
         assert_eq!(loads, vec![4, 4]);
         // Chain 1 → 5 → 7 → 15 shares one lane.
@@ -603,9 +601,8 @@ mod tests {
     #[test]
     fn chains_are_acyclic_and_single_bit_steps() {
         // Random-ish multiset; verify the one-prefix forest invariants.
-        let patterns: Vec<u16> = (0..200u32)
-            .map(|i| ((i.wrapping_mul(2654435761)) >> 24) as u16 & 0xFF)
-            .collect();
+        let patterns: Vec<u16> =
+            (0..200u32).map(|i| ((i.wrapping_mul(2654435761)) >> 24) as u16 & 0xFF).collect();
         let sb = Scoreboard::build(ScoreboardConfig::with_width(8), patterns);
         for p in sb.active_nodes() {
             if sb.is_outlier(p) {

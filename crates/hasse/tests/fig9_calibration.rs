@@ -21,15 +21,19 @@ fn density(width: u32, row_size: usize, total_rows: usize, cols: usize, seed: u6
     let mut first = true;
     for _tile in 0..(total_rows / row_size) {
         for _chunk in 0..chunks {
-            let patterns: Vec<u16> = (0..row_size)
-                .map(|_| (rng.next() & ((1u64 << width) - 1)) as u16)
-                .collect();
+            let patterns: Vec<u16> =
+                (0..row_size).map(|_| (rng.next() & ((1u64 << width) - 1)) as u16).collect();
             // Fig. 9 measures sparsity *potential*: uncapped chain length
             // (the figure's own Dis-5 bars show the DSE runs past the
             // hardware cap of 4).
             let sb = Scoreboard::build(ScoreboardConfig::unbounded(width), patterns);
             let s = TileStats::from_scoreboard(&sb);
-            if first { total = s; first = false; } else { total.merge(&s); }
+            if first {
+                total = s;
+                first = false;
+            } else {
+                total.merge(&s);
+            }
         }
     }
     total.density()
@@ -40,7 +44,8 @@ fn fig9a_densities_at_row_256() {
     // Paper prints 37.49 / 23.43 / 16.44 / 12.57 / 12.36 / 15.15 / 22.48 %
     // for T = 2/4/6/8/10/12/16. Run a scaled-down sweep (fewer tiles) and
     // check each within a tolerance band.
-    let expected = [(2u32, 37.49), (4, 23.43), (6, 16.44), (8, 12.57), (10, 12.36), (12, 15.15), (16, 22.48)];
+    let expected =
+        [(2u32, 37.49), (4, 23.43), (6, 16.44), (8, 12.57), (10, 12.36), (12, 15.15), (16, 22.48)];
     for (t, exp) in expected {
         // 16 tiles of 256 rows, two column-chunks' worth of randomness.
         let d = 100.0 * density(t, 256, 4096, (t as usize) * 2, 42 + t as u64);

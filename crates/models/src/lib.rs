@@ -63,11 +63,7 @@ mod integration {
         let mut src = UniformBitSource::new(8, 256, 7);
         let shape = GemmShape::new(1024, 1024, 64);
         let rep = ta.simulate_layer(shape, &mut src);
-        assert!(
-            (rep.density - 0.126).abs() < 0.012,
-            "density {} vs Fig. 9's 12.57%",
-            rep.density
-        );
+        assert!((rep.density - 0.126).abs() < 0.012, "density {} vs Fig. 9's 12.57%", rep.density);
     }
 
     #[test]

@@ -24,22 +24,50 @@ pub struct LlamaConfig {
 impl LlamaConfig {
     /// LLaMA-1 7B.
     pub fn l1_7b() -> Self {
-        Self { name: "L-1 7B", hidden: 4096, intermediate: 11008, heads: 32, kv_heads: 32, layers: 32 }
+        Self {
+            name: "L-1 7B",
+            hidden: 4096,
+            intermediate: 11008,
+            heads: 32,
+            kv_heads: 32,
+            layers: 32,
+        }
     }
 
     /// LLaMA-1 13B.
     pub fn l1_13b() -> Self {
-        Self { name: "L-1 13B", hidden: 5120, intermediate: 13824, heads: 40, kv_heads: 40, layers: 40 }
+        Self {
+            name: "L-1 13B",
+            hidden: 5120,
+            intermediate: 13824,
+            heads: 40,
+            kv_heads: 40,
+            layers: 40,
+        }
     }
 
     /// LLaMA-1 30B.
     pub fn l1_30b() -> Self {
-        Self { name: "L-1 30B", hidden: 6656, intermediate: 17920, heads: 52, kv_heads: 52, layers: 60 }
+        Self {
+            name: "L-1 30B",
+            hidden: 6656,
+            intermediate: 17920,
+            heads: 52,
+            kv_heads: 52,
+            layers: 60,
+        }
     }
 
     /// LLaMA-1 65B.
     pub fn l1_65b() -> Self {
-        Self { name: "L-1 65B", hidden: 8192, intermediate: 22016, heads: 64, kv_heads: 64, layers: 80 }
+        Self {
+            name: "L-1 65B",
+            hidden: 8192,
+            intermediate: 22016,
+            heads: 64,
+            kv_heads: 64,
+            layers: 80,
+        }
     }
 
     /// LLaMA-2 7B (same block shapes as LLaMA-1 7B).
@@ -54,7 +82,14 @@ impl LlamaConfig {
 
     /// LLaMA-3 8B (grouped-query attention: 8 KV heads).
     pub fn l3_8b() -> Self {
-        Self { name: "L-3 8B", hidden: 4096, intermediate: 14336, heads: 32, kv_heads: 8, layers: 32 }
+        Self {
+            name: "L-3 8B",
+            hidden: 4096,
+            intermediate: 14336,
+            heads: 32,
+            kv_heads: 8,
+            layers: 32,
+        }
     }
 
     /// The Fig. 10 roster in plotting order.

@@ -206,8 +206,7 @@ mod tests {
     #[test]
     fn uniform_bit_density_near_half() {
         let mut s = UniformBitSource::new(8, 4096, 13);
-        let ones: u64 =
-            s.subtile_patterns(0, 0).iter().map(|p| p.count_ones() as u64).sum();
+        let ones: u64 = s.subtile_patterns(0, 0).iter().map(|p| p.count_ones() as u64).sum();
         let density = ones as f64 / (4096.0 * 8.0);
         assert!((density - 0.5).abs() < 0.02, "{density}");
     }
@@ -229,23 +228,12 @@ mod tests {
         let mut uni_unique = 0usize;
         let mut real_unique = 0usize;
         for tile in 0..20 {
-            uni_unique += uni
-                .subtile_patterns(tile, 0)
-                .iter()
-                .copied()
-                .collect::<HashSet<u16>>()
-                .len();
-            real_unique += real
-                .subtile_patterns(tile, 0)
-                .iter()
-                .copied()
-                .collect::<HashSet<u16>>()
-                .len();
+            uni_unique +=
+                uni.subtile_patterns(tile, 0).iter().copied().collect::<HashSet<u16>>().len();
+            real_unique +=
+                real.subtile_patterns(tile, 0).iter().copied().collect::<HashSet<u16>>().len();
         }
-        assert!(
-            real_unique < uni_unique,
-            "real {real_unique} should be < uniform {uni_unique}"
-        );
+        assert!(real_unique < uni_unique, "real {real_unique} should be < uniform {uni_unique}");
     }
 
     #[test]
@@ -273,9 +261,6 @@ mod tests {
         let spikes = w.as_slice().iter().filter(|v| v.abs() >= 5.5).count();
         let total = w.len();
         let frac = spikes as f64 / total as f64;
-        assert!(
-            (0.0003..0.01).contains(&frac),
-            "element-outlier fraction {frac} should be ~0.1%"
-        );
+        assert!((0.0003..0.01).contains(&frac), "element-outlier fraction {frac} should be ~0.1%");
     }
 }

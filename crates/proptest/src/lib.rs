@@ -1,0 +1,224 @@
+//! Offline stand-in for the crates.io `proptest` property-testing framework.
+//!
+//! The workspace must build without network access, so the real framework
+//! cannot be a dependency. This crate implements the subset of the proptest
+//! API used by the workspace's `mod proptests` blocks: strategies are drawn
+//! from a deterministic per-test RNG (seeded from the test's name), the body
+//! runs once per generated case, and `prop_assert*` map onto the standard
+//! assertion macros. There is no shrinking and no failure persistence — a
+//! failing case prints its assertion message and the test's deterministic
+//! seed makes the failure reproducible. See this crate's `README.md` for the
+//! swap-back-to-real-proptest procedure.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans, mirroring
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    /// The type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length, mirroring
+    /// `proptest::collection::SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.saturating_sub(1) }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element` and
+    /// whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi.saturating_sub(self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Map of `proptest!`: expands each contained `#[test] fn name(pat in
+/// strategy, ..) { body }` into a standard `#[test]` that draws
+/// `Config::cases` inputs from the strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                // Counts cases that ran to completion. `prop_assume!` expands
+                // to `continue`, skipping the increment: unlike real proptest
+                // the rejected case is consumed rather than regenerated, so a
+                // too-restrictive assumption could silently make the whole
+                // test vacuous — the final assert below catches that.
+                let mut completed = 0u32;
+                for _case in 0..config.cases {
+                    $(
+                        let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);
+                    )+
+                    $body
+                    completed += 1;
+                }
+                assert!(
+                    completed > 0,
+                    "proptest stand-in: all {} generated cases were rejected by prop_assume! — \
+                     the property was never exercised",
+                    config.cases
+                );
+            }
+        )*
+    };
+}
+
+/// Map of `prop_assert!`: plain `assert!` (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Map of `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Map of `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Map of `prop_assume!`: skip the current generated case when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Map of `prop_oneof!`: pick one of the given strategies uniformly at
+/// random for each generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires bindings, strategies, and assertions together.
+        #[test]
+        fn macro_generates_working_tests(a in 0i32..10, b in 0i32..10) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        /// A viable assumption consumes some cases but the test still runs.
+        #[test]
+        fn assume_skips_without_vacuity(v in crate::collection::vec(0u32..4, 0..6)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() < 6);
+        }
+
+        /// An assumption that rejects every case must fail the test rather
+        /// than pass vacuously.
+        #[test]
+        #[should_panic(expected = "rejected by prop_assume!")]
+        fn assume_all_rejected_panics(x in 0i32..10) {
+            prop_assume!(x > 100);
+            prop_assert!(x > 100);
+        }
+    }
+}

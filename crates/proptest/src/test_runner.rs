@@ -1,0 +1,95 @@
+//! Test configuration and the deterministic RNG behind the stand-in.
+
+/// Per-`proptest!` configuration, mirroring
+/// `proptest::test_runner::Config` (exposed in the prelude as
+/// `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to generate per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running exactly `cases` cases (not subject to the
+    /// `PROPTEST_CASES` env override, matching real proptest's precedence
+    /// where the env var only feeds the default).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real proptest defaults to 256 and reads PROPTEST_CASES into the
+        // default, with explicit with_cases() taking precedence; mirror that.
+        // Absent the env var, the stand-in halves 256 to keep the workspace's
+        // simulator-heavy property tests CI-friendly.
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(128);
+        Config { cases }
+    }
+}
+
+/// Deterministic RNG (SplitMix64). Each test seeds it from its own name, so
+/// runs are reproducible without any persistence files.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_test("y");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = TestRng::for_test("f64");
+        for _ in 0..100 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

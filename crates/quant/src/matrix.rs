@@ -56,9 +56,7 @@ macro_rules! impl_matrix {
             ///
             /// Panics if `rows * cols` overflows `usize`.
             pub fn zeros(rows: usize, cols: usize) -> Self {
-                let len = rows
-                    .checked_mul(cols)
-                    .expect("matrix dimensions overflow usize");
+                let len = rows.checked_mul(cols).expect("matrix dimensions overflow usize");
                 Self { rows, cols, data: vec![$zero; len] }
             }
 
@@ -96,7 +94,11 @@ macro_rules! impl_matrix {
             }
 
             /// Builds a matrix by evaluating `f(row, col)` for every element.
-            pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> $elem) -> Self {
+            pub fn from_fn(
+                rows: usize,
+                cols: usize,
+                mut f: impl FnMut(usize, usize) -> $elem,
+            ) -> Self {
                 let mut data = Vec::with_capacity(rows * cols);
                 for r in 0..rows {
                     for c in 0..cols {
@@ -281,7 +283,7 @@ impl MatI32 {
     ///
     /// Panics if `bits` is 0 or greater than 32.
     pub fn fits_signed_bits(&self, bits: u32) -> bool {
-        assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32");
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
         if bits == 32 {
             return true;
         }

@@ -63,7 +63,8 @@ impl AntQuant {
                 let absmax = row[c0..c1].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
                 // Calibrate so the group's absmax lands in the extended
                 // octave: scale covers absmax/2 on the integer grid.
-                let scale = if absmax == 0.0 { 1.0 } else { (absmax / 2.0).max(f32::MIN_POSITIVE) / qmax };
+                let scale =
+                    if absmax == 0.0 { 1.0 } else { (absmax / 2.0).max(f32::MIN_POSITIVE) / qmax };
                 for c in c0..c1 {
                     out.set(r, c, self.encode(t.get(r, c), scale));
                 }

@@ -16,16 +16,16 @@ mod bitfusion;
 mod bitvert;
 mod fp16;
 mod olive;
-mod tender;
 mod taquant;
+mod tender;
 
 pub use ant::AntQuant;
 pub use bitfusion::BitFusionQuant;
 pub use bitvert::BitVertQuant;
 pub use fp16::Fp16Reference;
 pub use olive::OliveQuant;
-pub use tender::TenderQuant;
 pub use taquant::TaQuant;
+pub use tender::TenderQuant;
 
 use crate::error::{nmse, sqnr_db};
 use crate::matrix::{gemm_f32, MatF32};
@@ -168,12 +168,8 @@ mod tests {
 
     #[test]
     fn roster_has_paper_order() {
-        let names: Vec<String> =
-            table3_roster().iter().map(|m| m.name().to_owned()).collect();
-        assert_eq!(
-            names,
-            ["TD-4", "BF", "OL", "TD-8", "BV", "ANT", "TA-W4A8", "TA-W8A8", "FP16"]
-        );
+        let names: Vec<String> = table3_roster().iter().map(|m| m.name().to_owned()).collect();
+        assert_eq!(names, ["TD-4", "BF", "OL", "TD-8", "BV", "ANT", "TA-W4A8", "TA-W8A8", "FP16"]);
     }
 
     #[test]
@@ -181,9 +177,7 @@ mod tests {
         let (w, a) = llm_pair(64, 64, 32);
         let reports: Vec<MethodReport> =
             table3_roster().iter().map(|m| evaluate_method(m.as_ref(), &w, &a)).collect();
-        let get = |name: &str| {
-            reports.iter().find(|r| r.name == name).unwrap().output_nmse
-        };
+        let get = |name: &str| reports.iter().find(|r| r.name == name).unwrap().output_nmse;
         // The qualitative structure of Table 3:
         // Tender-4 is catastrophic; BitFusion (per-tensor) is clearly worse
         // than the outlier-aware / group-wise 8-bit methods; FP16 is best.

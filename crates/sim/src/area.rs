@@ -98,10 +98,7 @@ pub fn transarray_area(units: u64, lanes: u64, vector_width: u64, buffer_kb: f64
 
 /// A baseline's area model from its Table 2 PE geometry.
 pub fn baseline_area(name: &str, pe_um2: f64, rows: u64, cols: u64, buffer_kb: f64) -> AreaModel {
-    AreaModel {
-        components: vec![Component::new(name, pe_um2, rows * cols)],
-        buffer_kb,
-    }
+    AreaModel { components: vec![Component::new(name, pe_um2, rows * cols)], buffer_kb }
 }
 
 #[cfg(test)]
@@ -113,10 +110,7 @@ mod tests {
         // Table 2: TransArray (6 units) core = 0.443 mm².
         let a = transarray_area(6, 8, 32, 480.0);
         let core = a.core_mm2();
-        assert!(
-            (core - 0.443).abs() < 0.015,
-            "TransArray core {core:.3} mm² vs Table 2's 0.443"
-        );
+        assert!((core - 0.443).abs() < 0.015, "TransArray core {core:.3} mm² vs Table 2's 0.443");
     }
 
     #[test]
@@ -132,10 +126,7 @@ mod tests {
         for (name, pe, r, c, expected) in rows {
             let a = baseline_area(name, pe, r, c, 512.0);
             let core = a.core_mm2();
-            assert!(
-                (core - expected).abs() < 0.02,
-                "{name}: {core:.3} vs {expected}"
-            );
+            assert!((core - expected).abs() < 0.02, "{name}: {core:.3} vs {expected}");
         }
     }
 

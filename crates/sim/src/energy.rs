@@ -125,11 +125,7 @@ impl EnergyBreakdown {
 
     /// Grand total (pJ).
     pub fn total(&self) -> f64 {
-        self.core
-            + self.buffer_total()
-            + self.dram_dynamic
-            + self.dram_static
-            + self.core_static
+        self.core + self.buffer_total() + self.dram_dynamic + self.dram_static + self.core_static
     }
 
     /// Elementwise accumulation.

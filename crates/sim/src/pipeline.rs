@@ -89,8 +89,7 @@ mod tests {
     #[test]
     fn paper_claim_ppe_is_critical_path() {
         // §4.6: PPE ≥ APE always, SB ≤ both; steady state = Σ PPE.
-        let tiles: Vec<Vec<u64>> =
-            (0..20).map(|i| vec![8, 32 + (i % 3), 32]).collect();
+        let tiles: Vec<Vec<u64>> = (0..20).map(|i| vec![8, 32 + (i % 3), 32]).collect();
         let total_ppe: u64 = tiles.iter().map(|t| t[1]).sum();
         assert_eq!(steady_state_cycles(&tiles), total_ppe);
     }

@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example attention_online`
 
-use transitive_array::core::{
-    GemmShape, ScoreboardMode, TransArrayConfig, TransitiveArray,
-};
+use transitive_array::core::{GemmShape, ScoreboardMode, TransArrayConfig, TransitiveArray};
 use transitive_array::models::{QuantGaussianSource, StreamRng};
 use transitive_array::quant::{gemm_i32, MatI32};
 
@@ -29,12 +27,8 @@ fn main() {
     });
 
     // QKᵀ with the K cache as the "weight" tensor (§5.7).
-    let cfg = TransArrayConfig {
-        units: 2,
-        m_tile: 16,
-        sample_limit: 0,
-        ..TransArrayConfig::paper_w8()
-    };
+    let cfg =
+        TransArrayConfig { units: 2, m_tile: 16, sample_limit: 0, ..TransArrayConfig::paper_w8() };
     let ta = TransitiveArray::new(cfg.clone());
     let (scores, report) = ta.execute_gemm(&k_cache, &q);
     assert_eq!(scores, gemm_i32(&k_cache, &q), "attention scores must be exact");
@@ -48,10 +42,8 @@ fn main() {
 
     // Contrast: a static SI calibrated on a *different* sequence's K
     // cache misses constantly on this one.
-    let stale = TransitiveArray::new(TransArrayConfig {
-        scoreboard_mode: ScoreboardMode::Static,
-        ..cfg
-    });
+    let stale =
+        TransitiveArray::new(TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg });
     let (scores2, static_report) = stale.execute_gemm(&k_cache, &q);
     assert_eq!(scores2, gemm_i32(&k_cache, &q), "static mode stays exact");
     println!(

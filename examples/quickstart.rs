@@ -23,12 +23,8 @@ fn main() {
 
     // 3. Build the paper's accelerator (Table 1 design point, scaled the
     //    sub-tile knobs down a little for a toy matrix).
-    let cfg = TransArrayConfig {
-        units: 2,
-        m_tile: 8,
-        sample_limit: 0,
-        ..TransArrayConfig::paper_w8()
-    };
+    let cfg =
+        TransArrayConfig { units: 2, m_tile: 8, sample_limit: 0, ..TransArrayConfig::paper_w8() };
     let ta = TransitiveArray::new(cfg);
 
     // 4. Execute the GEMM on the Transitive Array (functionally exact).

@@ -12,9 +12,13 @@ use transitive_array::quant::MatI32;
 fn main() {
     // A small conv in the spirit of layer1 (3x3, 64ch) but scaled down so
     // the exact functional path runs instantly.
-    let shape = ConvShape { in_c: 8, out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1, in_h: 14, in_w: 14 };
+    let shape =
+        ConvShape { in_c: 8, out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1, in_h: 14, in_w: 14 };
     let (n, k, m) = shape.gemm_dims();
-    println!("conv {}x{}x{}x{} -> GEMM {}x{}x{}", shape.out_c, shape.in_c, shape.kh, shape.kw, n, k, m);
+    println!(
+        "conv {}x{}x{}x{} -> GEMM {}x{}x{}",
+        shape.out_c, shape.in_c, shape.kh, shape.kw, n, k, m
+    );
 
     let mut rng = StreamRng::new(0xC0DE);
     let weights = MatI32::from_fn(shape.out_c, shape.in_c * 9, |_, _| {

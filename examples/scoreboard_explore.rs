@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example scoreboard_explore`
 
-use transitive_array::hasse::{
-    ExecutionPlan, OpKind, Scoreboard, ScoreboardConfig, TileStats,
-};
+use transitive_array::hasse::{ExecutionPlan, OpKind, Scoreboard, ScoreboardConfig, TileStats};
 
 fn main() {
     let transrows: Vec<u16> = vec![14, 2, 5, 1, 15, 7, 2];
@@ -37,8 +35,10 @@ fn main() {
     }
 
     let stats = TileStats::from_scoreboard(&sb);
-    println!("\nclassification: ZR={} FR={} PR={} TR={} (total ops {})",
-        stats.zero_rows, stats.fr_rows, stats.pr_rows, stats.transit_ops, stats.total_ops);
+    println!(
+        "\nclassification: ZR={} FR={} PR={} TR={} (total ops {})",
+        stats.zero_rows, stats.fr_rows, stats.pr_rows, stats.transit_ops, stats.total_ops
+    );
     println!("density {:.1}% vs dense {} bit-ops", 100.0 * stats.density(), stats.dense_bit_ops);
     println!("lane PPE loads: {:?} (the figure's 4 + 4 OPs)", stats.lane_ppe);
 

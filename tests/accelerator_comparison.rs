@@ -46,10 +46,7 @@ fn ta4_speedup_over_olive_in_paper_band() {
     let ta_rep = accel.simulate_layer(shape, &mut src);
     let olive = Baseline::olive().simulate_gemm(shape, 8, 8, &em);
     let speedup = olive.cycles as f64 / ta_rep.cycles as f64;
-    assert!(
-        (5.0..9.5).contains(&speedup),
-        "TA-4bit vs Olive speedup {speedup} (paper: 7.46)"
-    );
+    assert!((5.0..9.5).contains(&speedup), "TA-4bit vs Olive speedup {speedup} (paper: 7.46)");
 }
 
 #[test]
@@ -65,10 +62,7 @@ fn transitive_density_beats_bit_sparsity_by_about_4x() {
     }
     bit_density /= 32.0;
     let ratio = bit_density / rep.density;
-    assert!(
-        (3.0..5.0).contains(&ratio),
-        "bit/transitive density ratio {ratio} (paper: ~4x)"
-    );
+    assert!((3.0..5.0).contains(&ratio), "bit/transitive density ratio {ratio} (paper: ~4x)");
 }
 
 #[test]

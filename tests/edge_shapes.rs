@@ -21,11 +21,7 @@ fn paper_cfg(weight_bits: u32, mode: ScoreboardMode) -> TransArrayConfig {
         units: 2,
         sample_limit: 0,
         scoreboard_mode: mode,
-        ..if weight_bits == 4 {
-            TransArrayConfig::paper_w4()
-        } else {
-            TransArrayConfig::paper_w8()
-        }
+        ..if weight_bits == 4 { TransArrayConfig::paper_w4() } else { TransArrayConfig::paper_w8() }
     }
 }
 
@@ -97,7 +93,7 @@ fn all_same_pattern_tile_hits_the_density_floor() {
     // each, so density sits exactly at the paper's 1/T floor ("we must
     // perform at least one accumulation operation for every T-bit
     // element", §5.2) instead of below it.
-    let row: Vec<i32> = (0..32).map(|c| ((c * 7) % 255) as i32 - 127).collect();
+    let row: Vec<i32> = (0..32).map(|c| ((c * 7) % 255) - 127).collect();
     let w = MatI32::from_fn(32, 32, |_, c| row[c]);
     let x = gauss_mat(32, 8, 8, 9);
     let ta = TransitiveArray::new(paper_cfg(8, ScoreboardMode::Dynamic));

@@ -59,9 +59,8 @@ fn fp32_to_accelerator_end_to_end() {
         out.get(r, c) as f32
     });
     let dense_int = gemm_i32(&w_q, &a_q);
-    let dense_f = MatF32::from_fn(dense_int.rows(), dense_int.cols(), |r, c| {
-        dense_int.get(r, c) as f32
-    });
+    let dense_f =
+        MatF32::from_fn(dense_int.rows(), dense_int.cols(), |r, c| dense_int.get(r, c) as f32);
     assert_eq!(out_f.as_slice(), dense_f.as_slice());
     // …and the fake-quant reference is close to FP32 (sanity on the
     // quantization substrate itself).

@@ -2,10 +2,10 @@
 //! numbers* — the quantitative anchors of the evaluation section.
 
 use transitive_array::bitslice::{bitonic_depth, BitSlicedMatrix};
+use transitive_array::core::PatternSource;
 use transitive_array::hasse::{Scoreboard, ScoreboardConfig, StaticSi, TileStats};
 use transitive_array::models::UniformBitSource;
 use transitive_array::quant::MatI32;
-use transitive_array::core::PatternSource;
 use transitive_array::sim::{transarray_area, BenesNetwork, EnergyModel};
 
 #[test]
@@ -29,10 +29,7 @@ fn abstract_speedup_claim_8x_over_dense() {
     let mut src = UniformBitSource::new(8, 256, 9);
     let mut total: Option<TileStats> = None;
     for t in 0..16 {
-        let sb = Scoreboard::build(
-            ScoreboardConfig::with_width(8),
-            src.subtile_patterns(t, 0),
-        );
+        let sb = Scoreboard::build(ScoreboardConfig::with_width(8), src.subtile_patterns(t, 0));
         let s = TileStats::from_scoreboard(&sb);
         match &mut total {
             None => total = Some(s),
@@ -104,10 +101,7 @@ fn distance_gt1_rows_are_rare_at_design_point() {
     let mut gt1 = 0u64;
     let mut rows = 0u64;
     for t in 0..32 {
-        let sb = Scoreboard::build(
-            ScoreboardConfig::with_width(8),
-            src.subtile_patterns(t, 0),
-        );
+        let sb = Scoreboard::build(ScoreboardConfig::with_width(8), src.subtile_patterns(t, 0));
         let s = TileStats::from_scoreboard(&sb);
         gt1 += s.distance_rows[2..].iter().sum::<u64>() + s.outlier_rows as u64;
         rows += s.rows as u64;
@@ -127,9 +121,7 @@ fn energy_model_motivates_multiplication_free() {
 #[test]
 fn quantized_llama_like_matrix_round_trips_at_scale() {
     // A bigger slice-reconstruct at int8 (the Fig. 2 pipeline).
-    let w = MatI32::from_fn(64, 96, |r, c| {
-        (((r * 96 + c) as i64 * 2654435761 % 255) - 127) as i32
-    });
+    let w = MatI32::from_fn(64, 96, |r, c| (((r * 96 + c) as i64 * 2654435761 % 255) - 127) as i32);
     let sliced = BitSlicedMatrix::slice(&w, 8);
     assert_eq!(sliced.reconstruct(), w);
     assert_eq!(sliced.binary_rows(), 512);
