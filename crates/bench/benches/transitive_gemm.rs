@@ -1,9 +1,18 @@
 //! Criterion benchmark: the transitive GEMM engine vs the dense integer
-//! reference (functional throughput of the simulator, not the modeled
-//! hardware cycles).
+//! reference, plus serial vs parallel tile execution (functional
+//! throughput of the simulator, not the modeled hardware cycles).
+//!
+//! Besides the criterion smoke timings, the serial/parallel pair is
+//! measured directly and written as machine-readable JSON under
+//! `target/experiments/transitive_gemm_bench.json` (the same record
+//! format the `bench_smoke` CI gate consumes).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ta_core::{TransArrayConfig, TransitiveArray};
+use std::time::Instant;
+use ta_bench::perf::{PerfRecord, PerfReport};
+use ta_bench::{experiments_dir, Scale};
+use ta_core::{runtime, GemmShape, TransArrayConfig, TransitiveArray};
+use ta_models::QuantGaussianSource;
 use ta_quant::{gemm_i32, MatI32};
 
 fn mats() -> (MatI32, MatI32) {
@@ -12,25 +21,95 @@ fn mats() -> (MatI32, MatI32) {
     (w, x)
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let (w, x) = mats();
-    c.bench_function("dense_gemm_i32_64x64x32", |b| {
-        b.iter(|| gemm_i32(black_box(&w), black_box(&x)))
-    });
-    let ta = TransitiveArray::new(TransArrayConfig {
+fn small_ta(threads: usize) -> TransitiveArray {
+    TransitiveArray::new(TransArrayConfig {
         width: 4,
         max_transrows: 16,
         weight_bits: 4,
         m_tile: 32,
         units: 2,
         sample_limit: 0,
+        threads,
         ..TransArrayConfig::paper_w8()
+    })
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (w, x) = mats();
+    c.bench_function("dense_gemm_i32_64x64x32", |b| {
+        b.iter(|| gemm_i32(black_box(&w), black_box(&x)))
     });
     let w4 = MatI32::from_fn(64, 64, |r, c| (((r * 64 + c) as i64 * 40503 % 15) - 7) as i32);
-    c.bench_function("transitive_gemm_64x64x32_w4", |b| {
-        b.iter(|| ta.execute_gemm(black_box(&w4), black_box(&x)))
+    let serial = small_ta(1);
+    c.bench_function("transitive_gemm_64x64x32_w4_serial", |b| {
+        b.iter(|| serial.execute_gemm(black_box(&w4), black_box(&x)))
+    });
+    let parallel = small_ta(0);
+    c.bench_function("transitive_gemm_64x64x32_w4_parallel", |b| {
+        b.iter(|| parallel.execute_gemm(black_box(&w4), black_box(&x)))
     });
 }
 
-criterion_group!(benches, bench_engines);
+/// Serial vs parallel layer simulation of the full-scale LLaMA-7B
+/// `q_proj` GEMM, timed directly so the speedup lands in JSON.
+fn bench_l7b_layer(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let shape = GemmShape::new(4096, 4096, 2048);
+    let run = |threads: usize| {
+        let ta = TransitiveArray::new(TransArrayConfig {
+            sample_limit: scale.sample_limit,
+            threads,
+            ..TransArrayConfig::paper_w8()
+        });
+        let n_tile = ta.config().n_tile();
+        let start = Instant::now();
+        let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
+        let rep = ta.simulate_layer(shape, &mut src);
+        (rep, start.elapsed().as_secs_f64())
+    };
+    let (serial_rep, serial_wall) = run(1);
+    let (parallel_rep, parallel_wall) = run(0);
+    assert_eq!(serial_rep, parallel_rep, "parallel layer simulation must be bit-exact");
+
+    let mut g = c.benchmark_group("l7b_qproj_quick");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| run(1)));
+    g.bench_function("parallel", |b| b.iter(|| run(0)));
+    g.finish();
+
+    let record = |name: &str, wall: f64| PerfRecord {
+        name: name.to_string(),
+        cycles: serial_rep.cycles,
+        total_ops: serial_rep.total_ops,
+        density: serial_rep.density,
+        macs_per_cycle: serial_rep.macs_per_cycle(),
+        wall_s: wall,
+        wall_norm: 0.0,
+    };
+    let report = PerfReport {
+        schema: 1,
+        sha: "bench".to_string(),
+        scale: scale.name().to_string(),
+        threads: runtime::Runtime::new(0).threads(),
+        cores: runtime::available_cores(),
+        calibration_wall_s: 0.0,
+        speedup_parallel: if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 },
+        workloads: vec![
+            record("l7b_qproj_serial", serial_wall),
+            record("l7b_qproj_parallel", parallel_wall),
+        ],
+    };
+    let dir = experiments_dir();
+    let path = dir.join("transitive_gemm_bench.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report.to_json())) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+    println!(
+        "l7b_qproj serial {serial_wall:.3}s vs parallel {parallel_wall:.3}s -> {:.2}x at {} threads",
+        report.speedup_parallel, report.threads
+    );
+}
+
+criterion_group!(benches, bench_engines, bench_l7b_layer);
 criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! CI bench-smoke driver: runs the perf suite (serial + parallel tile
+//! execution on a full-scale LLaMA-7B layer plus a Fig. 9 design
+//! point), writes `BENCH_<sha>.json`, and fails on >20% regression
+//! against a committed baseline.
+//!
+//! ```text
+//! bench_smoke [--smoke|--quick] [--baseline <path>] [--output <path>]
+//!             [--write-baseline <path>] [--require-baseline]
+//! ```
+//!
+//! * scale: `--smoke`/`--quick` or `TA_SCALE=quick|full` (default full;
+//!   unknown values are rejected);
+//! * threads: `TA_THREADS` (default `0` = one worker per core);
+//! * `TA_BENCH_INJECT_SLOWDOWN=<factor>` multiplies the measured wall
+//!   times — a self-test hook that lets CI (or a reviewer) confirm the
+//!   gate actually trips; never set it in a real run.
+
+use std::process::Command;
+use ta_bench::perf::{self, PerfReport, GATE_TOLERANCE};
+use ta_bench::Scale;
+use ta_core::runtime;
+
+fn resolve_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    if let Ok(out) = Command::new("git").args(["rev-parse", "--short=12", "HEAD"]).output() {
+        if out.status.success() {
+            let sha = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    "local".to_string()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+struct Args {
+    scale: Scale,
+    baseline: Option<String>,
+    output: Option<String>,
+    write_baseline: Option<String>,
+    require_baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: match std::env::var("TA_SCALE") {
+            Err(_) => Scale::full(),
+            Ok(v) => Scale::parse(&v).unwrap_or_else(|e| fail(&e)),
+        },
+        baseline: None,
+        output: None,
+        write_baseline: None,
+        require_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| fail(&format!("{name} requires a path argument")))
+        };
+        match arg.as_str() {
+            "--smoke" | "--quick" => args.scale = Scale::quick(),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--output" => args.output = Some(value("--output")),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")),
+            "--require-baseline" => args.require_baseline = true,
+            other => fail(&format!(
+                "unrecognized argument '{other}' (expected --smoke, --baseline, --output, --write-baseline, or --require-baseline)"
+            )),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = match runtime::threads_from_env() {
+        Ok(t) => t.unwrap_or(0),
+        Err(e) => fail(&e),
+    };
+
+    println!(
+        "bench_smoke: scale={} threads={} cores={}",
+        args.scale.name(),
+        threads,
+        runtime::available_cores()
+    );
+    let mut report = perf::run_suite(args.scale, threads);
+    report.sha = resolve_sha();
+
+    // Gate self-test hook: scale the measured wall times so a reviewer
+    // can watch the gate trip without slowing the simulator down.
+    match std::env::var("TA_BENCH_INJECT_SLOWDOWN") {
+        Err(_) => {}
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(factor) if factor.is_finite() && factor > 0.0 => {
+                if args.write_baseline.is_some() {
+                    fail("refusing --write-baseline while TA_BENCH_INJECT_SLOWDOWN is set: a self-test run must not become the baseline");
+                }
+                eprintln!("warning: TA_BENCH_INJECT_SLOWDOWN={factor} is scaling wall times — this run is a gate self-test, not a measurement");
+                for w in &mut report.workloads {
+                    w.wall_s *= factor;
+                    w.wall_norm *= factor;
+                }
+                report.speedup_parallel /= factor.max(f64::MIN_POSITIVE);
+            }
+            _ => {
+                fail(&format!("invalid TA_BENCH_INJECT_SLOWDOWN '{v}': expected a positive number"))
+            }
+        },
+    }
+
+    for w in &report.workloads {
+        println!(
+            "  {:<24} cycles {:>14}  macs/cycle {:>10.1}  wall {:>9.4}s  norm {:>9.1}",
+            w.name, w.cycles, w.macs_per_cycle, w.wall_s, w.wall_norm
+        );
+    }
+    println!(
+        "  serial/parallel speedup: {:.2}x at {} threads ({} cores)",
+        report.speedup_parallel, report.threads, report.cores
+    );
+
+    let output = args.output.unwrap_or_else(|| format!("BENCH_{}.json", report.sha));
+    if let Err(e) = std::fs::write(&output, report.to_json()) {
+        fail(&format!("failed to write {output}: {e}"));
+    }
+    println!("[json] {output}");
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            fail(&format!("failed to write {path}: {e}"));
+        }
+        println!("[json] {path} (baseline refreshed)");
+    }
+
+    let baseline_path = args.baseline.unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) if args.require_baseline => {
+            fail(&format!("baseline {baseline_path} unreadable: {e}"))
+        }
+        Err(_) => {
+            println!("no baseline at {baseline_path}; skipping the regression gate");
+            return;
+        }
+    };
+    let baseline = PerfReport::from_json(&baseline_text)
+        .unwrap_or_else(|e| fail(&format!("malformed baseline {baseline_path}: {e}")));
+    let outcome = perf::compare(&baseline, &report, GATE_TOLERANCE);
+    for note in &outcome.notes {
+        println!("note: {note}");
+    }
+    if outcome.passed() {
+        println!(
+            "gate: PASS vs {} ({} workloads, {:.0}% tolerance)",
+            baseline_path,
+            baseline.workloads.len(),
+            GATE_TOLERANCE * 100.0
+        );
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("gate FAILURE: {failure}");
+        }
+        eprintln!(
+            "gate: FAIL vs {} — {} regression(s) past the {:.0}% tolerance",
+            baseline_path,
+            outcome.failures.len(),
+            GATE_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -19,18 +19,24 @@
 //! | `fig14` | Fig. 14 — ResNet-18 per-layer speedups |
 //!
 //! Set `TA_SCALE=quick` for smoke-scale runs.
+//!
+//! The `bench_smoke` binary additionally runs the [`perf`] suite —
+//! serial vs parallel tile execution on a full-scale LLaMA-7B layer —
+//! writes a machine-readable `BENCH_<sha>.json`, and gates against the
+//! committed `BENCH_baseline.json` (>20% regressions fail CI).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 mod report;
 mod scale;
 
 pub use report::{experiments_dir, fmt3, geomean, Table};
 pub use scale::Scale;
 
-/// Prints a set of tables and writes them as CSVs under
+/// Prints a set of tables and writes each as CSV **and** JSON under
 /// `target/experiments/`, reporting any I/O problem to stderr without
 /// failing the run.
 pub fn emit(tables: &[Table]) {
@@ -38,8 +44,12 @@ pub fn emit(tables: &[Table]) {
     for t in tables {
         t.print();
         match t.write_csv(&dir) {
-            Ok(path) => println!("[csv] {}\n", path.display()),
+            Ok(path) => println!("[csv] {}", path.display()),
             Err(e) => eprintln!("[csv] failed to write {}: {e}", t.title),
+        }
+        match t.write_json(&dir) {
+            Ok(path) => println!("[json] {}\n", path.display()),
+            Err(e) => eprintln!("[json] failed to write {}: {e}", t.title),
         }
     }
 }

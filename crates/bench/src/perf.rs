@@ -1,0 +1,841 @@
+//! Machine-readable performance records and the CI regression gate.
+//!
+//! The `bench_smoke` binary runs [`run_suite`] — a fixed workload roster
+//! (a Fig. 9 design point plus a full-scale LLaMA-7B `q_proj` layer
+//! simulated serially and in parallel) — and writes the result as
+//! `BENCH_<sha>.json`. CI compares that against the committed
+//! `BENCH_baseline.json` with [`compare`] and fails on >20% regressions.
+//!
+//! Two measurement choices keep the gate portable across machines:
+//!
+//! * **normalized wall time** (`wall_norm`): every workload's wall time
+//!   is divided by an in-process dense-GEMM calibration loop timed the
+//!   same way, so "this runner is 2× slower than the baseline machine"
+//!   cancels out while "this commit made the simulator 2× slower" does
+//!   not;
+//! * **model metrics** (`cycles`, `total_ops`, `density`,
+//!   `macs_per_cycle`) are deterministic simulator outputs — any drift
+//!   is a behavior change, not noise, and the serial/parallel pair is
+//!   additionally checked for bit-equality on every run.
+//!
+//! JSON is emitted and parsed by a purpose-built micro-codec below
+//! (serde is unavailable offline); it round-trips exactly the subset
+//! this module writes.
+
+use crate::scale::Scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+use ta_core::{runtime, GemmShape, TransArrayConfig, TransitiveArray};
+use ta_models::QuantGaussianSource;
+use ta_quant::{gemm_i32, MatI32};
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Workload name (stable across runs; the gate joins on it).
+    pub name: String,
+    /// Modeled end-to-end cycles (0 for workloads without a cycle model).
+    pub cycles: u64,
+    /// Modeled accumulate ops (0 when not applicable).
+    pub total_ops: u64,
+    /// Transitive density (0 when not applicable).
+    pub density: f64,
+    /// Dense-equivalent MACs per modeled cycle (0 when not applicable).
+    pub macs_per_cycle: f64,
+    /// Host wall-clock seconds (best of the measurement repeats).
+    pub wall_s: f64,
+    /// `wall_s` normalized by the calibration loop (machine-portable).
+    pub wall_norm: f64,
+}
+
+/// One full bench-smoke run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// JSON schema version.
+    pub schema: u64,
+    /// Commit the run measured.
+    pub sha: String,
+    /// Scale name (`quick`/`full`) — baselines only compare at equal scale.
+    pub scale: String,
+    /// Resolved parallel worker count used by the `*_parallel` workloads.
+    pub threads: usize,
+    /// Available host cores (speedups are only gated on ≥4-core hosts).
+    pub cores: usize,
+    /// Wall seconds of the dense-GEMM calibration loop.
+    pub calibration_wall_s: f64,
+    /// Serial wall / parallel wall for the LLaMA-7B layer.
+    pub speedup_parallel: f64,
+    /// Measured workloads.
+    pub workloads: Vec<PerfRecord>,
+}
+
+/// Relative regression tolerance of the CI gate (>20% fails).
+pub const GATE_TOLERANCE: f64 = 0.20;
+
+// ---------------------------------------------------------------------------
+// Suite
+// ---------------------------------------------------------------------------
+
+/// The full-scale LLaMA-7B `q_proj` GEMM (hidden 4096, prefill 2048).
+pub fn l7b_qproj_shape() -> GemmShape {
+    GemmShape::new(4096, 4096, 2048)
+}
+
+/// Minimum wall time one timing sample must span. Sub-millisecond
+/// workloads are repeated until a sample reaches this floor — a single
+/// 100 µs run carries far more than the gate's 20% tolerance in timer
+/// and scheduler noise.
+const MIN_SAMPLE_S: f64 = 0.02;
+
+/// Timing samples per workload (the minimum is reported).
+const SAMPLES: usize = 3;
+
+/// Times `f`: a pilot run sizes an iteration batch spanning at least
+/// [`MIN_SAMPLE_S`], then the best per-iteration time over [`SAMPLES`]
+/// batches is returned along with `f`'s (deterministic) result.
+fn measure<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let mut out = f();
+    let pilot = start.elapsed().as_secs_f64();
+    let iters = if pilot >= MIN_SAMPLE_S {
+        1
+    } else {
+        ((MIN_SAMPLE_S / pilot.max(1e-9)).ceil() as usize).min(100_000)
+    };
+    // A single run cannot measure faster than the true cost, so the
+    // pilot participates in the minimum.
+    let mut best = pilot;
+    for _ in 0..SAMPLES.saturating_sub(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            out = f();
+        }
+        let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    (out, best)
+}
+
+/// Times the dense integer reference GEMM the suite normalizes against.
+fn calibration_loop() -> f64 {
+    let w = MatI32::from_fn(96, 96, |r, c| (((r * 96 + c) as i64 * 40503 % 255) - 127) as i32);
+    let x = MatI32::from_fn(96, 96, |r, c| (((r * 96 + c) as i64 * 9973 % 255) - 127) as i32);
+    let (_, wall) = measure(|| gemm_i32(&w, &x));
+    wall
+}
+
+/// Runs the bench-smoke workload roster at `scale` with `threads`
+/// parallel workers (`0` = one per core) and returns the report
+/// (`sha` is left empty for the caller to fill in).
+///
+/// # Panics
+///
+/// Panics if the parallel LLaMA-7B run is not bit-identical to the
+/// serial run — that is a determinism-contract violation, which the CI
+/// gate must surface loudly.
+pub fn run_suite(scale: Scale, threads: usize) -> PerfReport {
+    let cores = runtime::available_cores();
+    let resolved_threads = runtime::Runtime::new(threads).threads();
+    let calibration = calibration_loop();
+    let norm = |wall: f64| if calibration > 0.0 { wall / calibration } else { 0.0 };
+    let mut workloads = Vec::new();
+
+    // Fig. 9 design point: Scoreboard-only, the DSE hot path.
+    let (stats, wall) =
+        measure(|| crate::experiments::fig9::design_point(8, 256, scale.tiles.max(2), 42));
+    workloads.push(PerfRecord {
+        name: "fig9_dse_t8_r256".into(),
+        cycles: 0,
+        total_ops: stats.total_ops,
+        density: stats.density(),
+        macs_per_cycle: 0.0,
+        wall_s: wall,
+        wall_norm: norm(wall),
+    });
+
+    // Full-scale LLaMA-7B q_proj, serial then parallel (same config
+    // except the threads knob); the pair must agree bit-exactly.
+    let shape = l7b_qproj_shape();
+    let layer_cfg = |threads: usize| TransArrayConfig {
+        sample_limit: scale.sample_limit,
+        threads,
+        ..TransArrayConfig::paper_w8()
+    };
+    let run_layer = |threads: usize| {
+        let ta = TransitiveArray::new(layer_cfg(threads));
+        let n_tile = ta.config().n_tile();
+        measure(move || {
+            let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
+            ta.simulate_layer(shape, &mut src)
+        })
+    };
+    let (serial_rep, serial_wall) = run_layer(1);
+    let (parallel_rep, parallel_wall) = run_layer(resolved_threads);
+    assert_eq!(
+        serial_rep, parallel_rep,
+        "determinism violation: parallel LLaMA-7B q_proj report differs from serial"
+    );
+    for (name, rep, wall) in [
+        ("l7b_qproj_serial", &serial_rep, serial_wall),
+        ("l7b_qproj_parallel", &parallel_rep, parallel_wall),
+    ] {
+        workloads.push(PerfRecord {
+            name: name.into(),
+            cycles: rep.cycles,
+            total_ops: rep.total_ops,
+            density: rep.density,
+            macs_per_cycle: rep.macs_per_cycle(),
+            wall_s: wall,
+            wall_norm: norm(wall),
+        });
+    }
+
+    let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 };
+    PerfReport {
+        schema: 1,
+        sha: String::new(),
+        scale: scale.name().to_string(),
+        threads: resolved_threads,
+        cores,
+        calibration_wall_s: calibration,
+        speedup_parallel: speedup,
+        workloads,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate
+// ---------------------------------------------------------------------------
+
+/// Result of comparing a run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Hard failures (CI exits non-zero when non-empty).
+    pub failures: Vec<String>,
+    /// Informational notes (improvements, skipped checks).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn check_ratio(
+    out: &mut GateOutcome,
+    workload: &str,
+    metric: &str,
+    baseline: f64,
+    current: f64,
+    higher_is_worse: bool,
+    tolerance: f64,
+) {
+    if baseline <= 0.0 {
+        // The baseline marks this metric not-applicable for the workload
+        // (e.g. the Fig. 9 design point has no cycle model).
+        return;
+    }
+    if current <= 0.0 {
+        // A metric the baseline measured cannot legitimately collapse to
+        // zero — that is a broken simulator, not an improvement.
+        out.failures
+            .push(format!("{workload}/{metric} collapsed to zero (baseline {baseline:.4e})"));
+        return;
+    }
+    let ratio = current / baseline;
+    let (regressed, improved) = if higher_is_worse {
+        (ratio > 1.0 + tolerance, ratio < 1.0 - tolerance)
+    } else {
+        (ratio < 1.0 - tolerance, ratio > 1.0 + tolerance)
+    };
+    if regressed {
+        out.failures.push(format!(
+            "{workload}/{metric} regressed {:.1}% past the {:.0}% gate ({baseline:.4e} -> {current:.4e})",
+            (ratio - 1.0).abs() * 100.0,
+            tolerance * 100.0,
+        ));
+    } else if improved {
+        out.notes.push(format!(
+            "{workload}/{metric} improved ({baseline:.4e} -> {current:.4e}) — consider refreshing the baseline"
+        ));
+    }
+}
+
+/// Compares `current` against `baseline` at `tolerance` (relative).
+///
+/// Deterministic model metrics (`cycles`, `total_ops`, `density`,
+/// `macs_per_cycle`) always gate hard. `wall_norm` gates only when the
+/// two runs saw the same core count — the calibration loop cancels
+/// clock-speed differences but not microarchitectural ones, so a
+/// baseline from a different machine shape would flake. The parallel
+/// speedup additionally requires ≥4 cores on both sides (a 1-core
+/// runner cannot show a speedup, only overhead).
+pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if baseline.scale != current.scale {
+        out.failures.push(format!(
+            "scale mismatch: baseline '{}' vs current '{}' — regenerate the baseline at the gate's scale",
+            baseline.scale, current.scale
+        ));
+        return out;
+    }
+    for base in &baseline.workloads {
+        let Some(cur) = current.workloads.iter().find(|w| w.name == base.name) else {
+            out.failures.push(format!("workload '{}' missing from current run", base.name));
+            continue;
+        };
+        check_ratio(
+            &mut out,
+            &base.name,
+            "cycles",
+            base.cycles as f64,
+            cur.cycles as f64,
+            true,
+            tolerance,
+        );
+        check_ratio(
+            &mut out,
+            &base.name,
+            "total_ops",
+            base.total_ops as f64,
+            cur.total_ops as f64,
+            true,
+            tolerance,
+        );
+        check_ratio(&mut out, &base.name, "density", base.density, cur.density, true, tolerance);
+        check_ratio(
+            &mut out,
+            &base.name,
+            "macs_per_cycle",
+            base.macs_per_cycle,
+            cur.macs_per_cycle,
+            false,
+            tolerance,
+        );
+        if baseline.cores == current.cores {
+            check_ratio(
+                &mut out,
+                &base.name,
+                "wall_norm",
+                base.wall_norm,
+                cur.wall_norm,
+                true,
+                tolerance,
+            );
+        }
+    }
+    if baseline.cores != current.cores {
+        out.notes.push(format!(
+            "wall_norm gate skipped (baseline cores {}, current cores {}; refresh the baseline from a machine of the runner's shape to arm it)",
+            baseline.cores, current.cores
+        ));
+    }
+    if baseline.cores >= 4 && current.cores >= 4 {
+        check_ratio(
+            &mut out,
+            "l7b_qproj",
+            "speedup_parallel",
+            baseline.speedup_parallel,
+            current.speedup_parallel,
+            false,
+            tolerance,
+        );
+    } else {
+        out.notes.push(format!(
+            "speedup gate skipped (baseline cores {}, current cores {}; needs >= 4 on both)",
+            baseline.cores, current.cores
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON micro-codec
+// ---------------------------------------------------------------------------
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Quotes and escapes a string for JSON output (shared with the figure
+/// tables' JSON writer).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl PerfRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": {}, \"cycles\": {}, \"total_ops\": {}, \"density\": {}, \"macs_per_cycle\": {}, \"wall_s\": {}, \"wall_norm\": {}}}",
+            json_str(&self.name),
+            self.cycles,
+            self.total_ops,
+            json_f64(self.density),
+            json_f64(self.macs_per_cycle),
+            json_f64(self.wall_s),
+            json_f64(self.wall_norm),
+        )
+    }
+}
+
+impl PerfReport {
+    /// Serializes the report as pretty-ish JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"sha\": {},", json_str(&self.sha));
+        let _ = writeln!(out, "  \"scale\": {},", json_str(&self.scale));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"cores\": {},", self.cores);
+        let _ = writeln!(out, "  \"calibration_wall_s\": {},", json_f64(self.calibration_wall_s));
+        let _ = writeln!(out, "  \"speedup_parallel\": {},", json_f64(self.speedup_parallel));
+        let _ = writeln!(out, "  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let comma = if i + 1 < self.workloads.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", w.to_json());
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a report emitted by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on malformed input or missing
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonParser::new(text).parse()?;
+        let obj = value.as_obj("top level")?;
+        let workloads = obj
+            .get("workloads")?
+            .as_arr("workloads")?
+            .iter()
+            .map(|w| {
+                let o = w.as_obj("workload")?;
+                Ok(PerfRecord {
+                    name: o.get("name")?.as_str("name")?.to_string(),
+                    cycles: o.get("cycles")?.as_u64("cycles")?,
+                    total_ops: o.get("total_ops")?.as_u64("total_ops")?,
+                    density: o.get("density")?.as_f64("density")?,
+                    macs_per_cycle: o.get("macs_per_cycle")?.as_f64("macs_per_cycle")?,
+                    wall_s: o.get("wall_s")?.as_f64("wall_s")?,
+                    wall_norm: o.get("wall_norm")?.as_f64("wall_norm")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            schema: obj.get("schema")?.as_u64("schema")?,
+            sha: obj.get("sha")?.as_str("sha")?.to_string(),
+            scale: obj.get("scale")?.as_str("scale")?.to_string(),
+            threads: obj.get("threads")?.as_u64("threads")? as usize,
+            cores: obj.get("cores")?.as_u64("cores")? as usize,
+            calibration_wall_s: obj.get("calibration_wall_s")?.as_f64("calibration_wall_s")?,
+            speedup_parallel: obj.get("speedup_parallel")?.as_f64("speedup_parallel")?,
+            workloads,
+        })
+    }
+}
+
+/// Minimal JSON value (the subset [`PerfReport::to_json`] emits).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonObj<'a>(&'a [(String, Json)]);
+
+impl<'a> JsonObj<'a> {
+    fn get(&self, key: &str) -> Result<&'a Json, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+}
+
+impl Json {
+    fn as_obj(&self, ctx: &str) -> Result<JsonObj<'_>, String> {
+        match self {
+            Json::Obj(fields) => Ok(JsonObj(fields)),
+            other => Err(format!("{ctx}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, ctx: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("{ctx}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, ctx: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{ctx}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, ctx: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            other => Err(format!("{ctx}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, ctx: &str) -> Result<u64, String> {
+        let v = self.as_f64(ctx)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(format!("{ctx}: expected non-negative integer, got {v}"));
+        }
+        Ok(v as u64)
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got '{}'", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got '{}'", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                b => {
+                    // Multi-byte UTF-8 continuation: copy the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    if b >= 0x80 {
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        self.pos = end;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end.max(start + 1)])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number '{text}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            schema: 1,
+            sha: "abc123".into(),
+            scale: "quick".into(),
+            threads: 4,
+            cores: 8,
+            calibration_wall_s: 0.00125,
+            speedup_parallel: 2.5,
+            workloads: vec![
+                PerfRecord {
+                    name: "l7b_qproj_serial".into(),
+                    cycles: 123_456_789,
+                    total_ops: 42_000_000,
+                    density: 0.126,
+                    macs_per_cycle: 512.5,
+                    wall_s: 1.5,
+                    wall_norm: 1200.0,
+                },
+                PerfRecord {
+                    name: "fig9_dse_t8_r256".into(),
+                    cycles: 0,
+                    total_ops: 1000,
+                    density: 0.1257,
+                    macs_per_cycle: 0.0,
+                    wall_s: 0.002,
+                    wall_norm: 1.6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample_report();
+        let parsed = PerfReport::from_json(&report.to_json()).expect("roundtrip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(PerfReport::from_json("not json").is_err());
+        assert!(PerfReport::from_json("{}").is_err(), "missing fields must error");
+        assert!(PerfReport::from_json("{\"schema\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn gate_passes_identical_reports() {
+        let r = sample_report();
+        let outcome = compare(&r, &r, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn gate_trips_on_injected_slowdown() {
+        let base = sample_report();
+        let mut slow = base.clone();
+        for w in &mut slow.workloads {
+            w.wall_s *= 3.0;
+            w.wall_norm *= 3.0;
+        }
+        let outcome = compare(&base, &slow, GATE_TOLERANCE);
+        assert!(!outcome.passed());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("wall_norm")),
+            "failures: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn gate_trips_on_cycle_regression_and_missing_workload() {
+        let base = sample_report();
+        let mut worse = base.clone();
+        worse.workloads[0].cycles = (base.workloads[0].cycles as f64 * 1.3) as u64;
+        worse.workloads.pop();
+        let outcome = compare(&base, &worse, GATE_TOLERANCE);
+        assert!(outcome.failures.iter().any(|f| f.contains("cycles")));
+        assert!(outcome.failures.iter().any(|f| f.contains("missing")));
+    }
+
+    #[test]
+    fn gate_ignores_small_jitter_and_notes_improvements() {
+        let base = sample_report();
+        let mut jitter = base.clone();
+        jitter.workloads[0].wall_norm *= 1.1; // within 20%
+        jitter.workloads[0].macs_per_cycle *= 1.5; // improvement
+        let outcome = compare(&base, &jitter, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(outcome.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn gate_skips_speedup_on_small_hosts() {
+        let mut base = sample_report();
+        base.cores = 1;
+        let mut cur = base.clone();
+        cur.speedup_parallel = 0.5; // would fail on a >= 4-core pair
+        let outcome = compare(&base, &cur, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(outcome.notes.iter().any(|n| n.contains("speedup gate skipped")));
+    }
+
+    #[test]
+    fn gate_fails_when_measured_metric_collapses_to_zero() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.workloads[0].cycles = 0;
+        let outcome = compare(&base, &cur, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("collapsed to zero")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // But a metric the *baseline* marks not-applicable stays skipped
+        // (the fig9 record has cycles 0 on both sides).
+        assert!(!outcome.failures.iter().any(|f| f.contains("fig9")));
+    }
+
+    #[test]
+    fn gate_skips_wall_norm_across_machine_shapes() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.cores = 4; // baseline recorded 8 cores
+        cur.workloads[0].wall_norm *= 10.0; // would trip on matching shapes
+        let outcome = compare(&base, &cur, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(outcome.notes.iter().any(|n| n.contains("wall_norm gate skipped")));
+    }
+
+    #[test]
+    fn gate_rejects_scale_mismatch() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.scale = "full".into();
+        assert!(!compare(&base, &cur, GATE_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn suite_runs_at_tiny_scale_and_is_deterministic() {
+        let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
+        let report = run_suite(tiny, 2);
+        assert_eq!(report.workloads.len(), 3);
+        let serial = report.workloads.iter().find(|w| w.name == "l7b_qproj_serial").unwrap();
+        let parallel = report.workloads.iter().find(|w| w.name == "l7b_qproj_parallel").unwrap();
+        assert_eq!(serial.cycles, parallel.cycles, "parallel must be bit-exact");
+        assert_eq!(serial.total_ops, parallel.total_ops);
+        assert!(serial.cycles > 0);
+        assert!(report.speedup_parallel > 0.0);
+    }
+}

@@ -70,6 +70,14 @@ impl Table {
         println!("{}", self.render());
     }
 
+    /// File stem derived from the title (shared by CSV and JSON output).
+    fn file_stem(&self) -> String {
+        self.title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect()
+    }
+
     /// Writes the table as CSV into `dir` (created if needed), returning
     /// the file path.
     ///
@@ -78,17 +86,42 @@ impl Table {
     /// Returns any I/O error from creating the directory or writing.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
-        let stem: String = self
-            .title
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-            .collect();
-        let path = dir.join(format!("{stem}.csv"));
+        let path = dir.join(format!("{}.csv", self.file_stem()));
         let mut body = String::new();
         let _ = writeln!(body, "{}", self.headers.join(","));
         for row in &self.rows {
             let _ = writeln!(body, "{}", row.join(","));
         }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Writes the table as machine-readable JSON (an array of
+    /// header-keyed string objects) into `dir`, returning the file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        use crate::perf::json_str;
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.file_stem()));
+        let mut body = String::new();
+        let _ = writeln!(body, "{{");
+        let _ = writeln!(body, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(body, "  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(h, cell)| format!("{}: {}", json_str(h), json_str(cell)))
+                .collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(body, "    {{{}}}{comma}", fields.join(", "));
+        }
+        let _ = writeln!(body, "  ]");
+        let _ = writeln!(body, "}}");
         fs::write(&path, body)?;
         Ok(path)
     }

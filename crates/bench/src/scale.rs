@@ -22,12 +22,44 @@ impl Scale {
         Self { tiles: 3, sample_limit: 96, accuracy_dim: 64 }
     }
 
+    /// Parses a `TA_SCALE` value. Unknown values are an **error**, not a
+    /// silent default: a typo'd `TA_SCALE=qiuck` used to fall through to
+    /// the multi-minute full-scale run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message listing the accepted values for
+    /// anything other than `quick`/`smoke`/`full`.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.trim() {
+            "quick" | "smoke" => Ok(Self::quick()),
+            "full" => Ok(Self::full()),
+            other => Err(format!(
+                "unrecognized TA_SCALE value '{other}': expected 'quick' (alias 'smoke') or 'full'"
+            )),
+        }
+    }
+
+    /// The scale's canonical name (`"quick"` or `"full"`; custom scales
+    /// report as `"custom"`). Recorded in bench JSON so baselines are
+    /// only compared at matching scales.
+    pub fn name(&self) -> &'static str {
+        if *self == Self::quick() {
+            "quick"
+        } else if *self == Self::full() {
+            "full"
+        } else {
+            "custom"
+        }
+    }
+
     /// Reads `TA_SCALE=quick|full` from the environment (default full). A
     /// `--smoke` or `--quick` CLI argument also selects [`Scale::quick`], so
     /// `cargo run -p ta-bench --bin fig9 -- --smoke` works without env setup.
-    /// Any other argument is rejected — the figure binaries take nothing
-    /// else, and silently ignoring a typo'd flag would run the multi-minute
-    /// full-scale simulation instead of the intended smoke run.
+    /// Any other argument — and any unknown `TA_SCALE` value — is rejected:
+    /// the figure binaries take nothing else, and silently ignoring a typo
+    /// would run the multi-minute full-scale simulation instead of the
+    /// intended smoke run.
     pub fn from_env() -> Self {
         let mut quick = false;
         for arg in std::env::args().skip(1) {
@@ -44,9 +76,19 @@ impl Scale {
         if quick {
             return Self::quick();
         }
-        match std::env::var("TA_SCALE").as_deref() {
-            Ok("quick") => Self::quick(),
-            _ => Self::full(),
+        match std::env::var("TA_SCALE") {
+            Err(std::env::VarError::NotPresent) => Self::full(),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                eprintln!("error: TA_SCALE is not valid unicode");
+                std::process::exit(2);
+            }
+            Ok(value) => match Self::parse(&value) {
+                Ok(scale) => scale,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
 }
@@ -68,5 +110,28 @@ mod tests {
         assert!(q.tiles < f.tiles);
         assert!(q.sample_limit < f.sample_limit);
         assert!(q.accuracy_dim < f.accuracy_dim);
+    }
+
+    #[test]
+    fn parse_accepts_known_values() {
+        assert_eq!(Scale::parse("quick"), Ok(Scale::quick()));
+        assert_eq!(Scale::parse("smoke"), Ok(Scale::quick()));
+        assert_eq!(Scale::parse("full"), Ok(Scale::full()));
+        assert_eq!(Scale::parse("  quick "), Ok(Scale::quick()), "whitespace tolerated");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_values_helpfully() {
+        for bad in ["qiuck", "FULL", "paper", "", "1"] {
+            let err = Scale::parse(bad).expect_err(bad);
+            assert!(err.contains("expected 'quick'"), "unhelpful error for '{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn scale_names() {
+        assert_eq!(Scale::quick().name(), "quick");
+        assert_eq!(Scale::full().name(), "full");
+        assert_eq!(Scale { tiles: 1, sample_limit: 1, accuracy_dim: 1 }.name(), "custom");
     }
 }

@@ -46,6 +46,27 @@ impl BinaryMatrix {
         m
     }
 
+    /// Stacks blocks vertically (in order) into one matrix — the stitch
+    /// step of sharded bit-slicing. The packed row-major layout makes
+    /// this a straight word concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or the column counts disagree.
+    pub fn vstack(blocks: &[BinaryMatrix]) -> Self {
+        let first = blocks.first().expect("vstack needs at least one block");
+        let cols = first.cols;
+        let words_per_row = first.words_per_row;
+        let mut rows = 0usize;
+        let mut words = Vec::with_capacity(blocks.iter().map(|b| b.words.len()).sum());
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack blocks must have equal column counts");
+            rows += b.rows;
+            words.extend_from_slice(&b.words);
+        }
+        Self { rows, cols, words_per_row, words }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -48,19 +48,50 @@ impl BitSlicedMatrix {
             "matrix does not fit in {bits} signed bits; quantize first"
         );
         let (n, k) = (m.rows(), m.cols());
-        let mut planes = BinaryMatrix::zeros(n * bits as usize, k);
-        for r in 0..n {
-            for c in 0..k {
-                // 2's-complement bit pattern of the value within `bits`.
-                let v = m.get(r, c) as u32 & ((1u64 << bits) - 1) as u32;
-                for s in 0..bits {
-                    if v & (1 << s) != 0 {
-                        planes.set(r * bits as usize + s as usize, c, true);
-                    }
-                }
-            }
+        Self { bits, n, k, planes: slice_rows(m, bits, 0, n) }
+    }
+
+    /// [`Self::slice`] sharded across `threads` scoped worker threads:
+    /// each worker slices a contiguous range of source rows, and the
+    /// per-shard plane blocks are stitched back in row order, so the
+    /// result is **identical** to the serial slice. `threads <= 1` (or a
+    /// matrix too small to shard) runs serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::slice`].
+    pub fn slice_parallel(m: &MatI32, bits: u32, threads: usize) -> Self {
+        let (n, k) = (m.rows(), m.cols());
+        if threads <= 1 || n < 2 * threads {
+            return Self::slice(m, bits);
         }
-        Self { bits, n, k, planes }
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        assert!(
+            m.fits_signed_bits(bits),
+            "matrix does not fit in {bits} signed bits; quantize first"
+        );
+        // Near-equal contiguous row shards, one per worker.
+        let shards = threads.min(n);
+        let base = n / shards;
+        let extra = n % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for i in 0..shards {
+            let len = base + usize::from(i < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        let blocks = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|(r0, r1)| scope.spawn(move || slice_rows(m, bits, r0, r1)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bit-slicing worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        Self { bits, n, k, planes: BinaryMatrix::vstack(&blocks) }
     }
 
     /// Bit width `S`.
@@ -135,6 +166,26 @@ impl BitSlicedMatrix {
     pub fn bit_density(&self) -> f64 {
         self.planes.bit_density()
     }
+}
+
+/// Slices source rows `[r0, r1)` of `m` into their `bits` binary planes
+/// (the per-shard kernel shared by [`BitSlicedMatrix::slice`] and
+/// [`BitSlicedMatrix::slice_parallel`]).
+fn slice_rows(m: &MatI32, bits: u32, r0: usize, r1: usize) -> BinaryMatrix {
+    let k = m.cols();
+    let mut planes = BinaryMatrix::zeros((r1 - r0) * bits as usize, k);
+    for r in r0..r1 {
+        for c in 0..k {
+            // 2's-complement bit pattern of the value within `bits`.
+            let v = m.get(r, c) as u32 & ((1u64 << bits) - 1) as u32;
+            for s in 0..bits {
+                if v & (1 << s) != 0 {
+                    planes.set((r - r0) * bits as usize + s as usize, c, true);
+                }
+            }
+        }
+    }
+    planes
 }
 
 #[cfg(test)]
@@ -219,5 +270,29 @@ mod tests {
     fn out_of_range_rejected() {
         let w = MatI32::from_rows(&[&[8]]); // needs 5 bits
         let _ = BitSlicedMatrix::slice(&w, 4);
+    }
+
+    #[test]
+    fn parallel_slice_identical_to_serial() {
+        let w =
+            MatI32::from_fn(37, 23, |r, c| (((r * 23 + c) as i64 * 2654435761 % 255) - 127) as i32);
+        let serial = BitSlicedMatrix::slice(&w, 8);
+        for threads in [0usize, 1, 2, 3, 8, 64] {
+            let parallel = BitSlicedMatrix::slice_parallel(&w, 8, threads);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_slice_tiny_matrix_falls_back() {
+        let w = MatI32::from_rows(&[&[3, -1], &[0, 7]]);
+        assert_eq!(BitSlicedMatrix::slice_parallel(&w, 4, 8), BitSlicedMatrix::slice(&w, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn parallel_out_of_range_rejected() {
+        let w = MatI32::from_fn(64, 4, |_, _| 8); // needs 5 bits
+        let _ = BitSlicedMatrix::slice_parallel(&w, 4, 4);
     }
 }

@@ -3,6 +3,7 @@
 //! prove losslessness.
 
 use crate::config::{ScoreboardMode, TransArrayConfig};
+use crate::runtime::Runtime;
 use crate::source::{PatternSource, SlicedSource};
 use crate::tiling::{dram_traffic, GemmShape, TrafficReport};
 use crate::unit::{evaluate_subtile, process_subtile, SubtileReport};
@@ -17,6 +18,11 @@ const NOC_PJ_PER_BYTE: f64 = 0.12;
 
 /// Dynamic Scoreboard energy per TransRow scanned (pJ): bitonic compare
 /// network + an 8-way update of the ~34-bit entries of Fig. 6.
+///
+/// Must stay a dyadic rational (exactly representable in f64): per-shard
+/// partial sums of `rows × this` are then exact, which is what keeps
+/// parallel reports bit-identical to serial ones (see the `runtime`
+/// module's determinism contract).
 const SCOREBOARD_PJ_PER_ROW: f64 = 3.0;
 
 /// Sustained DRAM bandwidth in bytes per accelerator cycle (≈128 GB/s at
@@ -77,15 +83,30 @@ pub struct TransitiveArray {
     energy: EnergyModel,
 }
 
-#[derive(Default)]
-struct Agg {
-    subtile_cycles: u64,
-    total_ops: u64,
-    dense_bit_ops: u64,
-    ape_ops: u64,
-    rows: u64,
-    si_misses: u64,
-    simulated: u64,
+/// Marker error: a source refused to fork, so the sharded path must fall
+/// back to the serial loop.
+struct CannotFork;
+
+/// Per-worker aggregate over a shard of the sub-tile grid.
+///
+/// The integer counters are plain sums, so merging shards is
+/// order-independent. The one floating-point field (`sb_pj`) folds
+/// per-sub-tile contributions that are exact dyadic multiples
+/// (`rows × 3.0`), so the sharded regrouping equals the serial fold
+/// bit-exactly; the runtime additionally merges shards in **fixed shard
+/// order** so every run folds identically (see the `runtime` module's
+/// determinism contract).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Agg {
+    pub(crate) subtile_cycles: u64,
+    pub(crate) total_ops: u64,
+    pub(crate) dense_bit_ops: u64,
+    pub(crate) ape_ops: u64,
+    pub(crate) rows: u64,
+    pub(crate) si_misses: u64,
+    pub(crate) simulated: u64,
+    /// Dynamic-Scoreboard scan energy (pJ), accumulated per sub-tile.
+    pub(crate) sb_pj: f64,
 }
 
 impl Agg {
@@ -102,6 +123,32 @@ impl Agg {
         self.rows += rep.rows as u64;
         self.si_misses += rep.si_misses;
         self.simulated += 1;
+        // Scoreboard scans only run in dynamic mode (stats present).
+        if rep.stats.is_some() {
+            self.sb_pj += rep.rows as f64 * SCOREBOARD_PJ_PER_ROW;
+        }
+    }
+
+    /// Merges another shard's aggregate into this one. Callers merge in
+    /// shard order (shard 0 first) so the `f64` fold is reproducible.
+    pub(crate) fn merge(&mut self, other: &Agg) {
+        self.subtile_cycles += other.subtile_cycles;
+        self.total_ops += other.total_ops;
+        self.dense_bit_ops += other.dense_bit_ops;
+        self.ape_ops += other.ape_ops;
+        self.rows += other.rows;
+        self.si_misses += other.si_misses;
+        self.simulated += other.simulated;
+        self.sb_pj += other.sb_pj;
+    }
+
+    /// Folds per-shard aggregates in shard order.
+    pub(crate) fn merge_shards(shards: &[Agg]) -> Agg {
+        let mut out = Agg::default();
+        for s in shards {
+            out.merge(s);
+        }
+        out
     }
 }
 
@@ -137,7 +184,26 @@ impl TransitiveArray {
     /// counts are scaled by the sampling fraction and the `M`-tiling
     /// repetition (sub-tile schedules are input-independent, so this is
     /// exact whenever sampling is off).
+    ///
+    /// With `threads != 1` the sampled sub-tile sequence is sharded
+    /// across the tile-execution runtime; the report is bit-exact against
+    /// the serial run (see the `runtime` module's determinism contract).
+    /// Sources that cannot [`PatternSource::fork`] fall back to the
+    /// serial loop.
     pub fn simulate_layer(&self, shape: GemmShape, source: &mut dyn PatternSource) -> GemmReport {
+        self.simulate_layer_with(shape, source, &Runtime::new(self.cfg.threads))
+    }
+
+    /// [`Self::simulate_layer`] on an explicit runtime (the [`Batch`]
+    /// API pins jobs to serial workers through this entry point).
+    ///
+    /// [`Batch`]: crate::runtime::Batch
+    pub(crate) fn simulate_layer_with(
+        &self,
+        shape: GemmShape,
+        source: &mut dyn PatternSource,
+        rt: &Runtime,
+    ) -> GemmReport {
         assert_eq!(source.width(), self.cfg.width, "source width mismatch");
         let t = self.cfg.width as usize;
         let n_tiles = shape.n.div_ceil(self.cfg.n_tile());
@@ -146,7 +212,19 @@ impl TransitiveArray {
         let limit = self.cfg.sample_limit as u64;
         let step = if limit > 0 && total > limit { total.div_ceil(limit) } else { 1 };
 
-        let static_si = self.build_static_si(n_tiles, k_chunks, step as usize, source);
+        if rt.threads() > 1 {
+            if let Some(report) =
+                self.simulate_layer_sharded(shape, source, rt, k_chunks, step, total)
+            {
+                return report;
+            }
+        }
+
+        // Serial fallback. The SI build uses the serial runtime too: if
+        // the sharded path was viable it would have returned above, so a
+        // sharded SI attempt here would deterministically fail again.
+        let static_si =
+            self.build_static_si(n_tiles, k_chunks, step as usize, source, &Runtime::serial());
 
         let mut agg = Agg::default();
         let mut idx = 0u64;
@@ -158,6 +236,53 @@ impl TransitiveArray {
             idx += step;
         }
         self.finalize(shape, agg, total)
+    }
+
+    /// The parallel body of [`Self::simulate_layer`]: shards the sampled
+    /// sub-tile sequence into contiguous ranges, forks the source per
+    /// worker, and merges per-worker aggregates in shard order. Returns
+    /// `None` (caller falls back to serial) when the grid is too small to
+    /// shard or the source cannot fork.
+    fn simulate_layer_sharded(
+        &self,
+        shape: GemmShape,
+        source: &mut dyn PatternSource,
+        rt: &Runtime,
+        k_chunks: usize,
+        step: u64,
+        total: u64,
+    ) -> Option<GemmReport> {
+        let sampled = total.div_ceil(step) as usize;
+        let shards = rt.shards_for(sampled);
+        if shards.len() <= 1 {
+            return None;
+        }
+        // Static mode forks its own set for the SI calibration pass (the
+        // forks below are consumed by the processing pass), so build the
+        // SI first: a non-forkable source then bails before any
+        // processing forks are allocated.
+        let static_si = match self.build_static_si_sharded(&*source, rt, k_chunks, step, sampled) {
+            Ok(si) => si,
+            Err(CannotFork) => return None,
+        };
+        let mut forks = Vec::with_capacity(shards.len());
+        for _ in 0..shards.len() {
+            forks.push(source.fork()?);
+        }
+        let si_ref = static_si.as_ref();
+        let aggs =
+            rt.run_shards_with(shards.into_iter().zip(forks).collect(), |_, positions, mut src| {
+                let mut agg = Agg::default();
+                for pos in positions {
+                    let idx = pos as u64 * step;
+                    let (nt, kc) =
+                        ((idx / k_chunks as u64) as usize, (idx % k_chunks as u64) as usize);
+                    let patterns = src.subtile_patterns(nt, kc);
+                    agg.add(&process_subtile(&self.cfg, si_ref, &patterns));
+                }
+                agg
+            });
+        Some(self.finalize(shape, Agg::merge_shards(&aggs), total))
     }
 
     /// Executes one GEMM **functionally and exactly** (bit-exact against
@@ -174,8 +299,9 @@ impl TransitiveArray {
             input.fits_signed_bits(self.cfg.act_bits),
             "input does not fit act_bits; quantize first"
         );
+        let rt = Runtime::new(self.cfg.threads);
         let shape = GemmShape::new(weights.rows(), weights.cols(), input.cols());
-        let sliced = BitSlicedMatrix::slice(weights, self.cfg.weight_bits);
+        let sliced = BitSlicedMatrix::slice_parallel(weights, self.cfg.weight_bits, rt.threads());
         let t = self.cfg.width as usize;
         let s_bits = self.cfg.weight_bits as usize;
         let n_tile = self.cfg.n_tile();
@@ -183,17 +309,13 @@ impl TransitiveArray {
         let k_chunks = shape.k.div_ceil(t);
 
         let mut source = SlicedSource::new(&sliced, n_tile, self.cfg.width);
-        let static_si = self.build_static_si(n_tiles, k_chunks, 1, &mut source);
+        let static_si = self.build_static_si(n_tiles, k_chunks, 1, &mut source, &rt);
 
-        let mut acc = vec![vec![0i64; shape.m]; shape.n];
-        let mut agg = Agg::default();
-        for nt in 0..n_tiles {
-            for kc in 0..k_chunks {
-                let patterns = source.subtile_patterns(nt, kc);
-                let rep = process_subtile(&self.cfg, static_si.as_ref(), &patterns);
-                agg.add(&rep);
-                // Input rows for this k-chunk (zero-padded past K).
-                let inputs: Vec<Vec<i64>> = (0..t)
+        // Input rows per k-chunk, shared read-only by every worker
+        // (zero-padded past K).
+        let inputs_by_chunk: Vec<Vec<Vec<i64>>> = (0..k_chunks)
+            .map(|kc| {
+                (0..t)
                     .map(|j| {
                         let k = kc * t + j;
                         if k < shape.k {
@@ -202,26 +324,59 @@ impl TransitiveArray {
                             vec![0i64; shape.m]
                         }
                     })
-                    .collect();
-                let rows = evaluate_subtile(&self.cfg, static_si.as_ref(), &patterns, &inputs);
-                for (r, result) in rows.iter().enumerate() {
-                    let n_local = r / s_bits;
-                    let level = (r % s_bits) as u32;
-                    let n_global = nt * n_tile + n_local;
-                    if n_global >= shape.n {
-                        continue;
-                    }
-                    let w = if level == self.cfg.weight_bits - 1 {
-                        -(1i64 << level)
-                    } else {
-                        1i64 << level
-                    };
-                    for (a, &v) in acc[n_global].iter_mut().zip(result) {
-                        *a += w * v;
+                    .collect()
+            })
+            .collect();
+
+        // Shard over weight tiles: each worker owns a disjoint slice of
+        // output rows, so accumulation needs no synchronization, and the
+        // per-row sum over k-chunks runs in the serial order (exact
+        // integer arithmetic makes it order-independent regardless).
+        let mut acc = vec![vec![0i64; shape.m]; shape.n];
+        let shards = rt.shards_for(n_tiles);
+        let mut shard_jobs = Vec::with_capacity(shards.len());
+        {
+            let mut rest: &mut [Vec<i64>] = &mut acc;
+            let mut offset = 0usize;
+            for tiles in shards {
+                let end = (tiles.end * n_tile).min(shape.n);
+                let (rows, tail) = rest.split_at_mut(end - offset);
+                shard_jobs.push((tiles, rows));
+                rest = tail;
+                offset = end;
+            }
+        }
+        let si_ref = static_si.as_ref();
+        let aggs = rt.run_shards_with(shard_jobs, |_, tiles, acc_rows| {
+            let mut src = SlicedSource::new(&sliced, n_tile, self.cfg.width);
+            let row_offset = tiles.start * n_tile;
+            let mut agg = Agg::default();
+            for nt in tiles {
+                for (kc, chunk_inputs) in inputs_by_chunk.iter().enumerate() {
+                    let patterns = src.subtile_patterns(nt, kc);
+                    agg.add(&process_subtile(&self.cfg, si_ref, &patterns));
+                    let rows = evaluate_subtile(&self.cfg, si_ref, &patterns, chunk_inputs);
+                    for (r, result) in rows.iter().enumerate() {
+                        let n_local = r / s_bits;
+                        let level = (r % s_bits) as u32;
+                        let n_global = nt * n_tile + n_local;
+                        if n_global >= shape.n {
+                            continue;
+                        }
+                        let w = if level == self.cfg.weight_bits - 1 {
+                            -(1i64 << level)
+                        } else {
+                            1i64 << level
+                        };
+                        for (a, &v) in acc_rows[n_global - row_offset].iter_mut().zip(result) {
+                            *a += w * v;
+                        }
                     }
                 }
             }
-        }
+            agg
+        });
+        let agg = Agg::merge_shards(&aggs);
         let out = MatI32::from_fn(shape.n, shape.m, |r, c| {
             i32::try_from(acc[r][c]).expect("TransArray accumulation overflowed i32")
         });
@@ -230,26 +385,71 @@ impl TransitiveArray {
     }
 
     /// Builds the static SI (offline calibration over the sampled tensor
-    /// patterns) when the config asks for static mode.
+    /// patterns) when the config asks for static mode, sharding the
+    /// pattern collection across the runtime when the source forks.
     fn build_static_si(
         &self,
         n_tiles: usize,
         k_chunks: usize,
         step: usize,
         source: &mut dyn PatternSource,
+        rt: &Runtime,
     ) -> Option<StaticSi> {
         if self.cfg.scoreboard_mode != ScoreboardMode::Static {
             return None;
         }
+        let step = step.max(1) as u64;
+        let total = (n_tiles * k_chunks) as u64;
+        let sampled = total.div_ceil(step) as usize;
+        if rt.threads() > 1 {
+            if let Ok(si) = self.build_static_si_sharded(&*source, rt, k_chunks, step, sampled) {
+                return si;
+            }
+        }
         let mut all = Vec::new();
-        let total = n_tiles * k_chunks;
-        let mut idx = 0usize;
+        let mut idx = 0u64;
         while idx < total {
-            let (nt, kc) = (idx / k_chunks, idx % k_chunks);
+            let (nt, kc) = ((idx / k_chunks as u64) as usize, (idx % k_chunks as u64) as usize);
             all.extend(source.subtile_patterns(nt, kc));
-            idx += step.max(1);
+            idx += step;
         }
         Some(StaticSi::from_patterns(self.cfg.scoreboard_config(), all))
+    }
+
+    /// Sharded static-SI calibration: workers collect the sampled
+    /// patterns of contiguous shard ranges; concatenating in shard order
+    /// reproduces the serial pattern sequence exactly.
+    fn build_static_si_sharded(
+        &self,
+        source: &dyn PatternSource,
+        rt: &Runtime,
+        k_chunks: usize,
+        step: u64,
+        sampled: usize,
+    ) -> Result<Option<StaticSi>, CannotFork> {
+        if self.cfg.scoreboard_mode != ScoreboardMode::Static {
+            return Ok(None);
+        }
+        let shards = rt.shards_for(sampled);
+        if shards.len() <= 1 {
+            return Err(CannotFork);
+        }
+        let mut forks = Vec::with_capacity(shards.len());
+        for _ in 0..shards.len() {
+            forks.push(source.fork().ok_or(CannotFork)?);
+        }
+        let parts =
+            rt.run_shards_with(shards.into_iter().zip(forks).collect(), |_, positions, mut src| {
+                let mut all = Vec::new();
+                for pos in positions {
+                    let idx = pos as u64 * step;
+                    let (nt, kc) =
+                        ((idx / k_chunks as u64) as usize, (idx % k_chunks as u64) as usize);
+                    all.extend(src.subtile_patterns(nt, kc));
+                }
+                all
+            });
+        Ok(Some(StaticSi::from_patterns(self.cfg.scoreboard_config(), parts.into_iter().flatten())))
     }
 
     fn finalize(&self, shape: GemmShape, agg: Agg, subtiles_total: u64) -> GemmReport {
@@ -275,14 +475,14 @@ impl TransitiveArray {
         let ape_ops = agg.ape_ops as f64 * scale * m_reps;
         let dense = agg.dense_bit_ops as f64 * scale * m_reps;
         // Scoreboard runs once per weight sub-tile (not per M pass).
-        let sb_rows = agg.rows as f64 * scale;
+        let sb_pj = agg.sb_pj * scale;
         // Group-wise rescale (§4.5, group 128): the VPU applies an integer
         // scale to every output once per 128-wide reduction group.
         let vpu = VpuModel::paper_default();
         let rescale_groups = shape.k.div_ceil(128);
         let vpu_cycles =
             vpu.requant_cycles(shape.n * shape.m, self.cfg.act_bits) * rescale_groups as u64;
-        let mut energy = self.energy_breakdown(ops, ape_ops, sb_rows, &traffic, cycles);
+        let mut energy = self.energy_breakdown(ops, ape_ops, sb_pj, &traffic, cycles);
         energy.core += vpu.energy_pj(
             (shape.n * shape.m * rescale_groups) as u64,
             2.0,
@@ -310,12 +510,14 @@ impl TransitiveArray {
 
     /// Per-event energy accounting (see DESIGN.md §5 and the constants at
     /// the top of this module). `ops`/`ape_ops` are already scaled to the
-    /// whole layer; each drives an `m_tile`-wide vector.
+    /// whole layer; each drives an `m_tile`-wide vector. `sb_pj` is the
+    /// (already scaled) dynamic-Scoreboard scan energy accumulated per
+    /// sub-tile — zero in static mode.
     fn energy_breakdown(
         &self,
         ops: f64,
         ape_ops: f64,
-        sb_rows: f64,
+        sb_pj: f64,
         traffic: &TrafficReport,
         cycles: u64,
     ) -> EnergyBreakdown {
@@ -328,11 +530,7 @@ impl TransitiveArray {
         // Scoreboard, NoC traversals.
         let ppe = ops * m_t * e.add_pj(12);
         let ape = ape_ops * m_t * e.add_pj(24);
-        let sb = if self.cfg.scoreboard_mode == ScoreboardMode::Dynamic {
-            sb_rows * SCOREBOARD_PJ_PER_ROW
-        } else {
-            0.0
-        };
+        let sb = sb_pj;
         let noc = ops * m_t * NOC_PJ_PER_BYTE;
         b.core = ppe + ape + sb + noc;
 

@@ -13,7 +13,12 @@
 //!   with deterministic sampling for LLM-scale layers, DRAM traffic,
 //!   cycle and energy reports ([`GemmReport`]) — plus
 //!   [`TransitiveArray::execute_gemm`], the exact functional engine that
-//!   proves the architecture lossless against [`ta_quant::gemm_i32`].
+//!   proves the architecture lossless against [`ta_quant::gemm_i32`];
+//! * [`runtime`] — the tile-execution runtime: a std-only scoped-thread
+//!   worker pool that shards the sub-tile grid across cores (the
+//!   `threads` knob of [`TransArrayConfig`]) with a bit-exact
+//!   determinism contract, and the [`Batch`] API that simulates many
+//!   layers concurrently.
 //!
 //! ## Quick example
 //!
@@ -38,12 +43,14 @@
 
 mod accelerator;
 mod config;
+pub mod runtime;
 mod source;
 mod tiling;
 mod unit;
 
 pub use accelerator::{GemmReport, TransitiveArray};
 pub use config::{ScoreboardMode, TransArrayConfig};
+pub use runtime::{Batch, BatchReport, Runtime};
 pub use source::{PatternSource, SlicedSource};
 pub use tiling::{dram_traffic, GemmShape, TrafficReport};
 pub use unit::{

@@ -24,6 +24,16 @@ pub trait PatternSource {
 
     /// Binary rows per sub-tile (`S·n`).
     fn rows_per_subtile(&self) -> usize;
+
+    /// Forks an independent handle for one parallel worker. A fork must
+    /// produce exactly the same patterns as the original for every index
+    /// pair (the determinism contract above makes this natural for
+    /// stateless sources). Returning `None` (the default) tells the
+    /// runtime the source cannot be shared, and the sharded paths fall
+    /// back to the serial loop.
+    fn fork(&self) -> Option<Box<dyn PatternSource + Send + '_>> {
+        None
+    }
 }
 
 /// Pattern source backed by an actual bit-sliced weight matrix.
@@ -69,6 +79,10 @@ impl PatternSource for SlicedSource<'_> {
     fn rows_per_subtile(&self) -> usize {
         self.n_tile_rows * self.sliced.bits() as usize
     }
+
+    fn fork(&self) -> Option<Box<dyn PatternSource + Send + '_>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +118,19 @@ mod tests {
         let p = src.subtile_patterns(1, 0);
         assert!(p[..4].iter().all(|&x| x == 0xFF));
         assert!(p[4..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn sliced_source_fork_agrees_with_original() {
+        let w = MatI32::from_fn(6, 20, |r, c| ((r * 20 + c) as i32 % 13) - 6);
+        let sliced = BitSlicedMatrix::slice(&w, 4);
+        let mut src = SlicedSource::new(&sliced, 2, 8);
+        let expected: Vec<Vec<u16>> = (0..9).map(|i| src.subtile_patterns(i / 3, i % 3)).collect();
+        let mut forked = src.fork().expect("sliced source must fork");
+        assert_eq!(forked.width(), 8);
+        assert_eq!(forked.rows_per_subtile(), 8);
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(&forked.subtile_patterns(i / 3, i % 3), want);
+        }
     }
 }

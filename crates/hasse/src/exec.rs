@@ -162,6 +162,15 @@ impl ExecutionPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Workers share ExecutionPlan by reference across the tile-execution
+    /// runtime's scoped threads — lock in the auto-derived thread
+    /// safety so a future `Rc`/`RefCell` slip fails to compile.
+    #[test]
+    fn execution_plan_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecutionPlan>();
+    }
     use crate::scoreboard::ScoreboardConfig;
 
     fn plan_for(patterns: &[u16], width: u32) -> ExecutionPlan {

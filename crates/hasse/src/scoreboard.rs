@@ -428,6 +428,15 @@ impl Scoreboard {
 mod tests {
     use super::*;
 
+    /// Workers share Scoreboard by reference across the tile-execution
+    /// runtime's scoped threads — lock in the auto-derived thread
+    /// safety so a future `Rc`/`RefCell` slip fails to compile.
+    #[test]
+    fn scoreboard_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scoreboard>();
+    }
+
     /// The Fig. 5 worked example: TransRows 14,2,5,1,15,7,2 at T=4.
     fn fig5() -> Scoreboard {
         Scoreboard::build(ScoreboardConfig::with_width(4), [14u16, 2, 5, 1, 15, 7, 2])

@@ -308,6 +308,15 @@ impl StaticSi {
 mod tests {
     use super::*;
 
+    /// Workers share StaticSi by reference across the tile-execution
+    /// runtime's scoped threads — lock in the auto-derived thread
+    /// safety so a future `Rc`/`RefCell` slip fails to compile.
+    #[test]
+    fn static_si_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StaticSi>();
+    }
+
     fn cfg4() -> ScoreboardConfig {
         ScoreboardConfig::with_width(4)
     }

@@ -210,6 +210,15 @@ impl TileStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Workers share TileStats by reference across the tile-execution
+    /// runtime's scoped threads — lock in the auto-derived thread
+    /// safety so a future `Rc`/`RefCell` slip fails to compile.
+    #[test]
+    fn tile_stats_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TileStats>();
+    }
     use crate::scoreboard::{Scoreboard, ScoreboardConfig};
 
     fn stats_for(patterns: &[u16], width: u32) -> TileStats {

@@ -1,0 +1,98 @@
+//! Whole-network batch simulation helpers: feed every GEMM of a model
+//! block to the tile-execution runtime's [`Batch`] API so layers run
+//! concurrently across the worker pool, with reports identical to
+//! simulating each layer alone (see `ta_core::runtime`'s determinism
+//! contract).
+
+use crate::llama::{LlamaConfig, NamedGemm};
+use crate::synth::QuantGaussianSource;
+use ta_core::{Batch, BatchReport, TransitiveArray};
+
+/// Simulates a list of named GEMM workloads concurrently on `ta`,
+/// drawing each layer's weight patterns from a [`QuantGaussianSource`]
+/// seeded per layer (the DESIGN.md §3 stand-in for real traces).
+/// Reports come back in workload order.
+pub fn simulate_gemms(ta: &TransitiveArray, layers: &[NamedGemm], seed: u64) -> BatchReport {
+    let cfg = ta.config();
+    let mut batch = Batch::new(ta);
+    for (i, layer) in layers.iter().enumerate() {
+        let layer_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        batch.push(
+            layer.shape,
+            QuantGaussianSource::new(cfg.width, cfg.weight_bits, cfg.n_tile(), layer_seed),
+        );
+    }
+    batch.run()
+}
+
+/// Simulates all seven FC GEMMs of one Transformer block (Q, K, V, O,
+/// Gate, Up, Down) of `model` at prefill length `seq` concurrently.
+pub fn simulate_llama_block(
+    ta: &TransitiveArray,
+    model: &LlamaConfig,
+    seq: usize,
+    seed: u64,
+) -> Vec<(NamedGemm, ta_core::GemmReport)> {
+    let layers = model.fc_layers(seq);
+    let report = simulate_gemms(ta, &layers, seed);
+    layers.into_iter().zip(report.reports).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::QuantGaussianSource;
+    use ta_core::{GemmShape, TransArrayConfig, TransitiveArray};
+
+    fn tiny_ta(threads: usize) -> TransitiveArray {
+        TransitiveArray::new(TransArrayConfig {
+            sample_limit: 12,
+            threads,
+            ..TransArrayConfig::paper_w8()
+        })
+    }
+
+    fn tiny_model() -> LlamaConfig {
+        // A down-scaled block so the test stays fast; the helper only
+        // cares about shapes, not the real 7B dimensions.
+        LlamaConfig {
+            name: "tiny",
+            hidden: 128,
+            intermediate: 256,
+            heads: 4,
+            kv_heads: 4,
+            layers: 2,
+        }
+    }
+
+    #[test]
+    fn block_batch_matches_layerwise_serial_simulation() {
+        let parallel = tiny_ta(4);
+        let serial = tiny_ta(1);
+        let got = simulate_llama_block(&parallel, &tiny_model(), 32, 99);
+        assert_eq!(got.len(), 7);
+        for (i, (layer, report)) in got.iter().enumerate() {
+            let cfg = serial.config();
+            let layer_seed = 99 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut src =
+                QuantGaussianSource::new(cfg.width, cfg.weight_bits, cfg.n_tile(), layer_seed);
+            let want = serial.simulate_layer(layer.shape, &mut src);
+            assert_eq!(report, &want, "layer {} ({})", i, layer.name);
+        }
+    }
+
+    #[test]
+    fn batch_report_totals_cover_all_layers() {
+        let ta = tiny_ta(2);
+        let layers = vec![
+            NamedGemm::new("a", GemmShape::new(64, 64, 16)),
+            NamedGemm::new("b", GemmShape::new(64, 128, 16)),
+        ];
+        let report = simulate_gemms(&ta, &layers, 7);
+        assert_eq!(report.reports.len(), 2);
+        assert_eq!(report.total_cycles, report.reports.iter().map(|r| r.cycles).sum::<u64>());
+        assert_eq!(report.total_macs, 64 * 64 * 16 + 64 * 128 * 16);
+        assert!(report.total_energy_pj > 0.0);
+        assert!(report.total_seconds > 0.0);
+    }
+}

@@ -8,7 +8,10 @@
 //!   lowered to GEMMs via im2col;
 //! * synthetic pattern sources ([`UniformBitSource`],
 //!   [`QuantGaussianSource`]) and LLM-like tensor generators — the
-//!   documented substitutions for proprietary traces (DESIGN.md §3).
+//!   documented substitutions for proprietary traces (DESIGN.md §3);
+//! * batch helpers ([`simulate_llama_block`], [`simulate_gemms`]) that
+//!   run a whole block's GEMMs concurrently on the tile-execution
+//!   runtime.
 //!
 //! ## Quick example
 //!
@@ -23,11 +26,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod llama;
 mod resnet;
 mod rng;
 mod synth;
 
+pub use batch::{simulate_gemms, simulate_llama_block};
 pub use llama::{LlamaConfig, NamedGemm, PAPER_SEQ_LEN};
 pub use resnet::{resnet18_layers, resnet18_total_macs, ResnetLayer};
 pub use rng::{mix, splitmix64, StreamRng};

@@ -56,6 +56,10 @@ impl PatternSource for UniformBitSource {
     fn rows_per_subtile(&self) -> usize {
         self.rows_per_subtile
     }
+
+    fn fork(&self) -> Option<Box<dyn PatternSource + Send + '_>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Gaussian-quantized weight patterns: per sub-tile, an `n × width` block
@@ -126,6 +130,10 @@ impl PatternSource for QuantGaussianSource {
 
     fn rows_per_subtile(&self) -> usize {
         self.n_rows * self.weight_bits as usize
+    }
+
+    fn fork(&self) -> Option<Box<dyn PatternSource + Send + '_>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -217,6 +225,21 @@ mod tests {
         let p = s.subtile_patterns(1, 2);
         assert_eq!(p.len(), 256);
         assert_eq!(p, s.subtile_patterns(1, 2));
+    }
+
+    #[test]
+    fn synthetic_sources_fork_identically() {
+        let mut uni = UniformBitSource::new(8, 32, 5);
+        let mut quant = QuantGaussianSource::new(8, 8, 8, 5);
+        let expected: Vec<(Vec<u16>, Vec<u16>)> = (0..6)
+            .map(|i| (uni.subtile_patterns(i / 3, i % 3), quant.subtile_patterns(i / 3, i % 3)))
+            .collect();
+        let mut uni_fork = uni.fork().expect("uniform source must fork");
+        let mut quant_fork = quant.fork().expect("quant source must fork");
+        for (i, (want_uni, want_quant)) in expected.iter().enumerate() {
+            assert_eq!(&uni_fork.subtile_patterns(i / 3, i % 3), want_uni);
+            assert_eq!(&quant_fork.subtile_patterns(i / 3, i % 3), want_quant);
+        }
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! bit-slice → Scoreboard → Transitive Array must be lossless at the
 //! integer level and match the FP32 reference within quantization error.
 
-use transitive_array::core::{ScoreboardMode, TransArrayConfig, TransitiveArray};
-use transitive_array::models::{llm_activation_matrix, llm_weight_matrix, StreamRng};
+use transitive_array::core::{GemmShape, ScoreboardMode, TransArrayConfig, TransitiveArray};
+use transitive_array::models::{
+    llm_activation_matrix, llm_weight_matrix, QuantGaussianSource, StreamRng, UniformBitSource,
+};
 use transitive_array::quant::{
     calibrate, dequantize, gemm_f32, gemm_i32, nmse, quantize, Granularity, MatF32, MatI32,
     QuantScheme,
@@ -85,6 +87,72 @@ fn both_modes_agree_on_every_seed() {
         let reference = gemm_i32(&w, &x);
         assert_eq!(d, reference, "dynamic seed {seed}");
         assert_eq!(s, reference, "static seed {seed}");
+    }
+}
+
+/// Determinism suite (tile-execution runtime contract): `execute_gemm`
+/// output **and** the full `GemmReport` — including the floating-point
+/// density/energy/seconds fields — must be bit-identical for
+/// `threads = 1, 2, 8` in both Scoreboard modes.
+#[test]
+fn parallel_execute_gemm_bit_identical_across_thread_counts() {
+    let mut rng = StreamRng::new(2024);
+    // Large enough for several weight tiles and k-chunks per shard.
+    let w =
+        MatI32::from_fn(40, 36, |_, _| ((rng.next_gaussian() * 3.0).round() as i32).clamp(-8, 7));
+    let x = MatI32::from_fn(36, 9, |_, _| {
+        ((rng.next_gaussian() * 40.0).round() as i32).clamp(-128, 127)
+    });
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        let reference = {
+            let ta = TransitiveArray::new(small_cfg(4, mode));
+            ta.execute_gemm(&w, &x)
+        };
+        assert_eq!(reference.0, gemm_i32(&w, &x), "{mode:?} serial must be lossless");
+        for threads in [2usize, 8] {
+            let cfg = TransArrayConfig { threads, ..small_cfg(4, mode) };
+            let (out, report) = TransitiveArray::new(cfg).execute_gemm(&w, &x);
+            assert_eq!(out, reference.0, "{mode:?} threads={threads}: output must be bit-exact");
+            assert_eq!(
+                report, reference.1,
+                "{mode:?} threads={threads}: GemmReport must be bit-identical"
+            );
+        }
+    }
+}
+
+/// Same contract for at-scale simulation with sampling enabled: sharded
+/// `simulate_layer` must reproduce the serial report bit-for-bit across
+/// thread counts, modes, and synthetic sources.
+#[test]
+fn parallel_simulate_layer_bit_identical_across_thread_counts() {
+    let shape = GemmShape::new(512, 256, 128);
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        for sample_limit in [0usize, 24] {
+            let run = |threads: usize| {
+                let cfg = TransArrayConfig {
+                    sample_limit,
+                    threads,
+                    scoreboard_mode: mode,
+                    ..TransArrayConfig::paper_w8()
+                };
+                let ta = TransitiveArray::new(cfg);
+                let n_tile = ta.config().n_tile();
+                let mut quant = QuantGaussianSource::new(8, 8, n_tile, 7);
+                let quant_rep = ta.simulate_layer(shape, &mut quant);
+                let mut uniform = UniformBitSource::new(8, n_tile * 8, 7);
+                let uniform_rep = ta.simulate_layer(shape, &mut uniform);
+                (quant_rep, uniform_rep)
+            };
+            let reference = run(1);
+            for threads in [2usize, 8] {
+                let got = run(threads);
+                assert_eq!(
+                    got, reference,
+                    "{mode:?} sample_limit={sample_limit} threads={threads}: reports must be bit-identical"
+                );
+            }
+        }
     }
 }
 
