@@ -50,31 +50,47 @@ fn bench_engines(c: &mut Criterion) {
     });
 }
 
-/// Serial vs parallel layer simulation of the full-scale LLaMA-7B
-/// `q_proj` GEMM, timed directly so the speedup lands in JSON.
+/// Serial vs parallel vs plan-cached layer simulation of the full-scale
+/// LLaMA-7B `q_proj` GEMM, timed directly so the speedups land in JSON.
 fn bench_l7b_layer(c: &mut Criterion) {
     let scale = Scale::quick();
     let shape = GemmShape::new(4096, 4096, 2048);
-    let run = |threads: usize| {
-        let ta = TransitiveArray::new(TransArrayConfig {
+    let make_ta = |threads: usize, plan_cache: usize| {
+        TransitiveArray::new(TransArrayConfig {
             sample_limit: scale.sample_limit,
             threads,
+            plan_cache,
             ..TransArrayConfig::paper_w8()
-        });
+        })
+    };
+    let run_on = |ta: &TransitiveArray| {
         let n_tile = ta.config().n_tile();
         let start = Instant::now();
         let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
         let rep = ta.simulate_layer(shape, &mut src);
         (rep, start.elapsed().as_secs_f64())
     };
+    let run = |threads: usize| run_on(&make_ta(threads, 0));
     let (serial_rep, serial_wall) = run(1);
     let (parallel_rep, parallel_wall) = run(0);
     assert_eq!(serial_rep, parallel_rep, "parallel layer simulation must be bit-exact");
+    // The cached accelerator outlives its timing loop so the warm-cache
+    // replay cost is what criterion sees; the one-shot wall below is the
+    // warm second run.
+    let cached_ta = make_ta(1, ta_bench::perf::DEFAULT_PLAN_CACHE_ENTRIES);
+    let (cached_cold, _, _) = ta_bench::perf::cached_replay(&cached_ta, shape, 1234);
+    assert_eq!(serial_rep, cached_cold, "plan-cached simulation must be bit-exact");
+    // Second call = warm replay: its hit rate is 1.0 when healthy (the
+    // cold call's compulsory misses are excluded by the counter deltas).
+    let (cached_rep, cached_wall, hit_rate) =
+        ta_bench::perf::cached_replay(&cached_ta, shape, 1234);
+    assert_eq!(serial_rep, cached_rep, "warm plan-cached simulation must be bit-exact");
 
     let mut g = c.benchmark_group("l7b_qproj_quick");
     g.sample_size(10);
     g.bench_function("serial", |b| b.iter(|| run(1)));
     g.bench_function("parallel", |b| b.iter(|| run(0)));
+    g.bench_function("plan_cached", |b| b.iter(|| run_on(&cached_ta)));
     g.finish();
 
     let record = |name: &str, wall: f64| PerfRecord {
@@ -87,16 +103,21 @@ fn bench_l7b_layer(c: &mut Criterion) {
         wall_norm: 0.0,
     };
     let report = PerfReport {
-        schema: 1,
+        schema: 2,
         sha: "bench".to_string(),
         scale: scale.name().to_string(),
         threads: runtime::Runtime::new(0).threads(),
         cores: runtime::available_cores(),
         calibration_wall_s: 0.0,
         speedup_parallel: if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 },
+        plan_cache_hit_rate: hit_rate,
+        speedup_cached: if cached_wall > 0.0 { serial_wall / cached_wall } else { 0.0 },
+        dram_requests: 0,
+        dram_bursts: 0,
         workloads: vec![
             record("l7b_qproj_serial", serial_wall),
             record("l7b_qproj_parallel", parallel_wall),
+            record("l7b_qproj_cached", cached_wall),
         ],
     };
     let dir = experiments_dir();
@@ -108,6 +129,10 @@ fn bench_l7b_layer(c: &mut Criterion) {
     println!(
         "l7b_qproj serial {serial_wall:.3}s vs parallel {parallel_wall:.3}s -> {:.2}x at {} threads",
         report.speedup_parallel, report.threads
+    );
+    println!(
+        "l7b_qproj plan-cached {cached_wall:.3}s -> {:.2}x vs serial (hit rate {hit_rate:.3})",
+        report.speedup_cached
     );
 }
 

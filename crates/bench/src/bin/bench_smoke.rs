@@ -1,7 +1,8 @@
-//! CI bench-smoke driver: runs the perf suite (serial + parallel tile
-//! execution on a full-scale LLaMA-7B layer plus a Fig. 9 design
-//! point), writes `BENCH_<sha>.json`, and fails on >20% regression
-//! against a committed baseline.
+//! CI bench-smoke driver: runs the perf suite (serial + parallel +
+//! plan-cached tile execution on a full-scale LLaMA-7B layer plus a
+//! Fig. 9 design point), writes `BENCH_<sha>.json`, and fails on >20%
+//! regression against a committed baseline — or on a plan-cache hit
+//! rate that collapsed to zero (the cache must not silently disengage).
 //!
 //! ```text
 //! bench_smoke [--smoke|--quick] [--baseline <path>] [--output <path>]
@@ -11,6 +12,9 @@
 //! * scale: `--smoke`/`--quick` or `TA_SCALE=quick|full` (default full;
 //!   unknown values are rejected);
 //! * threads: `TA_THREADS` (default `0` = one worker per core);
+//! * plan cache: `TA_PLAN_CACHE` overrides the cached workload's
+//!   capacity (default 4096 entries; `0` is rejected — the suite gates
+//!   the cache, so it cannot run without one);
 //! * `TA_BENCH_INJECT_SLOWDOWN=<factor>` multiplies the measured wall
 //!   times — a self-test hook that lets CI (or a reviewer) confirm the
 //!   gate actually trips; never set it in a real run.
@@ -86,14 +90,23 @@ fn main() {
         Ok(t) => t.unwrap_or(0),
         Err(e) => fail(&e),
     };
+    let plan_cache = match runtime::plan_cache_from_env() {
+        Ok(Some(0)) => fail(
+            "TA_PLAN_CACHE=0 would disable the gated cached workload; unset it or pass a positive capacity",
+        ),
+        Ok(Some(n)) => n,
+        Ok(None) => perf::DEFAULT_PLAN_CACHE_ENTRIES,
+        Err(e) => fail(&e),
+    };
 
     println!(
-        "bench_smoke: scale={} threads={} cores={}",
+        "bench_smoke: scale={} threads={} cores={} plan_cache={}",
         args.scale.name(),
         threads,
-        runtime::available_cores()
+        runtime::available_cores(),
+        plan_cache
     );
-    let mut report = perf::run_suite(args.scale, threads);
+    let mut report = perf::run_suite(args.scale, threads, plan_cache);
     report.sha = resolve_sha();
 
     // Gate self-test hook: scale the measured wall times so a reviewer
@@ -128,12 +141,38 @@ fn main() {
         "  serial/parallel speedup: {:.2}x at {} threads ({} cores)",
         report.speedup_parallel, report.threads, report.cores
     );
+    println!(
+        "  plan cache: warm-replay hit rate {:.3}, cached-vs-uncached speedup {:.2}x",
+        report.plan_cache_hit_rate, report.speedup_cached
+    );
+    println!(
+        "  dram traffic: {} requests over {} bursts (64 B)",
+        report.dram_requests, report.dram_bursts
+    );
 
+    // The run's own JSON is written first so a failing run still leaves
+    // a debuggable artifact.
     let output = args.output.unwrap_or_else(|| format!("BENCH_{}.json", report.sha));
     if let Err(e) = std::fs::write(&output, report.to_json()) {
         fail(&format!("failed to write {output}: {e}"));
     }
     println!("[json] {output}");
+
+    // The plan cache silently disengaging is a hard failure regardless
+    // of any baseline: the cached workload ran with a capacity sized to
+    // hold the layer's sampled sub-tiles, so a warm replay that misses
+    // everything means the cache is broken, not cold. Checked *before*
+    // any baseline refresh — a broken-cache run must never become the
+    // baseline (a zero-hit-rate baseline would disable this gate's
+    // compare() arm forever).
+    if report.plan_cache_hit_rate <= 0.0 {
+        eprintln!(
+            "gate FAILURE: plan-cache warm-replay hit rate collapsed to {} on l7b_qproj_cached",
+            report.plan_cache_hit_rate
+        );
+        std::process::exit(1);
+    }
+
     if let Some(path) = &args.write_baseline {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             fail(&format!("failed to write {path}: {e}"));

@@ -60,36 +60,58 @@ impl Scale {
     /// the figure binaries take nothing else, and silently ignoring a typo
     /// would run the multi-minute full-scale simulation instead of the
     /// intended smoke run.
-    pub fn from_env() -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns the diagnostic message for an unrecognized CLI argument or
+    /// an invalid `TA_SCALE` value. Library code must use this (or
+    /// [`Scale::resolve`]) — only binaries may turn the error into an
+    /// exit, via [`Scale::from_env`].
+    pub fn try_from_env() -> Result<Self, String> {
+        Self::resolve(std::env::args().skip(1), std::env::var("TA_SCALE"))
+    }
+
+    /// The pure resolution behind [`Scale::try_from_env`]: CLI arguments
+    /// (`--smoke`/`--quick` win) plus the raw `TA_SCALE` lookup result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for unknown arguments or values.
+    pub fn resolve(
+        args: impl IntoIterator<Item = String>,
+        scale_var: Result<String, std::env::VarError>,
+    ) -> Result<Self, String> {
         let mut quick = false;
-        for arg in std::env::args().skip(1) {
+        for arg in args {
             match arg.as_str() {
                 "--smoke" | "--quick" => quick = true,
                 other => {
-                    eprintln!(
-                        "error: unrecognized argument '{other}' (expected --smoke or --quick)"
-                    );
-                    std::process::exit(2);
+                    return Err(format!(
+                        "unrecognized argument '{other}' (expected --smoke or --quick)"
+                    ));
                 }
             }
         }
         if quick {
-            return Self::quick();
+            return Ok(Self::quick());
         }
-        match std::env::var("TA_SCALE") {
-            Err(std::env::VarError::NotPresent) => Self::full(),
+        match scale_var {
+            Err(std::env::VarError::NotPresent) => Ok(Self::full()),
             Err(std::env::VarError::NotUnicode(_)) => {
-                eprintln!("error: TA_SCALE is not valid unicode");
-                std::process::exit(2);
+                Err("TA_SCALE is not valid unicode".to_string())
             }
-            Ok(value) => match Self::parse(&value) {
-                Ok(scale) => scale,
-                Err(msg) => {
-                    eprintln!("error: {msg}");
-                    std::process::exit(2);
-                }
-            },
+            Ok(value) => Self::parse(&value),
         }
+    }
+
+    /// [`Scale::try_from_env`] for the figure **binaries**: prints the
+    /// error and exits 2. Never call this from library code — the
+    /// process-exit stays confined to `fn main`s.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -126,6 +148,43 @@ mod tests {
             let err = Scale::parse(bad).expect_err(bad);
             assert!(err.contains("expected 'quick'"), "unhelpful error for '{bad}': {err}");
         }
+    }
+
+    #[test]
+    fn resolve_args_win_over_env() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            Scale::resolve(args(&["--smoke"]), Ok("full".into())),
+            Ok(Scale::quick()),
+            "--smoke beats TA_SCALE"
+        );
+        assert_eq!(
+            Scale::resolve(args(&["--quick"]), Err(std::env::VarError::NotPresent)),
+            Ok(Scale::quick())
+        );
+        assert_eq!(
+            Scale::resolve(args(&[]), Err(std::env::VarError::NotPresent)),
+            Ok(Scale::full())
+        );
+        assert_eq!(Scale::resolve(args(&[]), Ok("quick".into())), Ok(Scale::quick()));
+    }
+
+    #[test]
+    fn resolve_error_paths_return_instead_of_exiting() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let bad_arg = Scale::resolve(args(&["--paper"]), Err(std::env::VarError::NotPresent))
+            .expect_err("unknown argument must error");
+        assert!(bad_arg.contains("unrecognized argument '--paper'"), "{bad_arg}");
+        let bad_env = Scale::resolve(args(&[]), Ok("qiuck".into())).expect_err("typo must error");
+        assert!(bad_env.contains("expected 'quick'"), "{bad_env}");
+        let not_unicode = Scale::resolve(
+            args(&[]),
+            Err(std::env::VarError::NotUnicode(std::ffi::OsString::new())),
+        )
+        .expect_err("non-unicode must error");
+        assert!(not_unicode.contains("unicode"), "{not_unicode}");
+        // A smoke argument still wins even when TA_SCALE is garbage.
+        assert_eq!(Scale::resolve(args(&["--smoke"]), Ok("garbage".into())), Ok(Scale::quick()));
     }
 
     #[test]

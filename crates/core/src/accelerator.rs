@@ -6,9 +6,10 @@ use crate::config::{ScoreboardMode, TransArrayConfig};
 use crate::runtime::Runtime;
 use crate::source::{PatternSource, SlicedSource};
 use crate::tiling::{dram_traffic, GemmShape, TrafficReport};
-use crate::unit::{evaluate_subtile, process_subtile, SubtileReport};
+use crate::unit::{process_and_evaluate_subtile, process_subtile_cached, SubtileReport};
+use std::sync::Arc;
 use ta_bitslice::BitSlicedMatrix;
-use ta_hasse::StaticSi;
+use ta_hasse::{PlanCacheStats, SharedPlanCache, StaticSi};
 use ta_quant::MatI32;
 use ta_sim::{transarray_area, EnergyBreakdown, EnergyModel, VpuModel};
 
@@ -76,11 +77,18 @@ impl GemmReport {
     }
 }
 
-/// The accelerator: configuration + energy model.
+/// The accelerator: configuration + energy model (+ the optional shared
+/// plan cache the `plan_cache` knob enables).
+///
+/// Clones share the plan cache — intentional: a cloned accelerator
+/// simulating the same weights reuses the memoized plans, which is the
+/// cross-call reuse the cache exists for. Reports are unaffected either
+/// way (cached and fresh plans are bit-identical).
 #[derive(Debug, Clone)]
 pub struct TransitiveArray {
     cfg: TransArrayConfig,
     energy: EnergyModel,
+    plan_cache: Option<Arc<SharedPlanCache>>,
 }
 
 /// Marker error: a source refused to fork, so the sharded path must fall
@@ -159,14 +167,15 @@ impl TransitiveArray {
     ///
     /// Panics if the configuration is inconsistent.
     pub fn new(cfg: TransArrayConfig) -> Self {
-        cfg.validate();
-        Self { cfg, energy: EnergyModel::paper_28nm() }
+        Self::with_energy_model(cfg, EnergyModel::paper_28nm())
     }
 
     /// Creates the accelerator with a custom energy model.
     pub fn with_energy_model(cfg: TransArrayConfig, energy: EnergyModel) -> Self {
         cfg.validate();
-        Self { cfg, energy }
+        let plan_cache =
+            (cfg.plan_cache > 0).then(|| Arc::new(SharedPlanCache::new(cfg.plan_cache)));
+        Self { cfg, energy, plan_cache }
     }
 
     /// The configuration.
@@ -177,6 +186,18 @@ impl TransitiveArray {
     /// The energy model.
     pub fn energy_model(&self) -> &EnergyModel {
         &self.energy
+    }
+
+    /// The shared plan cache, when the `plan_cache` knob enabled one.
+    fn plan_cache(&self) -> Option<&SharedPlanCache> {
+        self.plan_cache.as_deref()
+    }
+
+    /// Hit/miss/eviction counters of the plan cache (`None` when the
+    /// `plan_cache` knob is 0). Counters accumulate across every layer,
+    /// batch job, and worker thread of this accelerator (and its clones).
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(|c| c.stats())
     }
 
     /// Simulates one GEMM at scale: every sampled weight sub-tile is
@@ -231,7 +252,8 @@ impl TransitiveArray {
         while idx < total {
             let (nt, kc) = ((idx / k_chunks as u64) as usize, (idx % k_chunks as u64) as usize);
             let patterns = source.subtile_patterns(nt, kc);
-            let rep = process_subtile(&self.cfg, static_si.as_ref(), &patterns);
+            let rep =
+                process_subtile_cached(&self.cfg, static_si.as_ref(), &patterns, self.plan_cache());
             agg.add(&rep);
             idx += step;
         }
@@ -270,6 +292,7 @@ impl TransitiveArray {
             forks.push(source.fork()?);
         }
         let si_ref = static_si.as_ref();
+        let cache = self.plan_cache();
         let aggs =
             rt.run_shards_with(shards.into_iter().zip(forks).collect(), |_, positions, mut src| {
                 let mut agg = Agg::default();
@@ -278,7 +301,7 @@ impl TransitiveArray {
                     let (nt, kc) =
                         ((idx / k_chunks as u64) as usize, (idx % k_chunks as u64) as usize);
                     let patterns = src.subtile_patterns(nt, kc);
-                    agg.add(&process_subtile(&self.cfg, si_ref, &patterns));
+                    agg.add(&process_subtile_cached(&self.cfg, si_ref, &patterns, cache));
                 }
                 agg
             });
@@ -347,6 +370,7 @@ impl TransitiveArray {
             }
         }
         let si_ref = static_si.as_ref();
+        let cache = self.plan_cache();
         let aggs = rt.run_shards_with(shard_jobs, |_, tiles, acc_rows| {
             let mut src = SlicedSource::new(&sliced, n_tile, self.cfg.width);
             let row_offset = tiles.start * n_tile;
@@ -354,8 +378,14 @@ impl TransitiveArray {
             for nt in tiles {
                 for (kc, chunk_inputs) in inputs_by_chunk.iter().enumerate() {
                     let patterns = src.subtile_patterns(nt, kc);
-                    agg.add(&process_subtile(&self.cfg, si_ref, &patterns));
-                    let rows = evaluate_subtile(&self.cfg, si_ref, &patterns, chunk_inputs);
+                    let (rep, rows) = process_and_evaluate_subtile(
+                        &self.cfg,
+                        si_ref,
+                        &patterns,
+                        chunk_inputs,
+                        cache,
+                    );
+                    agg.add(&rep);
                     for (r, result) in rows.iter().enumerate() {
                         let n_local = r / s_bits;
                         let level = (r % s_bits) as u32;
@@ -508,7 +538,7 @@ impl TransitiveArray {
         }
     }
 
-    /// Per-event energy accounting (see DESIGN.md §5 and the constants at
+    /// Per-event energy accounting (see DESIGN.md §2 and the constants at
     /// the top of this module). `ops`/`ape_ops` are already scaled to the
     /// whole layer; each drives an `m_tile`-wide vector. `sb_pj` is the
     /// (already scaled) dynamic-Scoreboard scan energy accumulated per
@@ -769,6 +799,78 @@ mod tests {
             rep.vpu_cycles,
             rep.compute_cycles
         );
+    }
+
+    #[test]
+    fn plan_cache_leaves_reports_bit_identical() {
+        for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+            let w = det_mat(128, 96, 8, 21);
+            let sliced = BitSlicedMatrix::slice(&w, 8);
+            let shape = GemmShape::new(128, 96, 64);
+            let base_cfg = TransArrayConfig { sample_limit: 0, ..TransArrayConfig::paper_w8() };
+            let base_cfg = TransArrayConfig { scoreboard_mode: mode, ..base_cfg };
+
+            let uncached = TransitiveArray::new(base_cfg.clone());
+            let mut src = SlicedSource::new(&sliced, uncached.config().n_tile(), 8);
+            let want = uncached.simulate_layer(shape, &mut src);
+            assert!(uncached.plan_cache_stats().is_none());
+
+            let cached = TransitiveArray::new(base_cfg.with_plan_cache(256));
+            let mut src = SlicedSource::new(&sliced, cached.config().n_tile(), 8);
+            let first = cached.simulate_layer(shape, &mut src);
+            let mut src = SlicedSource::new(&sliced, cached.config().n_tile(), 8);
+            let second = cached.simulate_layer(shape, &mut src);
+            assert_eq!(first, want, "{mode:?}: cold cached run must equal uncached");
+            assert_eq!(second, want, "{mode:?}: warm cached run must equal uncached");
+            let stats = cached.plan_cache_stats().expect("cache enabled");
+            assert!(stats.hits > 0, "{mode:?}: replaying the layer must hit: {stats:?}");
+            assert!(stats.hit_rate() > 0.0);
+        }
+    }
+
+    #[test]
+    fn plan_cache_execute_gemm_stays_exact() {
+        for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+            let cfg = small_cfg(4, mode).with_plan_cache(64);
+            let ta = TransitiveArray::new(cfg);
+            let w = det_mat(10, 13, 4, 31);
+            let x = det_mat(13, 7, 8, 32);
+            let (out, rep) = ta.execute_gemm(&w, &x);
+            assert_eq!(out, gemm_i32(&w, &x), "{mode:?}: cached GEMM must stay lossless");
+            let uncached = TransitiveArray::new(small_cfg(4, mode));
+            let (out2, rep2) = uncached.execute_gemm(&w, &x);
+            assert_eq!(out, out2);
+            assert_eq!(rep, rep2, "{mode:?}: cached report must equal uncached");
+            // Repeat the same GEMM on the same accelerator.
+            let before = ta.plan_cache_stats().unwrap();
+            let _ = ta.execute_gemm(&w, &x);
+            let after = ta.plan_cache_stats().unwrap();
+            match mode {
+                ScoreboardMode::Dynamic => {
+                    assert!(after.hits > before.hits, "repeat run must hit");
+                    assert_eq!(after.misses, before.misses, "repeat run must not miss");
+                }
+                ScoreboardMode::Static => {
+                    // Static mode misses on repeats by design: each run
+                    // builds a fresh SI table and the cache is scoped to
+                    // the SI instance whose chains produced each entry.
+                    assert!(after.misses > before.misses, "fresh SI must re-plan");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_eviction_under_tiny_capacity_stays_exact() {
+        // Capacity 1 forces constant eviction; results must not change.
+        let cfg = small_cfg(4, ScoreboardMode::Dynamic).with_plan_cache(1);
+        let ta = TransitiveArray::new(cfg);
+        let w = det_mat(12, 17, 4, 33);
+        let x = det_mat(17, 5, 8, 34);
+        let (out, _) = ta.execute_gemm(&w, &x);
+        assert_eq!(out, gemm_i32(&w, &x));
+        let stats = ta.plan_cache_stats().unwrap();
+        assert!(stats.evictions > 0, "capacity 1 must evict: {stats:?}");
     }
 
     #[test]

@@ -177,6 +177,27 @@ pub fn threads_from_env() -> Result<Option<usize>, String> {
     }
 }
 
+/// Reads the `TA_PLAN_CACHE` override: `Ok(None)` when unset, the parsed
+/// plan-cache capacity otherwise (`0` = cache off).
+///
+/// # Errors
+///
+/// Returns a descriptive error for anything that is not a non-negative
+/// integer instead of silently defaulting.
+pub fn plan_cache_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("TA_PLAN_CACHE") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("invalid TA_PLAN_CACHE: not valid unicode".to_string())
+        }
+        Ok(s) => s.trim().parse::<usize>().map(Some).map_err(|_| {
+            format!(
+                "invalid TA_PLAN_CACHE '{s}': expected a non-negative entry count (0 = cache off)"
+            )
+        }),
+    }
+}
+
 /// Splits `0..total` into at most `shards` contiguous near-equal ranges.
 /// Never returns an empty range; returns no ranges for `total == 0`.
 pub fn shard_ranges(total: usize, shards: usize) -> Vec<Range<usize>> {

@@ -6,8 +6,12 @@
 //! both the cycle/op report and, on demand, the functional node results.
 
 use crate::config::{ScoreboardMode, TransArrayConfig};
+use std::sync::Arc;
 use ta_bitslice::bitonic_depth;
-use ta_hasse::{ExecutionPlan, Scoreboard, StaticSi, TileStats};
+use ta_hasse::{
+    CachedPlan, ExecutionPlan, PlanKey, Scoreboard, SharedPlanCache, StaticSi, StaticTileReport,
+    TileStats,
+};
 use ta_sim::Crossbar;
 
 /// Per-sub-tile performance report.
@@ -33,21 +37,32 @@ pub struct SubtileReport {
     pub sort_depth: u32,
     /// SI misses (static mode only).
     pub si_misses: u64,
-    /// Detailed dynamic-mode statistics (None in static mode).
-    pub stats: Option<TileStats>,
+    /// Detailed dynamic-mode statistics (None in static mode). Shared
+    /// (`Arc`) so plan-cache hits hand out the memoized statistics
+    /// without deep-cloning the lane vectors per sub-tile; equality
+    /// still compares the contents.
+    pub stats: Option<Arc<TileStats>>,
 }
 
-/// Processes one sub-tile in **dynamic** mode: builds the private SI with
-/// the hardware Scoreboard and reports cycles.
-pub fn process_dynamic(cfg: &TransArrayConfig, patterns: &[u16]) -> (Scoreboard, SubtileReport) {
-    let sb = Scoreboard::build(cfg.scoreboard_config(), patterns.iter().copied());
-    let stats = TileStats::from_scoreboard(&sb);
+/// Assembles the dynamic-mode [`SubtileReport`] from the tile's (possibly
+/// memoized) statistics. The crossbar bound is recomputed per tile — it
+/// depends on row *positions*, which the multiset-keyed plan cache
+/// deliberately does not capture; everything multiset-determined comes
+/// from `stats`, so cached and fresh reports are identical by
+/// construction. Takes the shared `Arc` so a cache hit hands out the
+/// memoized statistics without deep-cloning them; the fresh path pays
+/// one `Arc` allocation.
+fn dynamic_report(
+    cfg: &TransArrayConfig,
+    patterns: &[u16],
+    stats: Arc<TileStats>,
+) -> SubtileReport {
     let xbar_cycles = xbar_conflict_cycles(cfg, patterns);
     let scoreboard_cycles = stats.scoreboard_cycles;
     let ppe = stats.ppe_cycles();
     let ape = stats.ape_cycles().max(xbar_cycles);
     let cycles = scoreboard_cycles.max(ppe).max(ape).max(1);
-    let report = SubtileReport {
+    SubtileReport {
         rows: patterns.len(),
         total_ops: stats.total_ops,
         dense_bit_ops: stats.dense_bit_ops,
@@ -59,15 +74,17 @@ pub fn process_dynamic(cfg: &TransArrayConfig, patterns: &[u16]) -> (Scoreboard,
         sort_depth: stats.sort_depth,
         si_misses: 0,
         stats: Some(stats),
-    };
-    (sb, report)
+    }
 }
 
-/// Processes one sub-tile in **static** mode: the shared SI was prefetched
-/// from DRAM; no Scoreboard stage runs, but chain materialization pays SI
-/// misses.
-pub fn process_static(cfg: &TransArrayConfig, si: &StaticSi, patterns: &[u16]) -> SubtileReport {
-    let rep = si.evaluate_tile(patterns);
+/// Assembles the static-mode [`SubtileReport`] from the (possibly
+/// memoized) SI replay report; see [`dynamic_report`] for the
+/// cached-equals-fresh argument.
+fn static_report(
+    cfg: &TransArrayConfig,
+    patterns: &[u16],
+    rep: &StaticTileReport,
+) -> SubtileReport {
     let xbar_cycles = xbar_conflict_cycles(cfg, patterns);
     let ppe = rep.lane_ops.iter().copied().max().unwrap_or(0);
     let ape = rep.lane_rows.iter().copied().max().unwrap_or(0).max(xbar_cycles);
@@ -87,6 +104,22 @@ pub fn process_static(cfg: &TransArrayConfig, si: &StaticSi, patterns: &[u16]) -
     }
 }
 
+/// Processes one sub-tile in **dynamic** mode: builds the private SI with
+/// the hardware Scoreboard and reports cycles.
+pub fn process_dynamic(cfg: &TransArrayConfig, patterns: &[u16]) -> (Scoreboard, SubtileReport) {
+    let sb = Scoreboard::build(cfg.scoreboard_config(), patterns.iter().copied());
+    let stats = Arc::new(TileStats::from_scoreboard(&sb));
+    let report = dynamic_report(cfg, patterns, stats);
+    (sb, report)
+}
+
+/// Processes one sub-tile in **static** mode: the shared SI was prefetched
+/// from DRAM; no Scoreboard stage runs, but chain materialization pays SI
+/// misses.
+pub fn process_static(cfg: &TransArrayConfig, si: &StaticSi, patterns: &[u16]) -> SubtileReport {
+    static_report(cfg, patterns, &si.evaluate_tile(patterns))
+}
+
 /// Processes a sub-tile in whichever mode the config selects, building
 /// the static SI lazily from the caller-provided table.
 pub fn process_subtile(
@@ -101,6 +134,142 @@ pub fn process_subtile(
             process_static(cfg, si, patterns)
         }
     }
+}
+
+/// The canonical plan-cache key for one sub-tile under this accelerator
+/// configuration: the pattern multiset plus every Scoreboard knob, scoped
+/// to the static SI instance in static mode.
+fn plan_key(cfg: &TransArrayConfig, static_si: Option<&StaticSi>, patterns: &[u16]) -> PlanKey {
+    let si_token = match cfg.scoreboard_mode {
+        ScoreboardMode::Dynamic => None,
+        ScoreboardMode::Static => {
+            Some(static_si.expect("static mode requires a prefetched SI").instance_token())
+        }
+    };
+    PlanKey::new(&cfg.scoreboard_config(), si_token, patterns)
+}
+
+/// Fetches the sub-tile's memoized plan, or builds and memoizes it. The
+/// (potentially expensive) Scoreboard construction runs outside the
+/// cache's lock; racing workers may build the same plan twice, which is
+/// harmless — the values are identical by construction. `with_plan`
+/// additionally materializes the dynamic op streams on a miss (pass it
+/// from functional callers so one Scoreboard build serves both
+/// products); simulation-only callers leave them lazy.
+fn lookup_or_build_plan(
+    cfg: &TransArrayConfig,
+    static_si: Option<&StaticSi>,
+    patterns: &[u16],
+    cache: &SharedPlanCache,
+    with_plan: bool,
+) -> Arc<CachedPlan> {
+    let key = plan_key(cfg, static_si, patterns);
+    if let Some(hit) = cache.get(&key) {
+        return hit;
+    }
+    let plan = match cfg.scoreboard_mode {
+        ScoreboardMode::Dynamic => {
+            CachedPlan::build_dynamic(&cfg.scoreboard_config(), patterns, with_plan)
+        }
+        ScoreboardMode::Static => {
+            let si = static_si.expect("static mode requires a prefetched SI");
+            CachedPlan::Static { report: si.evaluate_tile(patterns) }
+        }
+    };
+    let plan = Arc::new(plan);
+    cache.insert(key, Arc::clone(&plan));
+    plan
+}
+
+/// Assembles a [`SubtileReport`] from a (cached or fresh) plan.
+fn report_from_plan(cfg: &TransArrayConfig, patterns: &[u16], plan: &CachedPlan) -> SubtileReport {
+    match plan {
+        CachedPlan::Dynamic { stats, .. } => dynamic_report(cfg, patterns, Arc::clone(stats)),
+        CachedPlan::Static { report } => static_report(cfg, patterns, report),
+    }
+}
+
+/// [`process_subtile`] through the optional shared plan cache: with
+/// `cache = None` this is exactly the uncached path; with a cache, the
+/// report is bit-identical but the Scoreboard passes are skipped on a
+/// hit.
+pub(crate) fn process_subtile_cached(
+    cfg: &TransArrayConfig,
+    static_si: Option<&StaticSi>,
+    patterns: &[u16],
+    cache: Option<&SharedPlanCache>,
+) -> SubtileReport {
+    match cache {
+        None => process_subtile(cfg, static_si, patterns),
+        Some(cache) => report_from_plan(
+            cfg,
+            patterns,
+            &lookup_or_build_plan(cfg, static_si, patterns, cache, false),
+        ),
+    }
+}
+
+/// Processes **and** functionally evaluates one sub-tile in a single
+/// pass, sharing one Scoreboard build (and, when a cache is provided,
+/// one plan lookup) between the performance report and the node results
+/// — `execute_gemm`'s inner loop.
+pub(crate) fn process_and_evaluate_subtile(
+    cfg: &TransArrayConfig,
+    static_si: Option<&StaticSi>,
+    patterns: &[u16],
+    inputs: &[Vec<i64>],
+    cache: Option<&SharedPlanCache>,
+) -> (SubtileReport, Vec<Vec<i64>>) {
+    if let Some(cache) = cache {
+        let plan = lookup_or_build_plan(cfg, static_si, patterns, cache, true);
+        let report = report_from_plan(cfg, patterns, &plan);
+        let computed = match &*plan {
+            CachedPlan::Dynamic { .. } => {
+                plan.dynamic_plan(&cfg.scoreboard_config(), patterns).evaluate(inputs)
+            }
+            CachedPlan::Static { .. } => static_si
+                .expect("static mode requires a prefetched SI")
+                .evaluate_tile_functional(patterns, inputs),
+        };
+        return (report, expand_rows(cfg, patterns, &computed, inputs));
+    }
+    match cfg.scoreboard_mode {
+        ScoreboardMode::Dynamic => {
+            let (sb, report) = process_dynamic(cfg, patterns);
+            let computed = ExecutionPlan::from_scoreboard(&sb).evaluate(inputs);
+            (report, expand_rows(cfg, patterns, &computed, inputs))
+        }
+        ScoreboardMode::Static => {
+            let si = static_si.expect("static mode requires a prefetched SI");
+            let computed = si.evaluate_tile_functional(patterns, inputs);
+            (process_static(cfg, si, patterns), expand_rows(cfg, patterns, &computed, inputs))
+        }
+    }
+}
+
+/// Expands per-pattern results into per-row results (zero rows yield zero
+/// vectors; duplicate rows share the computed vector).
+fn expand_rows(
+    cfg: &TransArrayConfig,
+    patterns: &[u16],
+    computed: &[(u16, Vec<i64>)],
+    inputs: &[Vec<i64>],
+) -> Vec<Vec<i64>> {
+    let m = inputs.first().map_or(0, Vec::len);
+    let mut lookup: Vec<Option<&Vec<i64>>> = vec![None; 1usize << cfg.width];
+    for (p, v) in computed {
+        lookup[*p as usize] = Some(v);
+    }
+    patterns
+        .iter()
+        .map(|&p| {
+            if p == 0 {
+                vec![0i64; m]
+            } else {
+                lookup[p as usize].expect("pattern must be computed").clone()
+            }
+        })
+        .collect()
 }
 
 /// Crossbar throughput bound for the APE→output-bank writes (§4.4): rows
@@ -156,7 +325,6 @@ pub fn evaluate_subtile(
     patterns: &[u16],
     inputs: &[Vec<i64>],
 ) -> Vec<Vec<i64>> {
-    let m = inputs.first().map_or(0, Vec::len);
     let computed: Vec<(u16, Vec<i64>)> = match cfg.scoreboard_mode {
         ScoreboardMode::Dynamic => {
             let (sb, _) = process_dynamic(cfg, patterns);
@@ -167,20 +335,7 @@ pub fn evaluate_subtile(
             si.evaluate_tile_functional(patterns, inputs)
         }
     };
-    let mut lookup: Vec<Option<&Vec<i64>>> = vec![None; 1usize << cfg.width];
-    for (p, v) in &computed {
-        lookup[*p as usize] = Some(v);
-    }
-    patterns
-        .iter()
-        .map(|&p| {
-            if p == 0 {
-                vec![0i64; m]
-            } else {
-                lookup[p as usize].expect("pattern must be computed").clone()
-            }
-        })
-        .collect()
+    expand_rows(cfg, patterns, &computed, inputs)
 }
 
 #[cfg(test)]
@@ -252,6 +407,67 @@ mod tests {
         let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![1i64 << j]).collect();
         let rows = evaluate_subtile(&sta_cfg, Some(&si), &patterns, &inputs);
         assert_eq!(rows[0], vec![0b1010]);
+    }
+
+    #[test]
+    fn cached_process_equals_uncached_in_both_modes() {
+        let dyn_cfg = cfg();
+        let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
+        let patterns = [0b1011u16, 0b1111, 0b0011, 0b0010, 0, 0b0011];
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
+        let cache = SharedPlanCache::new(8);
+        for (c, si_opt) in [(&dyn_cfg, None), (&sta_cfg, Some(&si))] {
+            let fresh = process_subtile(c, si_opt, &patterns);
+            let miss = process_subtile_cached(c, si_opt, &patterns, Some(&cache));
+            let hit = process_subtile_cached(c, si_opt, &patterns, Some(&cache));
+            assert_eq!(fresh, miss, "miss path must equal uncached");
+            assert_eq!(fresh, hit, "hit path must equal uncached");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+    }
+
+    #[test]
+    fn cached_report_recomputes_positional_xbar_bound() {
+        // Same multiset, different row order → same key, same plan, but
+        // the bank-occupancy bound must follow the actual positions.
+        let c = cfg();
+        let cache = SharedPlanCache::new(4);
+        let a = [1u16, 1, 0, 0, 0, 0, 0, 0];
+        let b = [1u16, 0, 0, 0, 1, 0, 0, 0];
+        let ra = process_subtile_cached(&c, None, &a, Some(&cache));
+        let rb = process_subtile_cached(&c, None, &b, Some(&cache));
+        assert_eq!(cache.stats().hits, 1, "permuted tile must hit");
+        assert_eq!(ra.total_ops, rb.total_ops);
+        assert_eq!(ra.xbar_cycles, 1, "rows 0,1 land in different banks");
+        assert_eq!(rb.xbar_cycles, 2, "rows 0,4 collide in bank 0");
+    }
+
+    #[test]
+    fn process_and_evaluate_matches_split_calls() {
+        let dyn_cfg = cfg();
+        let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
+        let patterns = [0b0111u16, 0b0101, 0b1111, 0, 0b0101];
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
+        let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![j as i64 * 5 - 7, j as i64]).collect();
+        for (c, si_opt) in [(&dyn_cfg, None), (&sta_cfg, Some(&si))] {
+            let want_rep = process_subtile(c, si_opt, &patterns);
+            let want_rows = evaluate_subtile(c, si_opt, &patterns, &inputs);
+            for cache in [None, Some(SharedPlanCache::new(4))] {
+                let (rep, rows) =
+                    process_and_evaluate_subtile(c, si_opt, &patterns, &inputs, cache.as_ref());
+                assert_eq!(rep, want_rep);
+                assert_eq!(rows, want_rows);
+                if let Some(cache) = &cache {
+                    // Warm lookup must also agree.
+                    let (rep2, rows2) =
+                        process_and_evaluate_subtile(c, si_opt, &patterns, &inputs, Some(cache));
+                    assert_eq!(rep2, want_rep);
+                    assert_eq!(rows2, want_rows);
+                    assert!(cache.stats().hits >= 1);
+                }
+            }
+        }
     }
 
     #[test]

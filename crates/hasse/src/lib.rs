@@ -14,7 +14,11 @@
 //! * [`TileStats`] — ZR/TR/FR/PR classification, density, distance
 //!   histograms, per-lane PPE/APE cycles (the quantities of Fig. 9);
 //! * [`StaticSi`] — tensor-level Scoreboard Information with SI-miss
-//!   accounting (§3.3, Fig. 13).
+//!   accounting (§3.3, Fig. 13);
+//! * [`PlanCache`] / [`SharedPlanCache`] — a bounded LRU memo table over
+//!   canonical pattern multisets ([`PlanKey`]) that reuses
+//!   post-scoreboard plans **across** tiles (and, through the shared
+//!   wrapper, across threads and layers) without changing any result.
 //!
 //! ## Quick example
 //!
@@ -39,6 +43,7 @@ mod bitfield;
 mod exec;
 mod graph;
 mod node;
+mod plan_cache;
 mod scoreboard;
 mod si;
 mod stats;
@@ -47,6 +52,7 @@ pub use bitfield::{PackedEntry, PACKED_PREFIX_FIELDS};
 pub use exec::{ExecutionPlan, OpKind, OutlierOp, PlanOp};
 pub use graph::HasseGraph;
 pub use node::{NodeEntry, DIST_INF, HW_MAX_DISTANCE, MAX_DISTANCE, NO_LANE};
+pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats, PlanKey, SharedPlanCache};
 pub use scoreboard::{BalancePolicy, Scoreboard, ScoreboardConfig};
 pub use si::{StaticSi, StaticTileReport};
 pub use stats::TileStats;
@@ -161,6 +167,69 @@ mod proptests {
                 }
                 prop_assert_eq!(result[0], expect, "pattern {:#010b}", pattern);
             }
+        }
+
+        /// Plan-cache key canonicalization: invariant under any row
+        /// permutation of the tile, and the memoized dynamic plan of the
+        /// permuted tile is bit-identical (stats and functional results).
+        #[test]
+        fn plan_key_is_permutation_invariant(
+            patterns in patterns_strategy(6, 64),
+            seed in 0u64..1024,
+        ) {
+            let cfg = ScoreboardConfig::with_width(6);
+            // Seeded Fisher-Yates permutation of the rows.
+            let mut permuted = patterns.clone();
+            let mut s = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            for i in (1..permuted.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = ((s >> 33) as usize) % (i + 1);
+                permuted.swap(i, j);
+            }
+            prop_assert_eq!(
+                PlanKey::new(&cfg, None, &patterns),
+                PlanKey::new(&cfg, None, &permuted)
+            );
+            let a = CachedPlan::build_dynamic(&cfg, &patterns, true);
+            let b = CachedPlan::build_dynamic(&cfg, &permuted, false);
+            let (CachedPlan::Dynamic { stats: sa, .. },
+                 CachedPlan::Dynamic { stats: sb, .. }) = (&a, &b) else {
+                panic!("dynamic plans expected");
+            };
+            prop_assert_eq!(sa, sb);
+            let inputs: Vec<Vec<i64>> =
+                (0..6).map(|j| vec![(j as i64 * 31 + seed as i64) % 17 - 8]).collect();
+            prop_assert_eq!(
+                a.dynamic_plan(&cfg, &patterns).evaluate(&inputs),
+                b.dynamic_plan(&cfg, &permuted).evaluate(&inputs)
+            );
+        }
+
+        /// Plan-cache key sensitivity: changing any multiset count, the
+        /// width, or the balance policy changes the key.
+        #[test]
+        fn plan_key_is_count_and_config_sensitive(
+            patterns in patterns_strategy(6, 48),
+            extra in 0u16..64,
+        ) {
+            let cfg = ScoreboardConfig::with_width(6);
+            let base = PlanKey::new(&cfg, None, &patterns);
+            // One more occurrence of any pattern (present or not) is a
+            // different multiset.
+            let mut grown = patterns.clone();
+            grown.push(extra);
+            prop_assert_ne!(base.clone(), PlanKey::new(&cfg, None, &grown));
+            // A wider config never shares keys (patterns still fit).
+            let wide = ScoreboardConfig::with_width(7);
+            prop_assert_ne!(base.clone(), PlanKey::new(&wide, None, &patterns));
+            // Nor does the unbalanced ablation policy.
+            let unbalanced = ScoreboardConfig {
+                balance: BalancePolicy::FirstCandidate,
+                ..cfg
+            };
+            prop_assert_ne!(base, PlanKey::new(&unbalanced, None, &patterns));
         }
 
         /// The static SI replayed on its own calibration multiset costs

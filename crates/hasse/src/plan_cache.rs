@@ -1,0 +1,616 @@
+//! The memoized plan cache — cross-tile result reuse for the Scoreboard
+//! itself.
+//!
+//! A sub-tile's balanced forest, execution plan, and ZR/TR/FR/PR
+//! statistics are fully determined by its TransRow pattern **multiset**
+//! and the Scoreboard configuration: `record` only counts occurrences,
+//! and the forward/backward/balance passes walk the 2^T Hasse nodes in a
+//! fixed order. Two tiles presenting the same multiset — in any row
+//! order — therefore produce bit-identical plans, so re-running Alg. 1–2
+//! for every sub-tile of a layer wastes the work the paper's whole
+//! premise is about reusing. [`PlanCache`] memoizes the post-scoreboard
+//! products behind a canonical, permutation-invariant [`PlanKey`];
+//! [`SharedPlanCache`] is the thread-safe wrapper the tile-execution
+//! runtime's workers share.
+//!
+//! Position-dependent per-tile quantities (crossbar bank occupancy, which
+//! depends on each row's original index) are deliberately **not** cached
+//! — callers recompute them per tile, which is what keeps a cache hit
+//! bit-identical to a fresh plan (the determinism contract of
+//! `ta_core::runtime`).
+
+use crate::exec::ExecutionPlan;
+use crate::scoreboard::{BalancePolicy, Scoreboard, ScoreboardConfig};
+use crate::si::StaticTileReport;
+use crate::stats::TileStats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Canonical, permutation-invariant cache key for one sub-tile plan.
+///
+/// Two pattern slices map to the same key iff they are permutations of
+/// one another **and** were planned under the same TransRow width,
+/// distance cap, lane count, balance policy, and (for static mode) the
+/// same SI table instance. Zero rows participate: they change row counts,
+/// Scoreboard scan cycles, and densities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    width: u32,
+    max_distance: u8,
+    lanes: u32,
+    balance: BalancePolicy,
+    /// Static-SI instance token ([`crate::StaticSi::instance_token`]);
+    /// `None` for dynamic-mode plans.
+    si_token: Option<u64>,
+    /// Sorted `(pattern, count)` pairs — the multiset, canonicalized.
+    entries: Box<[(u16, u32)]>,
+}
+
+impl PlanKey {
+    /// Builds the canonical key for `patterns` under `cfg`.
+    ///
+    /// `si_token` must be `Some` with the static SI's
+    /// [`crate::StaticSi::instance_token`] when the plan will be
+    /// evaluated against a shared static table (its chains change the
+    /// result), `None` for dynamic-mode plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern exceeds `cfg.width`.
+    pub fn new(cfg: &ScoreboardConfig, si_token: Option<u64>, patterns: &[u16]) -> Self {
+        let mut sorted: Vec<u16> = patterns.to_vec();
+        sorted.sort_unstable();
+        if let Some(&max) = sorted.last() {
+            assert!(
+                (max as u32) < (1u32 << cfg.width),
+                "pattern {max:#b} exceeds width {}",
+                cfg.width
+            );
+        }
+        let mut entries: Vec<(u16, u32)> = Vec::new();
+        for p in sorted {
+            match entries.last_mut() {
+                Some((last, count)) if *last == p => *count += 1,
+                _ => entries.push((p, 1)),
+            }
+        }
+        Self {
+            width: cfg.width,
+            max_distance: cfg.max_distance,
+            lanes: cfg.effective_lanes(),
+            balance: cfg.balance,
+            si_token,
+            entries: entries.into_boxed_slice(),
+        }
+    }
+
+    /// Total rows the key covers (zero rows included).
+    pub fn rows(&self) -> usize {
+        self.entries.iter().map(|&(_, c)| c as usize).sum()
+    }
+}
+
+/// A memoized post-scoreboard plan — everything about a sub-tile that
+/// depends only on its pattern multiset (never on row order).
+// Values live exclusively behind `Arc<CachedPlan>` in the cache, so the
+// variant size asymmetry never inflates a by-value container.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum CachedPlan {
+    /// Dynamic mode: the tile's statistics plus the per-lane op streams
+    /// (the functional evaluator `execute_gemm` replays).
+    Dynamic {
+        /// ZR/TR/FR/PR statistics and cycle counts of the tile, shared
+        /// so cache hits hand them out without deep-cloning the lane
+        /// vectors.
+        stats: Arc<TileStats>,
+        /// The balanced forest linearized into per-lane op streams —
+        /// built lazily via [`CachedPlan::dynamic_plan`], so
+        /// simulation-only workloads (which never evaluate functionally)
+        /// pay neither the linearization nor its resident memory.
+        plan: OnceLock<ExecutionPlan>,
+    },
+    /// Static mode: the tile replay report under one shared SI table.
+    Static {
+        /// Op/miss accounting of the tile under the static SI.
+        report: StaticTileReport,
+    },
+}
+
+impl CachedPlan {
+    /// Builds the dynamic-mode plan for `patterns` from scratch (the
+    /// cache-miss path): statistics eagerly, op streams lazily.
+    ///
+    /// Pass `with_plan = true` from functional callers that are about to
+    /// evaluate — the one Scoreboard build then serves both products.
+    pub fn build_dynamic(cfg: &ScoreboardConfig, patterns: &[u16], with_plan: bool) -> Self {
+        let sb = Scoreboard::build(*cfg, patterns.iter().copied());
+        let plan = OnceLock::new();
+        if with_plan {
+            let _ = plan.set(ExecutionPlan::from_scoreboard(&sb));
+        }
+        CachedPlan::Dynamic { stats: Arc::new(TileStats::from_scoreboard(&sb)), plan }
+    }
+
+    /// The dynamic entry's op streams, building them on first use. A
+    /// rebuild from any permutation of the entry's multiset yields the
+    /// identical plan (the Scoreboard is multiset-determined), so
+    /// callers pass whatever tile produced the cache hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `Static` entry.
+    pub fn dynamic_plan(&self, cfg: &ScoreboardConfig, patterns: &[u16]) -> &ExecutionPlan {
+        match self {
+            CachedPlan::Dynamic { plan, .. } => plan.get_or_init(|| {
+                ExecutionPlan::from_scoreboard(&Scoreboard::build(*cfg, patterns.iter().copied()))
+            }),
+            CachedPlan::Static { .. } => panic!("static entries hold no dynamic plan"),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a memoized plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted (fresh keys only; re-inserting a cached key
+    /// refreshes recency without counting again).
+    pub insertions: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction over all lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot — e.g. the warm-replay
+    /// hit rate is `after.delta(&before).hit_rate()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `before` is not an earlier snapshot of
+    /// the same monotonically-growing counters.
+    pub fn delta(&self, before: &PlanCacheStats) -> PlanCacheStats {
+        debug_assert!(
+            self.hits >= before.hits
+                && self.misses >= before.misses
+                && self.evictions >= before.evictions
+                && self.insertions >= before.insertions,
+            "delta baseline must be an earlier snapshot"
+        );
+        PlanCacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            evictions: self.evictions - before.evictions,
+            insertions: self.insertions - before.insertions,
+        }
+    }
+}
+
+/// Slab slot of the LRU list. `usize::MAX` marks "no neighbor".
+#[derive(Debug)]
+struct Slot {
+    key: PlanKey,
+    value: Arc<CachedPlan>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A bounded, LRU-evicting memo table from canonical pattern multisets to
+/// their post-scoreboard plans.
+///
+/// Single-threaded; wrap in [`SharedPlanCache`] to share across the
+/// tile-execution runtime's workers.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<PlanKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot (the eviction victim).
+    tail: usize,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity cache is "cache
+    /// off", which callers express by not constructing one.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be non-zero");
+        Self {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(Arc::clone(&self.slots[slot].value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the
+    /// least-recently-used entry when full.
+    pub fn insert(&mut self, key: PlanKey, value: Arc<CachedPlan>) {
+        if let Some(&slot) = self.map.get(&key) {
+            // Concurrent workers can race a miss: both compute, both
+            // insert. Results are identical by construction; keep the
+            // newer value and refresh recency.
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let old_key = self.slots[victim].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.attach_front(slot);
+        self.map.insert(key, slot);
+        self.stats.insertions += 1;
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    /// Links `slot` at the most-recently-used end.
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+/// Thread-safe [`PlanCache`] the tile-execution runtime's workers (and
+/// `Batch` jobs) share. All methods take `&self`; contention is one
+/// short critical section per lookup/insert — the plan construction a
+/// miss triggers happens **outside** the lock, so two workers may race
+/// the same miss and insert identical values (harmless by construction).
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    inner: Mutex<PlanCache>,
+}
+
+impl SharedPlanCache {
+    /// Creates a shared cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: Mutex::new(PlanCache::new(capacity)) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        // A worker that panicked mid-insert cannot leave the LRU list in
+        // a state that corrupts *values* (they are immutable Arcs), so
+        // recover instead of poisoning every later simulation.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up `key` (see [`PlanCache::get`]).
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        self.lock().get(key)
+    }
+
+    /// Inserts `key → value` (see [`PlanCache::insert`]).
+    pub fn insert(&self, key: PlanKey, value: Arc<CachedPlan>) {
+        self.lock().insert(key, value);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.lock().stats()
+    }
+
+    /// Current entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(patterns: &[u16]) -> PlanKey {
+        PlanKey::new(&ScoreboardConfig::with_width(4), None, patterns)
+    }
+
+    fn plan(patterns: &[u16]) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan::build_dynamic(&ScoreboardConfig::with_width(4), patterns, false))
+    }
+
+    #[test]
+    fn shared_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedPlanCache>();
+        assert_send_sync::<PlanKey>();
+        assert_send_sync::<CachedPlan>();
+    }
+
+    #[test]
+    fn key_is_permutation_invariant() {
+        assert_eq!(key(&[14, 2, 5, 1, 15, 7, 2]), key(&[2, 2, 1, 5, 7, 14, 15]));
+        assert_eq!(key(&[0, 3, 0]), key(&[3, 0, 0]));
+        assert_eq!(key(&[]), key(&[]));
+    }
+
+    #[test]
+    fn key_is_count_sensitive() {
+        assert_ne!(key(&[2, 5]), key(&[2, 2, 5]));
+        assert_ne!(key(&[2]), key(&[2, 0]), "zero rows count");
+        assert_ne!(key(&[]), key(&[0]));
+    }
+
+    #[test]
+    fn key_is_config_sensitive() {
+        let patterns = [1u16, 3, 7];
+        let base = ScoreboardConfig::with_width(4);
+        let k = PlanKey::new(&base, None, &patterns);
+        let widened = PlanKey::new(&ScoreboardConfig::with_width(5), None, &patterns);
+        assert_ne!(k, widened);
+        let capped = PlanKey::new(&ScoreboardConfig { max_distance: 2, ..base }, None, &patterns);
+        assert_ne!(k, capped);
+        let laned = PlanKey::new(&ScoreboardConfig { lanes: 2, ..base }, None, &patterns);
+        assert_ne!(k, laned);
+        let unbalanced = PlanKey::new(
+            &ScoreboardConfig { balance: BalancePolicy::FirstCandidate, ..base },
+            None,
+            &patterns,
+        );
+        assert_ne!(k, unbalanced);
+        let static_mode = PlanKey::new(&base, Some(7), &patterns);
+        assert_ne!(k, static_mode);
+        assert_ne!(static_mode, PlanKey::new(&base, Some(8), &patterns));
+    }
+
+    #[test]
+    fn key_rows_counts_duplicates_and_zeros() {
+        assert_eq!(key(&[0, 1, 1, 9]).rows(), 4);
+        assert_eq!(key(&[]).rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn key_rejects_oversized_patterns() {
+        let _ = key(&[16]);
+    }
+
+    #[test]
+    fn cache_hits_after_insert() {
+        let mut cache = PlanCache::new(4);
+        let k = key(&[1, 2, 3]);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), plan(&[1, 2, 3]));
+        assert!(cache.get(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        let (a, b, c) = (key(&[1]), key(&[2]), key(&[3]));
+        cache.insert(a.clone(), plan(&[1]));
+        cache.insert(b.clone(), plan(&[2]));
+        // Touch `a` so `b` becomes the victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), plan(&[3]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some(), "recently used entry survives");
+        assert!(cache.get(&b).is_none(), "LRU entry evicted");
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_cycle_reuses_slots() {
+        let mut cache = PlanCache::new(2);
+        for i in 0..10u16 {
+            cache.insert(key(&[i % 16]), plan(&[i % 16]));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 8);
+        // The slab never grows past capacity.
+        assert!(cache.slots.len() <= 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_double_count() {
+        let mut cache = PlanCache::new(2);
+        let k = key(&[5, 5]);
+        cache.insert(k.clone(), plan(&[5, 5]));
+        cache.insert(k.clone(), plan(&[5, 5]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn capacity_one_cache_works() {
+        let mut cache = PlanCache::new(1);
+        let (a, b) = (key(&[1]), key(&[2]));
+        cache.insert(a.clone(), plan(&[1]));
+        cache.insert(b.clone(), plan(&[2]));
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&b).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = PlanCache::new(0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut s = PlanCacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_isolates_a_window() {
+        let before = PlanCacheStats { hits: 10, misses: 5, evictions: 1, insertions: 5 };
+        let after = PlanCacheStats { hits: 18, misses: 5, evictions: 1, insertions: 5 };
+        let d = after.delta(&before);
+        assert_eq!(d, PlanCacheStats { hits: 8, misses: 0, evictions: 0, insertions: 0 });
+        assert_eq!(d.hit_rate(), 1.0);
+        assert_eq!(before.delta(&before).hit_rate(), 0.0, "empty window");
+    }
+
+    #[test]
+    fn cached_dynamic_plan_matches_fresh_build_under_permutation() {
+        // The memoization soundness argument in one test: a permuted
+        // multiset must yield the same stats and plan evaluation —
+        // whether the op streams were built eagerly or lazily.
+        let cfg = ScoreboardConfig::with_width(4);
+        let original = [14u16, 2, 5, 1, 15, 7, 2, 0];
+        let permuted = [0u16, 15, 2, 7, 1, 5, 2, 14];
+        assert_eq!(
+            PlanKey::new(&cfg, None, &original),
+            PlanKey::new(&cfg, None, &permuted),
+            "same multiset must share a key"
+        );
+        let a = CachedPlan::build_dynamic(&cfg, &original, true);
+        let b = CachedPlan::build_dynamic(&cfg, &permuted, false);
+        let (CachedPlan::Dynamic { stats: sa, .. }, CachedPlan::Dynamic { stats: sb, .. }) =
+            (&a, &b)
+        else {
+            panic!("dynamic plans expected");
+        };
+        assert_eq!(sa, sb, "stats must be permutation-invariant");
+        let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![j as i64 * 3 - 4]).collect();
+        assert_eq!(
+            a.dynamic_plan(&cfg, &original).evaluate(&inputs),
+            b.dynamic_plan(&cfg, &permuted).evaluate(&inputs),
+            "eager and lazily-rebuilt plans must evaluate identically"
+        );
+    }
+
+    #[test]
+    fn shared_cache_concurrent_access() {
+        let cache = std::sync::Arc::new(SharedPlanCache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..32u16 {
+                        let p = [(i % 8) | (t & 1) << 3];
+                        let k = key(&p);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, plan(&p));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 4 * 32);
+        assert!(s.hits > 0, "repeat lookups must hit: {s:?}");
+        assert!(cache.len() <= 16);
+    }
+}

@@ -9,6 +9,10 @@
 //! the chain must be materialized on the fly, costing extra adds.
 
 use crate::scoreboard::{Scoreboard, ScoreboardConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter backing [`StaticSi::instance_token`].
+static NEXT_SI_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// A tensor-level Scoreboard Information table: for every pattern active
 /// at calibration time, the single prefix its result chain reuses, plus
@@ -21,6 +25,10 @@ pub struct StaticSi {
     prefix: Vec<u16>,
     lane: Vec<u8>,
     entries: usize,
+    /// Unique per-construction token (clones share it — their tables are
+    /// identical). Keys the plan cache so memoized static-mode tile
+    /// reports are never reused across *different* SI tables.
+    token: u64,
 }
 
 /// Marker for "computed from scratch" entries.
@@ -98,12 +106,20 @@ impl StaticSi {
             lane[p as usize] = e.lane;
             entries += 1;
         }
-        Self { cfg, prefix, lane, entries }
+        Self { cfg, prefix, lane, entries, token: NEXT_SI_TOKEN.fetch_add(1, Ordering::Relaxed) }
     }
 
     /// The configuration the table was built with.
     pub fn config(&self) -> &ScoreboardConfig {
         &self.cfg
+    }
+
+    /// A token unique to this table's construction (shared by clones,
+    /// which hold identical tables). The plan cache scopes static-mode
+    /// entries by it: a memoized tile report is only reused with the SI
+    /// whose chains produced it.
+    pub fn instance_token(&self) -> u64 {
+        self.token
     }
 
     /// Number of patterns in the table (present + transit at calibration).
@@ -385,6 +401,15 @@ mod tests {
         let si = StaticSi::from_patterns(ScoreboardConfig::with_width(8), [1u16]);
         assert_eq!(si.storage_bits(), 4096);
         assert_eq!(si.storage_bits() / 8, 512);
+    }
+
+    #[test]
+    fn instance_tokens_unique_per_build_shared_by_clones() {
+        let a = StaticSi::from_patterns(cfg4(), [1u16, 3]);
+        let b = StaticSi::from_patterns(cfg4(), [1u16, 3]);
+        assert_ne!(a.instance_token(), b.instance_token(), "independent builds must not alias");
+        let c = a.clone();
+        assert_eq!(a.instance_token(), c.instance_token(), "clones hold the same table");
     }
 
     #[test]

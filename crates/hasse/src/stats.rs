@@ -89,8 +89,17 @@ impl TileStats {
             } else {
                 s.pr_rows += 1;
                 s.lane_ppe[lane] += count;
-                let d = (e.distance as usize).min(s.distance_rows.len() - 1);
-                s.distance_rows[d] += count;
+                // Clamp into the histogram. Today `distance_rows` is a
+                // fixed 18-slot array, so the clamp target always
+                // exists; the saturating/`get_mut` form keeps this safe
+                // if the histogram ever becomes dynamically sized (a
+                // `len() - 1` on an empty one would underflow) — a
+                // degenerate config then degrades to "unbucketed"
+                // instead of panicking.
+                let cap = s.distance_rows.len().saturating_sub(1);
+                if let Some(bucket) = s.distance_rows.get_mut((e.distance as usize).min(cap)) {
+                    *bucket += count;
+                }
             }
             s.lane_ape[lane] += count;
         }
@@ -284,6 +293,24 @@ mod tests {
         assert_eq!(s.distance_rows[1], 1);
         assert_eq!(s.distance_rows[5], 0);
         assert_eq!(s.transit_ops, 2);
+    }
+
+    #[test]
+    fn degenerate_configs_do_not_break_the_histogram() {
+        // Empty tile: nothing bucketed, nothing panics.
+        let empty = stats_for(&[], 1);
+        assert_eq!(empty.rows, 0);
+        assert_eq!(empty.distance_rows.iter().sum::<u64>(), 0);
+        // Minimal width with duplicate rows: everything lands in bucket 1.
+        let tiny = stats_for(&[1, 1, 0], 1);
+        assert_eq!(tiny.distance_rows[1], 2);
+        // Unbounded distance cap at full width: the deepest reachable
+        // distance (17) still clamps inside the fixed histogram.
+        let deep: u16 = u16::MAX; // level 16 at width 16 → distance 16
+        let sb = Scoreboard::build(ScoreboardConfig::unbounded(16), [deep]);
+        let s = TileStats::from_scoreboard(&sb);
+        assert_eq!(s.distance_rows.iter().sum::<u64>(), 1);
+        assert_eq!(s.outlier_rows, 0);
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! concurrently across the worker pool, with reports identical to
 //! simulating each layer alone (see `ta_core::runtime`'s determinism
 //! contract).
+//!
+//! When the accelerator's `plan_cache` knob is on, every job of a batch
+//! shares the accelerator's one plan cache: a pattern multiset planned
+//! for one layer is reused by every other layer (and by later batches on
+//! the same accelerator) — reports are bit-identical either way.
 
 use crate::llama::{LlamaConfig, NamedGemm};
 use crate::synth::QuantGaussianSource;
@@ -78,6 +83,37 @@ mod tests {
                 QuantGaussianSource::new(cfg.width, cfg.weight_bits, cfg.n_tile(), layer_seed);
             let want = serial.simulate_layer(layer.shape, &mut src);
             assert_eq!(report, &want, "layer {} ({})", i, layer.name);
+        }
+    }
+
+    #[test]
+    fn batch_jobs_share_one_plan_cache() {
+        let cached = TransitiveArray::new(TransArrayConfig {
+            sample_limit: 12,
+            threads: 2,
+            plan_cache: 1024,
+            ..TransArrayConfig::paper_w8()
+        });
+        let uncached = tiny_ta(1);
+        let model = tiny_model();
+
+        let first = simulate_llama_block(&cached, &model, 32, 123);
+        let after_first = cached.plan_cache_stats().expect("cache enabled");
+        assert!(after_first.insertions > 0);
+
+        // Replaying the identical block must hit across batch jobs (same
+        // per-layer seeds → same pattern multisets) without adding a
+        // single miss, and reports must match the uncached runs exactly.
+        let second = simulate_llama_block(&cached, &model, 32, 123);
+        let after_second = cached.plan_cache_stats().unwrap();
+        assert!(after_second.hits > after_first.hits, "replayed block must hit");
+        assert_eq!(after_second.misses, after_first.misses, "replayed block must not miss");
+        let want = simulate_llama_block(&uncached, &model, 32, 123);
+        for (i, ((_, f), ((_, s), (_, w)))) in
+            first.iter().zip(second.iter().zip(want.iter())).enumerate()
+        {
+            assert_eq!(f, w, "layer {i}: cold cached batch must equal uncached");
+            assert_eq!(s, w, "layer {i}: warm cached batch must equal uncached");
         }
     }
 

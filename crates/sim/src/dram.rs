@@ -10,7 +10,10 @@ pub struct DramModel {
     bytes_per_cycle: f64,
     burst_bytes: u64,
     traffic_bytes: u64,
+    /// Logical transfer requests: one per [`DramModel::transfer`] call.
     requests: u64,
+    /// Burst-granularity beats those requests decomposed into.
+    bursts: u64,
 }
 
 impl DramModel {
@@ -23,7 +26,7 @@ impl DramModel {
     pub fn new(bytes_per_cycle: f64, burst_bytes: u64) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
         assert!(burst_bytes > 0, "burst size must be non-zero");
-        Self { bytes_per_cycle, burst_bytes, traffic_bytes: 0, requests: 0 }
+        Self { bytes_per_cycle, burst_bytes, traffic_bytes: 0, requests: 0, bursts: 0 }
     }
 
     /// The paper-scale default: ~128 GB/s at 500 MHz → 256 B/cycle,
@@ -39,11 +42,16 @@ impl DramModel {
 
     /// Records a transfer of `bytes` (rounded up to bursts) and returns
     /// the cycles it occupies on the memory channel.
+    ///
+    /// Accounting: the call is **one request**; its burst-rounded beats
+    /// accumulate separately in [`DramModel::bursts`] (they used to be
+    /// conflated into a single unreadable counter).
     pub fn transfer(&mut self, bytes: u64) -> u64 {
         let bursts = bytes.div_ceil(self.burst_bytes);
         let moved = bursts * self.burst_bytes;
         self.traffic_bytes += moved;
-        self.requests += bursts;
+        self.requests += 1;
+        self.bursts += bursts;
         (moved as f64 / self.bytes_per_cycle).ceil() as u64
     }
 
@@ -56,6 +64,17 @@ impl DramModel {
     /// Total traffic recorded (bytes, burst-rounded).
     pub fn traffic_bytes(&self) -> u64 {
         self.traffic_bytes
+    }
+
+    /// Transfer requests recorded (one per [`DramModel::transfer`] call).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Burst beats recorded (each request's bytes rounded up to
+    /// [`burst_bytes`](Self::new)-sized beats).
+    pub fn bursts(&self) -> u64 {
+        self.bursts
     }
 
     /// Dynamic DRAM energy of the recorded traffic (pJ).
@@ -72,6 +91,7 @@ impl DramModel {
     pub fn reset(&mut self) {
         self.traffic_bytes = 0;
         self.requests = 0;
+        self.bursts = 0;
     }
 }
 
@@ -91,6 +111,19 @@ mod tests {
         let cycles = d.transfer(65);
         assert_eq!(d.traffic_bytes(), 128);
         assert_eq!(cycles, 2);
+        assert_eq!(d.requests(), 1, "one transfer call = one request");
+        assert_eq!(d.bursts(), 2, "65 bytes = two 64 B bursts");
+    }
+
+    #[test]
+    fn requests_and_bursts_tracked_separately() {
+        let mut d = DramModel::new(64.0, 64);
+        d.transfer(64); // 1 burst
+        d.transfer(400); // 7 bursts
+        d.transfer(1); // 1 burst
+        assert_eq!(d.requests(), 3);
+        assert_eq!(d.bursts(), 9);
+        assert_eq!(d.traffic_bytes(), 9 * 64);
     }
 
     #[test]
@@ -130,6 +163,8 @@ mod tests {
         d.transfer(100);
         d.reset();
         assert_eq!(d.traffic_bytes(), 0);
+        assert_eq!(d.requests(), 0);
+        assert_eq!(d.bursts(), 0);
     }
 
     #[test]

@@ -156,6 +156,77 @@ fn parallel_simulate_layer_bit_identical_across_thread_counts() {
     }
 }
 
+/// Plan-cache determinism contract: enabling the memoized plan cache
+/// must leave every `GemmReport` — including the floating-point
+/// density/energy/seconds fields — bit-identical to the uncached run,
+/// across thread counts, Scoreboard modes, and both entry points, while
+/// actually hitting (a cache that never hits proves nothing).
+#[test]
+fn plan_cache_bit_identical_across_thread_counts() {
+    let shape = GemmShape::new(512, 256, 128);
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        let cfg_for = |threads: usize, plan_cache: usize| TransArrayConfig {
+            sample_limit: 24,
+            threads,
+            plan_cache,
+            scoreboard_mode: mode,
+            ..TransArrayConfig::paper_w8()
+        };
+        let reference = {
+            let ta = TransitiveArray::new(cfg_for(1, 0));
+            let mut src = QuantGaussianSource::new(8, 8, ta.config().n_tile(), 7);
+            ta.simulate_layer(shape, &mut src)
+        };
+        for threads in [1usize, 2, 8] {
+            let ta = TransitiveArray::new(cfg_for(threads, 512));
+            let run = |ta: &TransitiveArray| {
+                let mut src = QuantGaussianSource::new(8, 8, ta.config().n_tile(), 7);
+                ta.simulate_layer(shape, &mut src)
+            };
+            let cold = run(&ta);
+            let warm = run(&ta);
+            assert_eq!(cold, reference, "{mode:?} threads={threads}: cold cached run differs");
+            assert_eq!(warm, reference, "{mode:?} threads={threads}: warm cached run differs");
+            let stats = ta.plan_cache_stats().expect("cache enabled");
+            assert!(stats.insertions > 0, "{mode:?} threads={threads}: cache unused: {stats:?}");
+            if mode == ScoreboardMode::Dynamic {
+                // Static mode correctly misses across calls: each
+                // simulate_layer builds a fresh SI table and cached
+                // entries are scoped to the SI instance that produced
+                // them. Dynamic plans carry no such scope, so the warm
+                // replay must reuse every one.
+                assert!(
+                    stats.hits > 0,
+                    "{mode:?} threads={threads}: warm replay must hit: {stats:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The same contract for the exact functional engine: cached
+/// `execute_gemm` output and report equal the uncached serial run at
+/// threads 1/2/8.
+#[test]
+fn plan_cache_execute_gemm_bit_identical_across_thread_counts() {
+    let mut rng = StreamRng::new(4096);
+    let w =
+        MatI32::from_fn(40, 36, |_, _| ((rng.next_gaussian() * 3.0).round() as i32).clamp(-8, 7));
+    let x = MatI32::from_fn(36, 9, |_, _| {
+        ((rng.next_gaussian() * 40.0).round() as i32).clamp(-128, 127)
+    });
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        let reference = TransitiveArray::new(small_cfg(4, mode)).execute_gemm(&w, &x);
+        assert_eq!(reference.0, gemm_i32(&w, &x), "{mode:?}: reference must be lossless");
+        for threads in [1usize, 2, 8] {
+            let cfg = TransArrayConfig { threads, plan_cache: 128, ..small_cfg(4, mode) };
+            let (out, report) = TransitiveArray::new(cfg).execute_gemm(&w, &x);
+            assert_eq!(out, reference.0, "{mode:?} threads={threads}: cached output differs");
+            assert_eq!(report, reference.1, "{mode:?} threads={threads}: cached report differs");
+        }
+    }
+}
+
 #[test]
 fn eight_bit_weights_wide_activations() {
     let mut rng = StreamRng::new(77);
