@@ -103,7 +103,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
         wall_norm: 0.0,
     };
     let report = PerfReport {
-        schema: 2,
+        schema: 3,
         sha: "bench".to_string(),
         scale: scale.name().to_string(),
         threads: runtime::Runtime::new(0).threads(),
@@ -114,6 +114,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
         speedup_cached: if cached_wall > 0.0 { serial_wall / cached_wall } else { 0.0 },
         dram_requests: 0,
         dram_bursts: 0,
+        exec_allocs_per_subtile: -1.0,
         workloads: vec![
             record("l7b_qproj_serial", serial_wall),
             record("l7b_qproj_parallel", parallel_wall),

@@ -1,8 +1,11 @@
 //! CI bench-smoke driver: runs the perf suite (serial + parallel +
-//! plan-cached tile execution on a full-scale LLaMA-7B layer plus a
-//! Fig. 9 design point), writes `BENCH_<sha>.json`, and fails on >20%
+//! plan-cached tile execution on a full-scale LLaMA-7B layer, a Fig. 9
+//! design point, plus the exact functional-execution engine on a scaled
+//! `q_proj` GEMM), writes `BENCH_<sha>.json`, and fails on >20%
 //! regression against a committed baseline — or on a plan-cache hit
-//! rate that collapsed to zero (the cache must not silently disengage).
+//! rate that collapsed to zero (the cache must not silently disengage),
+//! or on a flat exec engine that allocates per sub-tile in steady state
+//! (this binary installs a counting global allocator to audit that).
 //!
 //! ```text
 //! bench_smoke [--smoke|--quick] [--baseline <path>] [--output <path>]
@@ -19,10 +22,44 @@
 //!   times — a self-test hook that lets CI (or a reviewer) confirm the
 //!   gate actually trips; never set it in a real run.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::Command;
 use ta_bench::perf::{self, PerfReport, GATE_TOLERANCE};
 use ta_bench::Scale;
 use ta_core::runtime;
+
+/// Counting global allocator: forwards every call to `System`, recording
+/// alloc/realloc events in `ta_bench::alloc_count` so the perf suite can
+/// audit the flat execution engine's steady-state allocation rate
+/// (`exec_allocs_per_subtile`). Installed only in this binary — the
+/// library stays `forbid(unsafe_code)`.
+struct CountingAllocator;
+
+// SAFETY: pure forwarding to `System` (same layout contract); the
+// counter update is a relaxed atomic add with no allocator interaction.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ta_bench::alloc_count::record_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ta_bench::alloc_count::record_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ta_bench::alloc_count::record_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn resolve_sha() -> String {
     if let Ok(sha) = std::env::var("GITHUB_SHA") {
@@ -85,6 +122,9 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // Let the perf suite know the counting allocator above is live (the
+    // allocation audit self-disables in processes without one).
+    ta_bench::alloc_count::mark_installed();
     let args = parse_args();
     let threads = match runtime::threads_from_env() {
         Ok(t) => t.unwrap_or(0),
@@ -149,6 +189,10 @@ fn main() {
         "  dram traffic: {} requests over {} bursts (64 B)",
         report.dram_requests, report.dram_bursts
     );
+    println!(
+        "  exec engine: {:.4} steady-state allocs/sub-tile (0 healthy)",
+        report.exec_allocs_per_subtile
+    );
 
     // The run's own JSON is written first so a failing run still leaves
     // a debuggable artifact.
@@ -169,6 +213,23 @@ fn main() {
         eprintln!(
             "gate FAILURE: plan-cache warm-replay hit rate collapsed to {} on l7b_qproj_cached",
             report.plan_cache_hit_rate
+        );
+        std::process::exit(1);
+    }
+
+    // The flat execution engine must not allocate in steady state — this
+    // binary installs the counting allocator, so the audit always runs,
+    // and any nonzero per-sub-tile rate is a design regression regardless
+    // of the baseline. (±0 exactly is the healthy value; the audit warms
+    // every buffer before measuring.)
+    if report.exec_allocs_per_subtile < 0.0 {
+        eprintln!("gate FAILURE: exec allocation audit did not run despite the counting allocator");
+        std::process::exit(1);
+    }
+    if report.exec_allocs_per_subtile > 0.0 {
+        eprintln!(
+            "gate FAILURE: flat exec engine allocates {:.4} times per sub-tile in steady state (must be 0)",
+            report.exec_allocs_per_subtile
         );
         std::process::exit(1);
     }

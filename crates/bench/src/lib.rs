@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod perf;
 mod report;

@@ -22,11 +22,16 @@
 //! (serde is unavailable offline); it round-trips exactly the subset
 //! this module writes.
 
+use crate::alloc_count;
 use crate::scale::Scale;
 use std::fmt::Write as _;
 use std::time::Instant;
-use ta_core::{runtime, GemmReport, GemmShape, TransArrayConfig, TransitiveArray};
-use ta_models::QuantGaussianSource;
+use ta_bitslice::{BitSlicedMatrix, RowMajor, TileView};
+use ta_core::{
+    runtime, GemmReport, GemmShape, PatternSource, SlicedSource, TransArrayConfig, TransitiveArray,
+};
+use ta_hasse::{ExecScratch, ExecutionPlan, NullSink, Scoreboard, StaticSi};
+use ta_models::{llm_activation_matrix_int, llm_weight_matrix_int, QuantGaussianSource};
 use ta_quant::{gemm_i32, MatI32};
 use ta_sim::DramModel;
 
@@ -79,6 +84,12 @@ pub struct PerfReport {
     pub dram_requests: u64,
     /// Burst beats those requests decompose into (64 B granularity).
     pub dram_bursts: u64,
+    /// Steady-state heap allocations per sub-tile evaluation on the flat
+    /// execution engine (`evaluate_into` + fused row accumulation over a
+    /// warm [`ExecScratch`]). Healthy value: exactly `0.0`. `-1.0` marks
+    /// "unmeasured" — no counting global allocator was installed (the
+    /// `bench_smoke` binary installs one; library tests don't).
+    pub exec_allocs_per_subtile: f64,
     /// Measured workloads.
     pub workloads: Vec<PerfRecord>,
 }
@@ -104,10 +115,12 @@ pub fn l7b_qproj_shape() -> GemmShape {
 /// workloads are repeated until a sample reaches this floor — a single
 /// 100 µs run carries far more than the gate's 20% tolerance in timer
 /// and scheduler noise.
-const MIN_SAMPLE_S: f64 = 0.02;
+const MIN_SAMPLE_S: f64 = 0.05;
 
-/// Timing samples per workload (the minimum is reported).
-const SAMPLES: usize = 3;
+/// Timing samples per workload (the minimum is reported). Shared CI
+/// hosts show contention windows longer than one batch; best-of-7 keeps
+/// a slow outlier batch from ever being the reported time.
+const SAMPLES: usize = 7;
 
 /// Times `f`: a pilot run sizes an iteration batch spanning at least
 /// [`MIN_SAMPLE_S`], then the best per-iteration time over [`SAMPLES`]
@@ -182,8 +195,11 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
     assert!(plan_cache > 0, "run_suite requires a non-zero plan-cache capacity");
     let cores = runtime::available_cores();
     let resolved_threads = runtime::Runtime::new(threads).threads();
-    let calibration = calibration_loop();
-    let norm = |wall: f64| if calibration > 0.0 { wall / calibration } else { 0.0 };
+    // Calibrate at suite start AND end, taking the min: host load drifts
+    // at minute scale, and a calibration sample that caught a slow window
+    // deflates every norm, so the best (fastest) estimate of machine
+    // speed is the stable denominator. Norms are filled in at the end.
+    let calibration_start = calibration_loop();
     let mut workloads = Vec::new();
 
     // Fig. 9 design point: Scoreboard-only, the DSE hot path.
@@ -196,7 +212,7 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
         density: stats.density(),
         macs_per_cycle: 0.0,
         wall_s: wall,
-        wall_norm: norm(wall),
+        wall_norm: 0.0, // assigned after the final calibration below
     });
 
     // Full-scale LLaMA-7B q_proj, serial then parallel (same config
@@ -245,10 +261,22 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
     let (replay_rep, _, plan_cache_hit_rate) = cached_replay(&cached_ta, shape, 1234);
     assert_eq!(serial_rep, replay_rep, "warm plan-cached replay must stay bit-identical");
 
+    // Functional-path workload: the exact bit-level execution engine on
+    // an LLM-like integer GEMM (scaled `q_proj` shape). Guards both the
+    // engine's wall time and its losslessness.
+    let (en, ek, em) = scale.exec_shape();
+    let exec_w = llm_weight_matrix_int(en, ek, 8, 2024);
+    let exec_x = llm_activation_matrix_int(ek, em, 8, 2025);
+    let exec_reference = gemm_i32(&exec_w, &exec_x);
+    let exec_ta = TransitiveArray::new(layer_cfg(1));
+    let ((exec_out, exec_rep), exec_wall) = measure(|| exec_ta.execute_gemm(&exec_w, &exec_x));
+    assert_eq!(exec_out, exec_reference, "functional execution engine must stay bit-exact");
+
     for (name, rep, wall) in [
         ("l7b_qproj_serial", &serial_rep, serial_wall),
         ("l7b_qproj_parallel", &parallel_rep, parallel_wall),
         ("l7b_qproj_cached", &cached_rep, cached_wall),
+        ("l7b_qproj_exec", &exec_rep, exec_wall),
     ] {
         workloads.push(PerfRecord {
             name: name.into(),
@@ -257,7 +285,7 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
             density: rep.density,
             macs_per_cycle: rep.macs_per_cycle(),
             wall_s: wall,
-            wall_norm: norm(wall),
+            wall_norm: 0.0, // assigned after the final calibration below
         });
     }
 
@@ -269,9 +297,14 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
     dram.transfer(serial_rep.traffic.input_bytes);
     dram.transfer(serial_rep.traffic.output_bytes);
 
+    let calibration = calibration_start.min(calibration_loop());
+    for w in &mut workloads {
+        w.wall_norm = if calibration > 0.0 { w.wall_s / calibration } else { 0.0 };
+    }
+
     let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 };
     PerfReport {
-        schema: 2,
+        schema: 3,
         sha: String::new(),
         scale: scale.name().to_string(),
         threads: resolved_threads,
@@ -282,8 +315,101 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
         speedup_cached: if cached_wall > 0.0 { serial_wall / cached_wall } else { 0.0 },
         dram_requests: dram.requests(),
         dram_bursts: dram.bursts(),
+        exec_allocs_per_subtile: measure_exec_allocs(),
         workloads,
     }
+}
+
+/// Steady-state allocation audit of the flat execution engine: builds the
+/// plans, staged inputs, arena, and accumulator for a batch of
+/// representative sub-tiles **outside** the measured region, warms every
+/// buffer with one full pass, then counts heap allocations across many
+/// replay passes of the engine's per-sub-tile work: pattern staging
+/// (`subtile_patterns_into` into a reused buffer, as `execute_gemm`'s
+/// worker loop does) + `evaluate_into` (dynamic) +
+/// `evaluate_tile_functional_into` (static) + the fused per-row
+/// accumulation. A healthy engine measures exactly `0.0` allocations per
+/// sub-tile evaluation.
+///
+/// Deliberately **excluded**: Scoreboard/plan construction and plan-cache
+/// key building — those allocate by design (a fresh plan is built once
+/// per distinct pattern multiset and amortized by the plan cache); the
+/// zero-allocation contract this audit enforces is scoped to the
+/// *execution* path that runs for every sub-tile.
+///
+/// Returns `-1.0` when no counting global allocator is installed (see
+/// [`crate::alloc_count`]) — the figure binaries and library tests run on
+/// the plain system allocator.
+fn measure_exec_allocs() -> f64 {
+    if !alloc_count::counting_enabled() {
+        return -1.0;
+    }
+    const M: usize = 32;
+    const REPLAYS: u64 = 8;
+    let cfg = TransArrayConfig { sample_limit: 0, ..TransArrayConfig::paper_w8() };
+    let t = cfg.width as usize;
+    let w = llm_weight_matrix_int(2 * cfg.n_tile(), 8 * t, 8, 99);
+    let sliced = BitSlicedMatrix::slice(&w, 8);
+    let mut src = SlicedSource::new(&sliced, cfg.n_tile(), cfg.width);
+    let (n_tiles, k_chunks) = (2usize, 8usize);
+
+    // Pre-built dynamic plans (the post-Scoreboard product the plan
+    // cache would hand a warm worker), one per (n_tile, k_chunk).
+    let mut plans: Vec<ExecutionPlan> = Vec::new();
+    let mut all_patterns: Vec<u16> = Vec::new();
+    for nt in 0..n_tiles {
+        for kc in 0..k_chunks {
+            let patterns = src.subtile_patterns(nt, kc);
+            let sb = Scoreboard::build(cfg.scoreboard_config(), patterns.iter().copied());
+            all_patterns.extend_from_slice(&patterns);
+            plans.push(ExecutionPlan::from_scoreboard(&sb));
+        }
+    }
+    let rows_per_tile = src.rows_per_subtile();
+    let si = StaticSi::from_patterns(cfg.scoreboard_config(), all_patterns);
+
+    let mut staged = RowMajor::<i64>::zeros(k_chunks * t, M);
+    for r in 0..k_chunks * t {
+        for (c, v) in staged.row_mut(r).iter_mut().enumerate() {
+            *v = (r as i64 * 31 + c as i64 * 7) % 41 - 20;
+        }
+    }
+    let mut acc = RowMajor::<i64>::zeros(rows_per_tile, M);
+    let mut scratch = ExecScratch::new();
+    let mut patterns: Vec<u16> = Vec::new();
+
+    // One pass = execute_gemm's per-worker steady state: re-stage each
+    // sub-tile's patterns through the production source path, then run
+    // both engines with the fused accumulation.
+    let mut pass = |scratch: &mut ExecScratch, acc: &mut RowMajor<i64>, patterns: &mut Vec<u16>| {
+        for (i, plan) in plans.iter().enumerate() {
+            let (nt, kc) = (i / k_chunks, i % k_chunks);
+            src.subtile_patterns_into(nt, kc, patterns);
+            let inputs: TileView<'_> = staged.view_rows(kc * t, t);
+            // Dynamic engine + fused accumulate.
+            plan.evaluate_into(inputs, scratch, &mut NullSink);
+            for (r, &p) in patterns.iter().enumerate() {
+                if p == 0 {
+                    continue;
+                }
+                let result = scratch.result(p).expect("pattern computed");
+                for (a, &v) in acc.row_mut(r).iter_mut().zip(result) {
+                    *a += v;
+                }
+            }
+            // Static engine (chain materialization path).
+            si.evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink);
+        }
+    };
+    // Warm the arena, sort buffer, pattern buffer, and accumulator.
+    pass(&mut scratch, &mut acc, &mut patterns);
+    let before = alloc_count::allocations();
+    for _ in 0..REPLAYS {
+        pass(&mut scratch, &mut acc, &mut patterns);
+    }
+    let delta = alloc_count::allocations() - before;
+    // Two engine evaluations (dynamic + static) per tile per replay.
+    delta as f64 / (REPLAYS * 2 * plans.len() as u64) as f64
 }
 
 // ---------------------------------------------------------------------------
@@ -346,15 +472,27 @@ fn check_ratio(
     }
 }
 
+/// Extra slack for wall-clock metrics: `wall_norm` gates at
+/// `tolerance × WALL_TOLERANCE_FACTOR` (20% × 5 = double-or-worse
+/// fails). Shared CI hosts show minute-scale contention swings of
+/// 30–60% that survive even best-of-[`SAMPLES`] batching and the
+/// start/end calibration min, while the regressions this arm exists to
+/// catch (an allocator creeping back onto the execute path, an
+/// accidentally quadratic loop) cost 2–3× — past the widened gate.
+/// Deterministic model metrics keep the full-strength tolerance; they,
+/// not wall clocks, carry the gate's precision.
+const WALL_TOLERANCE_FACTOR: f64 = 5.0;
+
 /// Compares `current` against `baseline` at `tolerance` (relative).
 ///
 /// Deterministic model metrics (`cycles`, `total_ops`, `density`,
 /// `macs_per_cycle`) always gate hard. `wall_norm` gates only when the
 /// two runs saw the same core count — the calibration loop cancels
 /// clock-speed differences but not microarchitectural ones, so a
-/// baseline from a different machine shape would flake. The parallel
-/// speedup additionally requires ≥4 cores on both sides (a 1-core
-/// runner cannot show a speedup, only overhead).
+/// baseline from a different machine shape would flake — and at the
+/// widened `WALL_TOLERANCE_FACTOR` (5×) tolerance. The parallel speedup
+/// additionally requires ≥4 cores on both sides (a 1-core runner cannot
+/// show a speedup, only overhead).
 pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> GateOutcome {
     let mut out = GateOutcome::default();
     if baseline.scale != current.scale {
@@ -405,7 +543,7 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
                 base.wall_norm,
                 cur.wall_norm,
                 true,
-                tolerance,
+                tolerance * WALL_TOLERANCE_FACTOR,
             );
         }
     }
@@ -431,6 +569,29 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
     } else {
         out.notes.push(
             "plan_cache_hit_rate gate skipped (baseline predates the plan cache; refresh it)"
+                .to_string(),
+        );
+    }
+    // Allocation-count gate (absolute, not ratio — the healthy value is
+    // exactly zero): a run that starts allocating per sub-tile on the
+    // steady-state exec path regressed the arena design, whatever the
+    // wall clock says. Unmeasured runs/baselines (-1.0 sentinel,
+    // schema ≤ 2 or no counting allocator) self-disable the check.
+    if baseline.exec_allocs_per_subtile >= 0.0 {
+        if current.exec_allocs_per_subtile < 0.0 {
+            out.notes.push(
+                "exec_allocs_per_subtile gate skipped (current run has no counting allocator)"
+                    .to_string(),
+            );
+        } else if current.exec_allocs_per_subtile > baseline.exec_allocs_per_subtile + 0.5 {
+            out.failures.push(format!(
+                "exec_allocs_per_subtile regressed: {} -> {} (steady-state exec must not allocate)",
+                baseline.exec_allocs_per_subtile, current.exec_allocs_per_subtile
+            ));
+        }
+    } else {
+        out.notes.push(
+            "exec_allocs_per_subtile gate skipped (baseline predates the allocation audit; refresh it)"
                 .to_string(),
         );
     }
@@ -516,6 +677,11 @@ impl PerfReport {
         let _ = writeln!(out, "  \"speedup_cached\": {},", json_f64(self.speedup_cached));
         let _ = writeln!(out, "  \"dram_requests\": {},", self.dram_requests);
         let _ = writeln!(out, "  \"dram_bursts\": {},", self.dram_bursts);
+        let _ = writeln!(
+            out,
+            "  \"exec_allocs_per_subtile\": {},",
+            json_f64(self.exec_allocs_per_subtile)
+        );
         let _ = writeln!(out, "  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
             let comma = if i + 1 < self.workloads.len() { "," } else { "" };
@@ -578,6 +744,12 @@ impl PerfReport {
             dram_bursts: match obj.get_opt("dram_bursts") {
                 Some(v) => v.as_u64("dram_bursts")?,
                 None => 0,
+            },
+            // Schema-2 reports predate the allocation audit; the -1.0
+            // sentinel marks it unmeasured and self-disables the gate.
+            exec_allocs_per_subtile: match obj.get_opt("exec_allocs_per_subtile") {
+                Some(v) => v.as_f64("exec_allocs_per_subtile")?,
+                None => -1.0,
             },
             workloads,
         })
@@ -813,7 +985,7 @@ mod tests {
 
     fn sample_report() -> PerfReport {
         PerfReport {
-            schema: 2,
+            schema: 3,
             sha: "abc123".into(),
             scale: "quick".into(),
             threads: 4,
@@ -824,6 +996,7 @@ mod tests {
             speedup_cached: 1.8,
             dram_requests: 3,
             dram_bursts: 544_768,
+            exec_allocs_per_subtile: 0.0,
             workloads: vec![
                 PerfRecord {
                     name: "l7b_qproj_serial".into(),
@@ -908,6 +1081,33 @@ mod tests {
     }
 
     #[test]
+    fn wall_norm_gates_at_widened_tolerance_only() {
+        let base = sample_report();
+        // +60% wall: a shared-host contention swing, inside the widened
+        // wall gate (20% × 5 = 100%) — must pass.
+        let mut burst = base.clone();
+        for w in &mut burst.workloads {
+            w.wall_norm *= 1.6;
+        }
+        let outcome = compare(&base, &burst, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        // +150% wall (e.g. the 3× inject-slowdown self-test): past even
+        // the widened gate — must fail.
+        let mut slow = base.clone();
+        for w in &mut slow.workloads {
+            w.wall_norm *= 2.5;
+        }
+        let outcome = compare(&base, &slow, GATE_TOLERANCE);
+        assert!(outcome.failures.iter().any(|f| f.contains("wall_norm")));
+        // Deterministic metrics keep the full-strength 20%: +60% cycles
+        // fails even though the same ratio passed for wall_norm.
+        let mut cyc = base.clone();
+        cyc.workloads[0].cycles = (base.workloads[0].cycles as f64 * 1.6) as u64;
+        let outcome = compare(&base, &cyc, GATE_TOLERANCE);
+        assert!(outcome.failures.iter().any(|f| f.contains("cycles")));
+    }
+
+    #[test]
     fn gate_skips_speedup_on_small_hosts() {
         let mut base = sample_report();
         base.cores = 1;
@@ -975,7 +1175,13 @@ mod tests {
         let mut old = sample_report();
         old.schema = 1;
         let mut text = old.to_json();
-        for field in ["plan_cache_hit_rate", "speedup_cached", "dram_requests", "dram_bursts"] {
+        for field in [
+            "plan_cache_hit_rate",
+            "speedup_cached",
+            "dram_requests",
+            "dram_bursts",
+            "exec_allocs_per_subtile",
+        ] {
             let needle = format!("  \"{field}\"");
             text = text.lines().filter(|l| !l.starts_with(&needle)).collect::<Vec<_>>().join("\n");
         }
@@ -983,6 +1189,7 @@ mod tests {
         assert_eq!(parsed.plan_cache_hit_rate, 0.0);
         assert_eq!(parsed.speedup_cached, 0.0);
         assert_eq!(parsed.dram_requests, 0);
+        assert_eq!(parsed.exec_allocs_per_subtile, -1.0);
         let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
         assert!(outcome.passed(), "failures: {:?}", outcome.failures);
         assert!(
@@ -990,6 +1197,52 @@ mod tests {
             "notes: {:?}",
             outcome.notes
         );
+    }
+
+    #[test]
+    fn schema2_baseline_parses_and_skips_alloc_gate() {
+        // A schema-2 baseline (pre flat-buffer engine) lacks the
+        // allocation-audit field but keeps everything else.
+        let mut old = sample_report();
+        old.schema = 2;
+        let needle = "  \"exec_allocs_per_subtile\"";
+        let text =
+            old.to_json().lines().filter(|l| !l.starts_with(needle)).collect::<Vec<_>>().join("\n");
+        let parsed = PerfReport::from_json(&text).expect("schema-2 baseline must parse");
+        assert_eq!(parsed.exec_allocs_per_subtile, -1.0);
+        assert_eq!(parsed.plan_cache_hit_rate, 1.0, "schema-2 fields still parse");
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("exec_allocs_per_subtile gate skipped")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn gate_trips_on_alloc_regression_only_past_slack() {
+        let base = sample_report();
+        // Within the ±0.5 absolute slack: passes (occasional one-off
+        // growth of a warm buffer is not a design regression).
+        let mut mild = base.clone();
+        mild.exec_allocs_per_subtile = 0.3;
+        assert!(compare(&base, &mild, GATE_TOLERANCE).passed());
+        // A real per-sub-tile allocation rate fails.
+        let mut bad = base.clone();
+        bad.exec_allocs_per_subtile = 2.0;
+        let outcome = compare(&base, &bad, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("exec_allocs_per_subtile")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // Current run without a counting allocator: note, not failure.
+        let mut unmeasured = base.clone();
+        unmeasured.exec_allocs_per_subtile = -1.0;
+        let outcome = compare(&base, &unmeasured, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(outcome.notes.iter().any(|n| n.contains("no counting allocator")));
     }
 
     #[test]
@@ -1004,15 +1257,18 @@ mod tests {
     fn suite_runs_at_tiny_scale_and_is_deterministic() {
         let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
         let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES);
-        assert_eq!(report.workloads.len(), 4);
+        assert_eq!(report.workloads.len(), 5);
         let serial = report.workloads.iter().find(|w| w.name == "l7b_qproj_serial").unwrap();
         let parallel = report.workloads.iter().find(|w| w.name == "l7b_qproj_parallel").unwrap();
         let cached = report.workloads.iter().find(|w| w.name == "l7b_qproj_cached").unwrap();
+        let exec = report.workloads.iter().find(|w| w.name == "l7b_qproj_exec").unwrap();
         assert_eq!(serial.cycles, parallel.cycles, "parallel must be bit-exact");
         assert_eq!(serial.total_ops, parallel.total_ops);
         assert_eq!(serial.cycles, cached.cycles, "plan cache must be bit-exact");
         assert_eq!(serial.total_ops, cached.total_ops);
         assert!(serial.cycles > 0);
+        assert!(exec.cycles > 0 && exec.total_ops > 0, "exec workload reports a real run");
+        assert!(exec.density > 0.0 && exec.density < 1.0);
         assert!(report.speedup_parallel > 0.0);
         assert_eq!(
             report.plan_cache_hit_rate, 1.0,
@@ -1021,6 +1277,10 @@ mod tests {
         assert!(report.speedup_cached > 0.0);
         assert_eq!(report.dram_requests, 3, "one request per W/I/O stream");
         assert!(report.dram_bursts > report.dram_requests, "bursts decompose requests");
+        assert_eq!(
+            report.exec_allocs_per_subtile, -1.0,
+            "library tests run without the counting allocator"
+        );
     }
 
     #[test]

@@ -22,6 +22,23 @@ impl Scale {
         Self { tiles: 3, sample_limit: 96, accuracy_dim: 64 }
     }
 
+    /// `(n, k, m)` of the functional-execution bench GEMM
+    /// (`l7b_qproj_exec`): an LLaMA-7B `q_proj`-shaped layer scaled down
+    /// so the exact bit-level functional engine finishes in bench time —
+    /// full scale keeps the paper's 32 sub-tile columns per k-chunk
+    /// aspect, quick scale shrinks further for CI.
+    pub fn exec_shape(&self) -> (usize, usize, usize) {
+        if *self == Self::full() {
+            (512, 512, 128)
+        } else if *self == Self::quick() {
+            (128, 128, 64)
+        } else {
+            // Custom (test) scales stay tiny: the exact functional engine
+            // is measured, not stressed, in unit tests.
+            (64, 64, 16)
+        }
+    }
+
     /// Parses a `TA_SCALE` value. Unknown values are an **error**, not a
     /// silent default: a typo'd `TA_SCALE=qiuck` used to fall through to
     /// the multi-minute full-scale run.

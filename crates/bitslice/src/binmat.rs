@@ -33,17 +33,36 @@ impl BinaryMatrix {
         Self { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
     }
 
-    /// Builds a matrix by evaluating a predicate per element.
+    /// Builds a matrix by evaluating a predicate per element. Words are
+    /// assembled directly ([`Self::set_row_from_fn`]) rather than via
+    /// per-element [`Self::set`] read-modify-writes.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
         let mut m = Self::zeros(rows, cols);
         for r in 0..rows {
-            for c in 0..cols {
-                if f(r, c) {
-                    m.set(r, c, true);
-                }
-            }
+            m.set_row_from_fn(r, |c| f(r, c));
         }
         m
+    }
+
+    /// Overwrites row `r` from a per-column predicate, assembling each
+    /// packed `u64` word in a register before one store — the word-level
+    /// row builder behind [`Self::from_fn`] and the bit-slicer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn set_row_from_fn(&mut self, r: usize, mut f: impl FnMut(usize) -> bool) {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let words = &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row];
+        for (wi, word) in words.iter_mut().enumerate() {
+            let c0 = wi * 64;
+            let bits = (self.cols - c0).min(64);
+            let mut w = 0u64;
+            for b in 0..bits {
+                w |= u64::from(f(c0 + b)) << b;
+            }
+            *word = w;
+        }
     }
 
     /// Stacks blocks vertically (in order) into one matrix — the stitch
@@ -146,14 +165,19 @@ impl BinaryMatrix {
     pub fn extract_pattern(&self, r: usize, c0: usize, width: u32) -> u16 {
         assert!(r < self.rows, "row {r} out of bounds");
         assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
-        let mut p: u16 = 0;
-        for j in 0..width as usize {
-            let c = c0 + j;
-            if c < self.cols && self.get(r, c) {
-                p |= 1 << j;
-            }
+        if c0 >= self.cols {
+            return 0;
         }
-        p
+        // Word-level: at most two packed words cover any ≤16-bit window.
+        // Bits past `cols` inside the last word are zero by invariant
+        // (no setter writes them), so masking to `width` suffices.
+        let row = &self.words[r * self.words_per_row..(r + 1) * self.words_per_row];
+        let (wi, off) = (c0 / 64, c0 % 64);
+        let mut bits = row[wi] >> off;
+        if off as u32 + width > 64 && wi + 1 < row.len() {
+            bits |= row[wi + 1] << (64 - off);
+        }
+        (bits & ((1u32 << width) - 1) as u64) as u16
     }
 
     /// Writes `width` bits of `pattern` into row `r` starting at `c0`
@@ -230,6 +254,79 @@ mod tests {
         let m = BinaryMatrix::from_fn(4, 4, |r, c| (r + c) % 2 == 0);
         assert_eq!(m.popcount(), 8);
         assert!((m.bit_density() - 0.5).abs() < 1e-12);
+    }
+
+    /// Scalar reference builder: the per-element `set` loop the word-level
+    /// [`BinaryMatrix::from_fn`] replaced.
+    fn from_fn_scalar(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> bool,
+    ) -> BinaryMatrix {
+        let mut m = BinaryMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn word_level_from_fn_matches_scalar() {
+        // Shapes straddling word boundaries, including exact multiples.
+        for (rows, cols) in [(1usize, 1usize), (3, 63), (2, 64), (4, 65), (5, 130), (1, 200)] {
+            for seed in 0u64..4 {
+                let f = |r: usize, c: usize| {
+                    (r as u64)
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add((c as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+                        .wrapping_add(seed)
+                        .count_ones()
+                        % 2
+                        == 0
+                };
+                let word = BinaryMatrix::from_fn(rows, cols, f);
+                let scalar = from_fn_scalar(rows, cols, f);
+                assert_eq!(word, scalar, "{rows}x{cols} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_row_from_fn_leaves_tail_bits_zero() {
+        // cols = 70: the second word has 58 unused bits that must stay
+        // zero even when the predicate is all-true (the extract_pattern
+        // fast path relies on that invariant).
+        let mut m = BinaryMatrix::zeros(2, 70);
+        m.set_row_from_fn(1, |_| true);
+        assert_eq!(m.row_popcount(1), 70);
+        assert_eq!(m.row_popcount(0), 0);
+        assert_eq!(m.extract_pattern(1, 66, 16), 0b1111, "columns 70.. read as zero");
+    }
+
+    #[test]
+    fn extract_pattern_matches_scalar_get_loop() {
+        let m = BinaryMatrix::from_fn(3, 150, |r, c| (r * 31 + c * 7) % 3 == 0);
+        for r in 0..3 {
+            for c0 in [0usize, 1, 40, 55, 60, 63, 64, 65, 120, 140, 148, 149, 160] {
+                for width in [1u32, 4, 8, 15, 16] {
+                    let mut expect = 0u16;
+                    for j in 0..width as usize {
+                        if c0 + j < m.cols() && m.get(r, c0 + j) {
+                            expect |= 1 << j;
+                        }
+                    }
+                    assert_eq!(
+                        m.extract_pattern(r, c0, width),
+                        expect,
+                        "r={r} c0={c0} width={width}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   an `(S·N × K)` binary matrix, with exact reconstruction;
 //! * [`TransRow`] — the `T`-bit row patterns transitive sparsity operates
 //!   on, plus sub-tile extraction;
+//! * [`RowMajor`] / [`RowsMut`] / [`TileView`] — flat, contiguous
+//!   row-major buffers and views, the zero-copy substrate of the
+//!   functional execution engine;
 //! * Hamming-order / prefix / suffix utilities the Scoreboard traversals
 //!   use ([`hamming_order`], [`prefixes`], [`suffixes`]);
 //! * a bitonic sorting network with a hardware cost report
@@ -33,6 +36,7 @@
 mod binmat;
 mod im2col;
 mod popcount;
+mod rowmajor;
 mod slicer;
 mod sorter;
 mod transrow;
@@ -40,9 +44,12 @@ mod transrow;
 pub use binmat::BinaryMatrix;
 pub use im2col::{conv_direct, conv_im2col, flatten_weights, im2col, ConvShape};
 pub use popcount::{binomial, hamming_order, level, prefixes, suffixes};
+pub use rowmajor::{RowMajor, RowsMut, TileView};
 pub use slicer::BitSlicedMatrix;
 pub use sorter::{bitonic_depth, bitonic_sort_by_key, SortReport};
-pub use transrow::{extract_subtile_transrows, extract_transrows, TransRow};
+pub use transrow::{
+    extract_subtile_patterns_into, extract_subtile_transrows, extract_transrows, TransRow,
+};
 
 #[cfg(test)]
 mod proptests {

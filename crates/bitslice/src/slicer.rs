@@ -175,14 +175,12 @@ fn slice_rows(m: &MatI32, bits: u32, r0: usize, r1: usize) -> BinaryMatrix {
     let k = m.cols();
     let mut planes = BinaryMatrix::zeros((r1 - r0) * bits as usize, k);
     for r in r0..r1 {
-        for c in 0..k {
-            // 2's-complement bit pattern of the value within `bits`.
-            let v = m.get(r, c) as u32 & ((1u64 << bits) - 1) as u32;
-            for s in 0..bits {
-                if v & (1 << s) != 0 {
-                    planes.set((r - r0) * bits as usize + s as usize, c, true);
-                }
-            }
+        let row = m.row(r);
+        for s in 0..bits {
+            // 2's-complement bit `s` of each value, assembled word-level.
+            planes.set_row_from_fn((r - r0) * bits as usize + s as usize, |c| {
+                row[c] as u32 & (1 << s) != 0
+            });
         }
     }
     planes

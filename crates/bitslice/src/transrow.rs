@@ -104,11 +104,48 @@ pub fn extract_transrows(
     assert!((1..=16).contains(&width), "TransRow width must be in 1..=16");
     let mut out = Vec::with_capacity(rows);
     for r in 0..rows {
-        let src = row0 + r;
-        let pattern = if src < planes.rows() { planes.extract_pattern(src, k0, width) } else { 0 };
-        out.push(TransRow::new(pattern, r as u32));
+        out.push(TransRow::new(subtile_pattern(planes, row0 + r, k0, width), r as u32));
     }
     out
+}
+
+/// One sub-tile pattern: binary row `src` of `planes` over bit window
+/// `[k0, k0+width)`, with rows/columns past the matrix edge reading as
+/// zero — the single definition of the tile-padding semantics shared by
+/// [`extract_transrows`] and [`extract_subtile_patterns_into`].
+#[inline]
+fn subtile_pattern(planes: &BinaryMatrix, src: usize, k0: usize, width: u32) -> u16 {
+    if src < planes.rows() {
+        planes.extract_pattern(src, k0, width)
+    } else {
+        0
+    }
+}
+
+/// Buffer-filling counterpart of [`extract_transrows`]: fills `out`
+/// (cleared first) with the `rows` sub-tile patterns of binary rows
+/// `[row0, row0+rows)` over bit window `[k0, k0+width)` — the
+/// allocation-free primitive the hot pattern-source path reuses one
+/// buffer across every sub-tile with. Same edge-padding semantics:
+/// rows/columns past the matrix read as zero.
+///
+/// # Panics
+///
+/// Panics if `width` is outside `1..=16`.
+pub fn extract_subtile_patterns_into(
+    planes: &BinaryMatrix,
+    row0: usize,
+    rows: usize,
+    k0: usize,
+    width: u32,
+    out: &mut Vec<u16>,
+) {
+    assert!((1..=16).contains(&width), "TransRow width must be in 1..=16");
+    out.clear();
+    out.reserve(rows);
+    for r in 0..rows {
+        out.push(subtile_pattern(planes, row0 + r, k0, width));
+    }
 }
 
 /// Convenience wrapper over [`extract_transrows`] for a [`BitSlicedMatrix`]

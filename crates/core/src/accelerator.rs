@@ -6,10 +6,10 @@ use crate::config::{ScoreboardMode, TransArrayConfig};
 use crate::runtime::Runtime;
 use crate::source::{PatternSource, SlicedSource};
 use crate::tiling::{dram_traffic, GemmShape, TrafficReport};
-use crate::unit::{process_and_evaluate_subtile, process_subtile_cached, SubtileReport};
+use crate::unit::{process_and_evaluate_subtile_into, process_subtile_cached, SubtileReport};
 use std::sync::Arc;
-use ta_bitslice::BitSlicedMatrix;
-use ta_hasse::{PlanCacheStats, SharedPlanCache, StaticSi};
+use ta_bitslice::{BitSlicedMatrix, RowMajor, RowsMut};
+use ta_hasse::{ExecScratch, PlanCacheStats, SharedPlanCache, StaticSi};
 use ta_quant::MatI32;
 use ta_sim::{transarray_area, EnergyBreakdown, EnergyModel, VpuModel};
 
@@ -334,59 +334,67 @@ impl TransitiveArray {
         let mut source = SlicedSource::new(&sliced, n_tile, self.cfg.width);
         let static_si = self.build_static_si(n_tiles, k_chunks, 1, &mut source, &rt);
 
-        // Input rows per k-chunk, shared read-only by every worker
-        // (zero-padded past K).
-        let inputs_by_chunk: Vec<Vec<Vec<i64>>> = (0..k_chunks)
-            .map(|kc| {
-                (0..t)
-                    .map(|j| {
-                        let k = kc * t + j;
-                        if k < shape.k {
-                            input.row(k).iter().map(|&v| v as i64).collect()
-                        } else {
-                            vec![0i64; shape.m]
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        // Stage the whole input once as a single contiguous row-major
+        // buffer (zero-padded past K): sub-tile evaluations borrow `T`
+        // consecutive rows as a `TileView` instead of cloning per-chunk
+        // `Vec<Vec<i64>>` copies.
+        let mut staged = RowMajor::<i64>::zeros(k_chunks * t, shape.m);
+        for k in 0..shape.k {
+            for (s, &v) in staged.row_mut(k).iter_mut().zip(input.row(k)) {
+                *s = v as i64;
+            }
+        }
 
-        // Shard over weight tiles: each worker owns a disjoint slice of
-        // output rows, so accumulation needs no synchronization, and the
-        // per-row sum over k-chunks runs in the serial order (exact
-        // integer arithmetic makes it order-independent regardless).
-        let mut acc = vec![vec![0i64; shape.m]; shape.n];
+        // Shard over weight tiles: each worker owns a disjoint row range
+        // of the flat output accumulator, so accumulation needs no
+        // synchronization, and the per-row sum over k-chunks runs in the
+        // serial order (exact integer arithmetic makes it
+        // order-independent regardless).
+        let mut acc = RowMajor::<i64>::zeros(shape.n, shape.m);
         let shards = rt.shards_for(n_tiles);
         let mut shard_jobs = Vec::with_capacity(shards.len());
         {
-            let mut rest: &mut [Vec<i64>] = &mut acc;
+            let mut rest: &mut [i64] = acc.as_mut_slice();
             let mut offset = 0usize;
             for tiles in shards {
                 let end = (tiles.end * n_tile).min(shape.n);
-                let (rows, tail) = rest.split_at_mut(end - offset);
-                shard_jobs.push((tiles, rows));
+                let (rows, tail) = rest.split_at_mut((end - offset) * shape.m);
+                shard_jobs.push((tiles, RowsMut::new(rows, shape.m)));
                 rest = tail;
                 offset = end;
             }
         }
         let si_ref = static_si.as_ref();
         let cache = self.plan_cache();
-        let aggs = rt.run_shards_with(shard_jobs, |_, tiles, acc_rows| {
+        let staged_ref = &staged;
+        let aggs = rt.run_shards_with(shard_jobs, |_, tiles, mut acc_rows| {
             let mut src = SlicedSource::new(&sliced, n_tile, self.cfg.width);
             let row_offset = tiles.start * n_tile;
             let mut agg = Agg::default();
+            // Per-worker arena + pattern buffer: reused across every
+            // sub-tile this worker touches (zero steady-state allocation
+            // on the evaluation path).
+            let mut scratch = ExecScratch::new();
+            let mut patterns: Vec<u16> = Vec::new();
             for nt in tiles {
-                for (kc, chunk_inputs) in inputs_by_chunk.iter().enumerate() {
-                    let patterns = src.subtile_patterns(nt, kc);
-                    let (rep, rows) = process_and_evaluate_subtile(
+                for kc in 0..k_chunks {
+                    src.subtile_patterns_into(nt, kc, &mut patterns);
+                    let inputs = staged_ref.view_rows(kc * t, t);
+                    let rep = process_and_evaluate_subtile_into(
                         &self.cfg,
                         si_ref,
                         &patterns,
-                        chunk_inputs,
+                        inputs,
                         cache,
+                        &mut scratch,
                     );
                     agg.add(&rep);
-                    for (r, result) in rows.iter().enumerate() {
+                    // Fused row expansion: accumulate each non-zero row's
+                    // slab result straight into the output shard.
+                    for (r, &p) in patterns.iter().enumerate() {
+                        if p == 0 {
+                            continue;
+                        }
                         let n_local = r / s_bits;
                         let level = (r % s_bits) as u32;
                         let n_global = nt * n_tile + n_local;
@@ -398,7 +406,10 @@ impl TransitiveArray {
                         } else {
                             1i64 << level
                         };
-                        for (a, &v) in acc_rows[n_global - row_offset].iter_mut().zip(result) {
+                        let result = scratch.result(p).expect("pattern must be computed");
+                        for (a, &v) in
+                            acc_rows.row_mut(n_global - row_offset).iter_mut().zip(result)
+                        {
                             *a += w * v;
                         }
                     }
@@ -408,7 +419,7 @@ impl TransitiveArray {
         });
         let agg = Agg::merge_shards(&aggs);
         let out = MatI32::from_fn(shape.n, shape.m, |r, c| {
-            i32::try_from(acc[r][c]).expect("TransArray accumulation overflowed i32")
+            i32::try_from(acc.row(r)[c]).expect("TransArray accumulation overflowed i32")
         });
         let report = self.finalize(shape, agg, (n_tiles * k_chunks) as u64);
         (out, report)

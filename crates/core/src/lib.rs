@@ -54,8 +54,8 @@ pub use runtime::{Batch, BatchReport, Runtime};
 pub use source::{PatternSource, SlicedSource};
 pub use tiling::{dram_traffic, GemmShape, TrafficReport};
 pub use unit::{
-    evaluate_subtile, process_dynamic, process_static, process_subtile, xbar_group_conflicts,
-    SubtileReport,
+    evaluate_subtile, evaluate_subtile_into, process_dynamic, process_static, process_subtile,
+    xbar_group_conflicts, SubtileReport,
 };
 
 #[cfg(test)]

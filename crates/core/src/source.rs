@@ -6,7 +6,7 @@
 //! bit-sliced matrix ([`SlicedSource`]) for functional runs, or an
 //! on-the-fly generator (in `ta-models`) for at-scale runs.
 
-use ta_bitslice::{extract_subtile_transrows, BitSlicedMatrix};
+use ta_bitslice::BitSlicedMatrix;
 
 /// Supplies the TransRow patterns of weight sub-tile `(n_tile, k_chunk)`.
 ///
@@ -21,6 +21,14 @@ pub trait PatternSource {
     /// `[k_chunk·T, (k_chunk+1)·T)`. Must return exactly
     /// `rows_per_subtile` patterns (zero-padded at the matrix edge).
     fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16>;
+
+    /// [`Self::subtile_patterns`] into a caller-owned buffer (cleared
+    /// first). Hot-loop sources override this to fill `out` without any
+    /// allocation once its capacity is warm; the default delegates.
+    fn subtile_patterns_into(&mut self, n_tile: usize, k_chunk: usize, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.subtile_patterns(n_tile, k_chunk));
+    }
 
     /// Binary rows per sub-tile (`S·n`).
     fn rows_per_subtile(&self) -> usize;
@@ -64,16 +72,23 @@ impl PatternSource for SlicedSource<'_> {
     }
 
     fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16> {
-        extract_subtile_transrows(
-            self.sliced,
-            n_tile * self.n_tile_rows,
-            self.n_tile_rows,
+        // One extraction implementation: the allocating path delegates to
+        // the buffer-filling one so the two can never drift.
+        let mut out = Vec::with_capacity(self.rows_per_subtile());
+        self.subtile_patterns_into(n_tile, k_chunk, &mut out);
+        out
+    }
+
+    fn subtile_patterns_into(&mut self, n_tile: usize, k_chunk: usize, out: &mut Vec<u16>) {
+        let s = self.sliced.bits() as usize;
+        ta_bitslice::extract_subtile_patterns_into(
+            self.sliced.planes(),
+            n_tile * self.n_tile_rows * s,
+            self.n_tile_rows * s,
             k_chunk * self.width as usize,
             self.width,
-        )
-        .iter()
-        .map(|tr| tr.pattern())
-        .collect()
+            out,
+        );
     }
 
     fn rows_per_subtile(&self) -> usize {
@@ -88,6 +103,7 @@ impl PatternSource for SlicedSource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ta_bitslice::extract_subtile_transrows;
     use ta_quant::MatI32;
 
     #[test]
@@ -118,6 +134,28 @@ mod tests {
         let p = src.subtile_patterns(1, 0);
         assert!(p[..4].iter().all(|&x| x == 0xFF));
         assert!(p[4..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn patterns_into_matches_transrow_extraction() {
+        // Pin the buffer-filling extraction (which the allocating path
+        // delegates to) against the independent TransRow-based extractor,
+        // including zero-padded edge tiles.
+        let w = MatI32::from_fn(7, 30, |r, c| ((r * 30 + c) as i32 % 13) - 6);
+        let sliced = BitSlicedMatrix::slice(&w, 4);
+        let mut src = SlicedSource::new(&sliced, 3, 8);
+        let mut buf = Vec::new();
+        for nt in 0..3 {
+            for kc in 0..4 {
+                let want: Vec<u16> = extract_subtile_transrows(&sliced, nt * 3, 3, kc * 8, 8)
+                    .iter()
+                    .map(|tr| tr.pattern())
+                    .collect();
+                src.subtile_patterns_into(nt, kc, &mut buf);
+                assert_eq!(buf, want, "tile ({nt},{kc})");
+                assert_eq!(src.subtile_patterns(nt, kc), want, "allocating path ({nt},{kc})");
+            }
+        }
     }
 
     #[test]

@@ -7,10 +7,10 @@
 
 use crate::config::{ScoreboardMode, TransArrayConfig};
 use std::sync::Arc;
-use ta_bitslice::bitonic_depth;
+use ta_bitslice::{bitonic_depth, TileView};
 use ta_hasse::{
-    CachedPlan, ExecutionPlan, PlanKey, Scoreboard, SharedPlanCache, StaticSi, StaticTileReport,
-    TileStats,
+    CachedPlan, ExecScratch, ExecutionPlan, NullSink, PlanKey, Scoreboard, SharedPlanCache,
+    StaticSi, StaticTileReport, TileStats,
 };
 use ta_sim::Crossbar;
 
@@ -210,63 +210,69 @@ pub(crate) fn process_subtile_cached(
 }
 
 /// Processes **and** functionally evaluates one sub-tile in a single
-/// pass, sharing one Scoreboard build (and, when a cache is provided,
-/// one plan lookup) between the performance report and the node results
-/// — `execute_gemm`'s inner loop.
-pub(crate) fn process_and_evaluate_subtile(
+/// pass — `execute_gemm`'s inner loop. One Scoreboard build (or, when a
+/// cache is provided, one plan lookup) serves both the performance
+/// report and the node results, and every add lands directly in
+/// `scratch`'s pattern-result slab: callers read
+/// [`ExecScratch::result`] per row (the fused replacement for the old
+/// per-row expansion), so the steady state of this function allocates
+/// nothing beyond what the plan lookup itself needs.
+pub(crate) fn process_and_evaluate_subtile_into(
     cfg: &TransArrayConfig,
     static_si: Option<&StaticSi>,
     patterns: &[u16],
-    inputs: &[Vec<i64>],
+    inputs: TileView<'_>,
     cache: Option<&SharedPlanCache>,
-) -> (SubtileReport, Vec<Vec<i64>>) {
+    scratch: &mut ExecScratch,
+) -> SubtileReport {
     if let Some(cache) = cache {
         let plan = lookup_or_build_plan(cfg, static_si, patterns, cache, true);
         let report = report_from_plan(cfg, patterns, &plan);
-        let computed = match &*plan {
-            CachedPlan::Dynamic { .. } => {
-                plan.dynamic_plan(&cfg.scoreboard_config(), patterns).evaluate(inputs)
-            }
+        match &*plan {
+            CachedPlan::Dynamic { .. } => plan
+                .dynamic_plan(&cfg.scoreboard_config(), patterns)
+                .evaluate_into(inputs, scratch, &mut NullSink),
             CachedPlan::Static { .. } => static_si
                 .expect("static mode requires a prefetched SI")
-                .evaluate_tile_functional(patterns, inputs),
-        };
-        return (report, expand_rows(cfg, patterns, &computed, inputs));
+                .evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink),
+        }
+        return report;
     }
     match cfg.scoreboard_mode {
         ScoreboardMode::Dynamic => {
             let (sb, report) = process_dynamic(cfg, patterns);
-            let computed = ExecutionPlan::from_scoreboard(&sb).evaluate(inputs);
-            (report, expand_rows(cfg, patterns, &computed, inputs))
+            ExecutionPlan::from_scoreboard(&sb).evaluate_into(inputs, scratch, &mut NullSink);
+            report
         }
         ScoreboardMode::Static => {
             let si = static_si.expect("static mode requires a prefetched SI");
-            let computed = si.evaluate_tile_functional(patterns, inputs);
-            (process_static(cfg, si, patterns), expand_rows(cfg, patterns, &computed, inputs))
+            si.evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink);
+            process_static(cfg, si, patterns)
         }
     }
 }
 
 /// Expands per-pattern results into per-row results (zero rows yield zero
-/// vectors; duplicate rows share the computed vector).
-fn expand_rows(
-    cfg: &TransArrayConfig,
-    patterns: &[u16],
-    computed: &[(u16, Vec<i64>)],
-    inputs: &[Vec<i64>],
-) -> Vec<Vec<i64>> {
-    let m = inputs.first().map_or(0, Vec::len);
-    let mut lookup: Vec<Option<&Vec<i64>>> = vec![None; 1usize << cfg.width];
-    for (p, v) in computed {
-        lookup[*p as usize] = Some(v);
-    }
+/// vectors; duplicate rows share the computed vector). Compatibility path
+/// behind [`evaluate_subtile`]'s nested-`Vec` interface — the fused engine
+/// ([`evaluate_subtile_into`]) needs no expansion at all. Indexes the
+/// computed set via a sorted `O(|computed| log |computed|)` table rather
+/// than a dense `2^T` lookup, and clones one shared zero template per
+/// zero row instead of rebuilding it.
+fn expand_rows(patterns: &[u16], computed: &[(u16, Vec<i64>)], m: usize) -> Vec<Vec<i64>> {
+    let mut index: Vec<(u16, usize)> =
+        computed.iter().enumerate().map(|(i, (p, _))| (*p, i)).collect();
+    index.sort_unstable_by_key(|&(p, _)| p);
+    let zero = vec![0i64; m];
     patterns
         .iter()
         .map(|&p| {
             if p == 0 {
-                vec![0i64; m]
+                zero.clone()
             } else {
-                lookup[p as usize].expect("pattern must be computed").clone()
+                let at =
+                    index.binary_search_by_key(&p, |&(q, _)| q).expect("pattern must be computed");
+                computed[index[at].1].1.clone()
             }
         })
         .collect()
@@ -298,9 +304,12 @@ pub fn xbar_group_conflicts(cfg: &TransArrayConfig, patterns: &[u16]) -> u64 {
         patterns.iter().enumerate().map(|(i, &p)| (p.count_ones(), i)).collect();
     order.sort_unstable();
     let mut conflict = 0u64;
+    // One rows buffer reused across every dispatch group — the chunk loop
+    // itself allocates nothing.
+    let mut rows: Vec<u64> = Vec::with_capacity(t);
     for group in order.chunks(t) {
-        let rows: Vec<u64> =
-            group.iter().filter(|(pc, _)| *pc > 0).map(|&(_, i)| i as u64).collect();
+        rows.clear();
+        rows.extend(group.iter().filter(|(pc, _)| *pc > 0).map(|&(_, i)| i as u64));
         if rows.is_empty() {
             continue;
         }
@@ -335,7 +344,37 @@ pub fn evaluate_subtile(
             si.evaluate_tile_functional(patterns, inputs)
         }
     };
-    expand_rows(cfg, patterns, &computed, inputs)
+    expand_rows(patterns, &computed, inputs.first().map_or(0, Vec::len))
+}
+
+/// Flat-buffer counterpart of [`evaluate_subtile`]: evaluates the
+/// sub-tile directly into `scratch`'s pattern-result slab. Row `r`'s
+/// result is `scratch.result(patterns[r])` afterwards (zero rows have no
+/// slab entry — their result is all zeros by definition). Reusing one
+/// scratch across many sub-tiles allocates nothing once the arena is
+/// warm; results are bit-identical to the oracle path.
+///
+/// # Panics
+///
+/// Panics if `inputs.rows()` disagrees with the width, or static mode
+/// lacks an SI.
+pub fn evaluate_subtile_into(
+    cfg: &TransArrayConfig,
+    static_si: Option<&StaticSi>,
+    patterns: &[u16],
+    inputs: TileView<'_>,
+    scratch: &mut ExecScratch,
+) {
+    match cfg.scoreboard_mode {
+        ScoreboardMode::Dynamic => {
+            let sb = Scoreboard::build(cfg.scoreboard_config(), patterns.iter().copied());
+            ExecutionPlan::from_scoreboard(&sb).evaluate_into(inputs, scratch, &mut NullSink);
+        }
+        ScoreboardMode::Static => {
+            let si = static_si.expect("static mode requires a prefetched SI");
+            si.evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -443,30 +482,78 @@ mod tests {
         assert_eq!(rb.xbar_cycles, 2, "rows 0,4 collide in bank 0");
     }
 
+    /// Asserts the scratch holds exactly `want_rows` for `patterns` (zero
+    /// rows expect all-zero results and have no slab entry).
+    fn assert_scratch_rows(scratch: &ExecScratch, patterns: &[u16], want_rows: &[Vec<i64>]) {
+        assert_eq!(patterns.len(), want_rows.len());
+        for (r, (&p, want)) in patterns.iter().zip(want_rows).enumerate() {
+            if p == 0 {
+                assert!(want.iter().all(|&v| v == 0), "row {r}");
+            } else {
+                assert_eq!(scratch.result(p), Some(want.as_slice()), "row {r}");
+            }
+        }
+    }
+
     #[test]
-    fn process_and_evaluate_matches_split_calls() {
+    fn fused_process_and_evaluate_matches_split_calls() {
         let dyn_cfg = cfg();
         let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
         let patterns = [0b0111u16, 0b0101, 0b1111, 0, 0b0101];
         let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
         let inputs: Vec<Vec<i64>> = (0..4).map(|j| vec![j as i64 * 5 - 7, j as i64]).collect();
+        let staged: Vec<i64> = inputs.iter().flat_map(|r| r.iter().copied()).collect();
+        let view = TileView::new(&staged, 4, 2, 2);
+        // One dirty scratch shared across every mode/cache combination —
+        // reuse must never leak a previous sub-tile's results.
+        let mut scratch = ExecScratch::new();
         for (c, si_opt) in [(&dyn_cfg, None), (&sta_cfg, Some(&si))] {
             let want_rep = process_subtile(c, si_opt, &patterns);
             let want_rows = evaluate_subtile(c, si_opt, &patterns, &inputs);
             for cache in [None, Some(SharedPlanCache::new(4))] {
-                let (rep, rows) =
-                    process_and_evaluate_subtile(c, si_opt, &patterns, &inputs, cache.as_ref());
+                let rep = process_and_evaluate_subtile_into(
+                    c,
+                    si_opt,
+                    &patterns,
+                    view,
+                    cache.as_ref(),
+                    &mut scratch,
+                );
                 assert_eq!(rep, want_rep);
-                assert_eq!(rows, want_rows);
+                assert_scratch_rows(&scratch, &patterns, &want_rows);
                 if let Some(cache) = &cache {
                     // Warm lookup must also agree.
-                    let (rep2, rows2) =
-                        process_and_evaluate_subtile(c, si_opt, &patterns, &inputs, Some(cache));
+                    let rep2 = process_and_evaluate_subtile_into(
+                        c,
+                        si_opt,
+                        &patterns,
+                        view,
+                        Some(cache),
+                        &mut scratch,
+                    );
                     assert_eq!(rep2, want_rep);
-                    assert_eq!(rows2, want_rows);
+                    assert_scratch_rows(&scratch, &patterns, &want_rows);
                     assert!(cache.stats().hits >= 1);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn evaluate_subtile_into_matches_oracle() {
+        let dyn_cfg = cfg();
+        let sta_cfg = TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg() };
+        let patterns = [0b1011u16, 0b1111, 0, 0b0011, 0b0010, 0b1011];
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
+        let inputs: Vec<Vec<i64>> =
+            (0..4).map(|j| vec![6 - j as i64 * 3, j as i64 * j as i64]).collect();
+        let staged: Vec<i64> = inputs.iter().flat_map(|r| r.iter().copied()).collect();
+        let view = TileView::new(&staged, 4, 2, 2);
+        let mut scratch = ExecScratch::new();
+        for (c, si_opt) in [(&dyn_cfg, None), (&sta_cfg, Some(&si))] {
+            let want_rows = evaluate_subtile(c, si_opt, &patterns, &inputs);
+            evaluate_subtile_into(c, si_opt, &patterns, view, &mut scratch);
+            assert_scratch_rows(&scratch, &patterns, &want_rows);
         }
     }
 

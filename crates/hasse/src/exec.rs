@@ -6,6 +6,160 @@
 //! the end (§5.2).
 
 use crate::scoreboard::Scoreboard;
+use ta_bitslice::TileView;
+
+/// Receives each computed pattern result, in execution order — the fused
+/// back end of [`ExecutionPlan::evaluate_into`] and
+/// [`crate::StaticSi::evaluate_tile_functional_into`].
+///
+/// Results also stay resident in the [`ExecScratch`] slab after the walk,
+/// so callers that accumulate per *row* (the GEMM engine) typically pass
+/// [`NullSink`] and read [`ExecScratch::result`] afterwards; the sink
+/// exists for streaming consumers and for order-sensitive tests.
+pub trait ResultSink {
+    /// Called once per computed pattern, immediately after its slab slice
+    /// is finalized.
+    fn emit(&mut self, pattern: u16, result: &[i64]);
+}
+
+/// A [`ResultSink`] that discards everything (results are read back from
+/// the scratch slab instead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ResultSink for NullSink {
+    fn emit(&mut self, _pattern: u16, _result: &[i64]) {}
+}
+
+impl<F: FnMut(u16, &[i64])> ResultSink for F {
+    fn emit(&mut self, pattern: u16, result: &[i64]) {
+        self(pattern, result)
+    }
+}
+
+/// Per-worker evaluation arena: one contiguous `2^T × m` pattern-result
+/// slab plus a generation-stamped computed-flag table, reused across
+/// every sub-tile a worker touches — the steady state allocates nothing.
+///
+/// Each evaluation bumps the generation instead of clearing the slab, so
+/// "reset" costs `O(m)` (re-zeroing the empty-pattern slot), not
+/// `O(2^T × m)`.
+///
+/// # Examples
+///
+/// ```
+/// use ta_bitslice::TileView;
+/// use ta_hasse::{ExecScratch, ExecutionPlan, NullSink, Scoreboard, ScoreboardConfig};
+///
+/// let sb = Scoreboard::build(ScoreboardConfig::with_width(4), [0b1011u16, 0b0011]);
+/// let plan = ExecutionPlan::from_scoreboard(&sb);
+/// let staged = [6i64, -2, -5, 4]; // m = 1: one input element per bit
+/// let mut scratch = ExecScratch::new();
+/// plan.evaluate_into(TileView::new(&staged, 4, 1, 1), &mut scratch, &mut NullSink);
+/// assert_eq!(scratch.result(0b1011), Some(&[6 - 2 + 4][..]));
+/// ```
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    width: u32,
+    m: usize,
+    /// `2^width × m` result slab; pattern `p` owns `[p·m, (p+1)·m)`.
+    slab: Vec<i64>,
+    /// Generation stamp per pattern; `stamp[p] == generation` marks `p`
+    /// computed in the current sub-tile.
+    stamp: Vec<u32>,
+    generation: u32,
+    /// Reusable per-tile sort buffer (static-mode Hamming ordering).
+    pub(crate) sort_buf: Vec<u16>,
+}
+
+impl ExecScratch {
+    /// Creates an empty arena; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-arms the arena for one sub-tile of `width` input rows of length
+    /// `m`: grows the slab/stamp tables if needed, bumps the generation
+    /// (invalidating every previous result without touching the slab),
+    /// and marks the empty pattern computed with a zero result.
+    pub(crate) fn begin(&mut self, width: u32, m: usize) {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        let patterns = 1usize << width;
+        if self.width != width || self.m != m {
+            self.width = width;
+            self.m = m;
+            self.slab.resize(patterns * m, 0);
+            self.stamp.clear();
+            self.stamp.resize(patterns, 0);
+            self.generation = 0;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // u32 wrap: scrub the stale stamps once per 2^32 sub-tiles.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.slab[..m].fill(0);
+        self.stamp[0] = self.generation;
+    }
+
+    /// Whether `pattern` was computed in the current sub-tile.
+    #[inline]
+    pub fn computed(&self, pattern: u16) -> bool {
+        self.stamp.get(pattern as usize).copied() == Some(self.generation) && self.generation != 0
+    }
+
+    /// The current sub-tile's result vector for `pattern` (`None` if the
+    /// pattern was not computed — including before any evaluation ran).
+    #[inline]
+    pub fn result(&self, pattern: u16) -> Option<&[i64]> {
+        if self.computed(pattern) {
+            let off = pattern as usize * self.m;
+            Some(&self.slab[off..off + self.m])
+        } else {
+            None
+        }
+    }
+
+    /// Marks `pattern` computed in the current generation.
+    #[inline]
+    pub(crate) fn mark(&mut self, pattern: u16) {
+        self.stamp[pattern as usize] = self.generation;
+    }
+
+    /// The slab slice owned by `pattern` (mutable, unchecked stamp).
+    #[inline]
+    pub(crate) fn slot_mut(&mut self, pattern: u16) -> &mut [i64] {
+        let off = pattern as usize * self.m;
+        &mut self.slab[off..off + self.m]
+    }
+
+    /// Copies `src`'s result over `dst`'s slot (the prefix-reuse step:
+    /// one slab-internal memmove instead of a fresh allocation).
+    #[inline]
+    pub(crate) fn copy_slot(&mut self, src: u16, dst: u16) {
+        let (s, d) = (src as usize * self.m, dst as usize * self.m);
+        self.slab.copy_within(s..s + self.m, d);
+    }
+
+    /// Adds input row `j` of `inputs` onto `pattern`'s slot — the one add
+    /// per op of the PPE model.
+    #[inline]
+    pub(crate) fn add_input(&mut self, pattern: u16, inputs: TileView<'_>, j: usize) {
+        let off = pattern as usize * self.m;
+        for (a, &x) in self.slab[off..off + self.m].iter_mut().zip(inputs.row(j)) {
+            *a += x;
+        }
+    }
+
+    /// Emits `pattern`'s finalized slot to the sink.
+    #[inline]
+    pub(crate) fn emit(&self, pattern: u16, sink: &mut impl ResultSink) {
+        let off = pattern as usize * self.m;
+        sink.emit(pattern, &self.slab[off..off + self.m]);
+    }
+}
 
 /// Why a node occupies a PPE slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,6 +311,60 @@ impl ExecutionPlan {
         }
         order
     }
+
+    /// Flat-buffer evaluation: walks the plan writing every add directly
+    /// into `scratch`'s pattern-result slab, emitting each finalized
+    /// pattern to `sink` in the same execution order as
+    /// [`Self::evaluate`]. Results stay readable from
+    /// [`ExecScratch::result`] until the scratch is reused.
+    ///
+    /// Allocation-free once the scratch is warm — this is the hot
+    /// execute-GEMM path; [`Self::evaluate`] is retained as the
+    /// independently-implemented test oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != width`.
+    pub fn evaluate_into(
+        &self,
+        inputs: TileView<'_>,
+        scratch: &mut ExecScratch,
+        sink: &mut impl ResultSink,
+    ) {
+        assert_eq!(inputs.rows(), self.width as usize, "need one input row per TransRow bit");
+        scratch.begin(self.width, inputs.cols());
+        // Lanes are independent; evaluate lane by lane (hardware runs
+        // them concurrently — results are identical because chains never
+        // cross).
+        for lane in &self.lanes {
+            for op in lane {
+                // Same hard guarantee as the oracle's `expect`: a plan that
+                // orders a suffix before its prefix must panic, not copy a
+                // stale slot (the stamp compare is O(1)).
+                assert!(scratch.computed(op.prefix), "prefix must be computed before its suffix");
+                scratch.copy_slot(op.prefix, op.node);
+                let mut bits = op.diff;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    scratch.add_input(op.node, inputs, j);
+                }
+                scratch.mark(op.node);
+                scratch.emit(op.node, sink);
+            }
+        }
+        for op in &self.outliers {
+            scratch.slot_mut(op.node).fill(0);
+            let mut bits = op.node;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                scratch.add_input(op.node, inputs, j);
+            }
+            scratch.mark(op.node);
+            scratch.emit(op.node, sink);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +472,97 @@ mod tests {
     fn evaluate_checks_input_arity() {
         let plan = plan_for(&[1u16], 4);
         let _ = plan.evaluate(&[vec![1i64]]);
+    }
+
+    /// Stages `inputs` (one row per bit) into a flat buffer and returns
+    /// the `TileView` staging the old nested rows used to be.
+    fn stage(inputs: &[Vec<i64>]) -> Vec<i64> {
+        inputs.iter().flat_map(|r| r.iter().copied()).collect()
+    }
+
+    #[test]
+    fn evaluate_into_matches_oracle_order_and_values() {
+        let patterns: Vec<u16> =
+            (0..120u32).map(|i| (i.wrapping_mul(40503) >> 9) as u16 & 0xFF).collect();
+        let plan = plan_for(&patterns, 8);
+        let inputs: Vec<Vec<i64>> =
+            (0..8).map(|j| vec![(j as i64 + 1) * 11 - 31, -(j as i64) * 3, j as i64]).collect();
+        let want = plan.evaluate(&inputs);
+
+        let staged = stage(&inputs);
+        let view = TileView::new(&staged, 8, 3, 3);
+        let mut scratch = ExecScratch::new();
+        let mut got: Vec<(u16, Vec<i64>)> = Vec::new();
+        plan.evaluate_into(view, &mut scratch, &mut |p: u16, r: &[i64]| {
+            got.push((p, r.to_vec()));
+        });
+        assert_eq!(got, want, "sink must see the oracle's exact emission order");
+        // Slab read-back agrees too.
+        for (p, v) in &want {
+            assert_eq!(scratch.result(*p), Some(v.as_slice()));
+        }
+        assert!(scratch.result(0).is_some(), "empty pattern is pre-computed");
+    }
+
+    #[test]
+    fn dirty_scratch_reuse_is_identical_to_fresh() {
+        let tile_a: Vec<u16> = (0..90u32).map(|i| (i * 37 % 251) as u16 & 0x3F).collect();
+        let tile_b: Vec<u16> = (0..70u32).map(|i| (i * 101 % 241) as u16 & 0x3F).collect();
+        let plan_a = plan_for(&tile_a, 6);
+        let plan_b = plan_for(&tile_b, 6);
+        let inputs: Vec<Vec<i64>> = (0..6).map(|j| vec![j as i64 * 7 - 15, 2 - j as i64]).collect();
+        let staged = stage(&inputs);
+        let view = TileView::new(&staged, 6, 2, 2);
+
+        let mut fresh = ExecScratch::new();
+        plan_b.evaluate_into(view, &mut fresh, &mut NullSink);
+        let want: Vec<(u16, Vec<i64>)> = plan_b
+            .iter_ops()
+            .map(|op| (op.node, fresh.result(op.node).unwrap().to_vec()))
+            .collect();
+
+        // Dirty the scratch with a different tile, then replay tile B.
+        let mut dirty = ExecScratch::new();
+        plan_a.evaluate_into(view, &mut dirty, &mut NullSink);
+        plan_b.evaluate_into(view, &mut dirty, &mut NullSink);
+        for (p, v) in &want {
+            assert_eq!(dirty.result(*p), Some(v.as_slice()), "pattern {p:#b}");
+        }
+        // Patterns only tile A computed are invalidated by the generation
+        // bump, not readable as stale data.
+        for op in plan_a.iter_ops() {
+            let in_b = plan_b.iter_ops().any(|o| o.node == op.node)
+                || plan_b.outliers().iter().any(|o| o.node == op.node);
+            if !in_b {
+                assert_eq!(dirty.result(op.node), None, "stale pattern {:#b}", op.node);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_resizes_across_width_and_m_changes() {
+        let mut scratch = ExecScratch::new();
+        for (width, m) in [(4u32, 3usize), (6, 1), (4, 5), (8, 2)] {
+            let patterns: Vec<u16> =
+                (0..40u32).map(|i| (i * 29) as u16 & ((1 << width) - 1)).collect();
+            let plan = plan_for(&patterns, width);
+            let inputs: Vec<Vec<i64>> = (0..width)
+                .map(|j| (0..m).map(|c| (j as i64 + 1) * (c as i64 - 2)).collect())
+                .collect();
+            let staged = stage(&inputs);
+            let view = TileView::new(&staged, width as usize, m, m);
+            plan.evaluate_into(view, &mut scratch, &mut NullSink);
+            for (p, v) in plan.evaluate(&inputs) {
+                assert_eq!(scratch.result(p), Some(v.as_slice()), "width {width} m {m}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need one input row")]
+    fn evaluate_into_checks_input_arity() {
+        let plan = plan_for(&[1u16], 4);
+        let staged = [1i64];
+        plan.evaluate_into(TileView::new(&staged, 1, 1, 1), &mut ExecScratch::new(), &mut NullSink);
     }
 }

@@ -10,7 +10,9 @@
 //!   flips; nothing is materialized);
 //! * [`Scoreboard`] — record → forward pass (Alg. 1) → backward pass
 //!   (Alg. 2) → balanced forest (Fig. 5);
-//! * [`ExecutionPlan`] — per-lane op streams plus a functional evaluator;
+//! * [`ExecutionPlan`] — per-lane op streams plus two functional
+//!   evaluators: the allocating oracle (`evaluate`) and the arena-backed
+//!   zero-allocation fast path (`evaluate_into` over an [`ExecScratch`]);
 //! * [`TileStats`] — ZR/TR/FR/PR classification, density, distance
 //!   histograms, per-lane PPE/APE cycles (the quantities of Fig. 9);
 //! * [`StaticSi`] — tensor-level Scoreboard Information with SI-miss
@@ -49,7 +51,7 @@ mod si;
 mod stats;
 
 pub use bitfield::{PackedEntry, PACKED_PREFIX_FIELDS};
-pub use exec::{ExecutionPlan, OpKind, OutlierOp, PlanOp};
+pub use exec::{ExecScratch, ExecutionPlan, NullSink, OpKind, OutlierOp, PlanOp, ResultSink};
 pub use graph::HasseGraph;
 pub use node::{NodeEntry, DIST_INF, HW_MAX_DISTANCE, MAX_DISTANCE, NO_LANE};
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats, PlanKey, SharedPlanCache};
@@ -61,13 +63,89 @@ pub use stats::TileStats;
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use ta_bitslice::TileView;
 
     fn patterns_strategy(width: u32, max_len: usize) -> impl Strategy<Value = Vec<u16>> {
         let hi = (1u32 << width) as u16;
         proptest::collection::vec(0..hi, 0..max_len)
     }
 
+    /// Deterministic nested input rows (`width × m`) plus their flat
+    /// staging — the two representations the equivalence tests compare.
+    fn staged_inputs(width: u32, m: usize, seed: i64) -> (Vec<Vec<i64>>, Vec<i64>) {
+        let nested: Vec<Vec<i64>> = (0..width)
+            .map(|j| (0..m).map(|c| (j as i64 * 37 + c as i64 * 13 + seed) % 41 - 20).collect())
+            .collect();
+        let flat = nested.iter().flat_map(|r| r.iter().copied()).collect();
+        (nested, flat)
+    }
+
     proptest! {
+        /// Tentpole contract: the arena-backed `evaluate_into` emits the
+        /// exact `(pattern, result)` sequence of the oracle `evaluate`,
+        /// for random tiles, widths, and vector lengths — and a **dirty**
+        /// scratch (already used by a different tile) changes nothing.
+        #[test]
+        fn evaluate_into_equals_oracle_evaluate(
+            width in 2u32..=8,
+            raw in patterns_strategy(8, 96),
+            dirty_raw in patterns_strategy(8, 48),
+            m in 1usize..4,
+            seed in 0i64..100,
+        ) {
+            let mask = ((1u32 << width) - 1) as u16;
+            let patterns: Vec<u16> = raw.iter().map(|p| p & mask).collect();
+            let dirty_tile: Vec<u16> = dirty_raw.iter().map(|p| p & mask).collect();
+            let cfg = ScoreboardConfig::with_width(width);
+            let plan = ExecutionPlan::from_scoreboard(
+                &Scoreboard::build(cfg, patterns.iter().copied()));
+            let (nested, flat) = staged_inputs(width, m, seed);
+            let want = plan.evaluate(&nested);
+
+            let view = TileView::new(&flat, width as usize, m, m);
+            // Dirty the scratch with an unrelated tile first.
+            let mut scratch = ExecScratch::new();
+            ExecutionPlan::from_scoreboard(
+                &Scoreboard::build(cfg, dirty_tile.iter().copied()))
+                .evaluate_into(view, &mut scratch, &mut NullSink);
+
+            let mut got: Vec<(u16, Vec<i64>)> = Vec::new();
+            plan.evaluate_into(view, &mut scratch, &mut |p: u16, r: &[i64]| {
+                got.push((p, r.to_vec()));
+            });
+            prop_assert_eq!(&got, &want);
+            for (p, v) in &want {
+                prop_assert_eq!(scratch.result(*p), Some(v.as_slice()));
+            }
+        }
+
+        /// Static-mode counterpart: `evaluate_tile_functional_into` over a
+        /// (dirty) scratch emits exactly what the allocating oracle does.
+        #[test]
+        fn static_evaluate_into_equals_oracle(
+            calib in patterns_strategy(6, 80),
+            tile in patterns_strategy(6, 40),
+            dirty_tile in patterns_strategy(6, 24),
+            m in 1usize..4,
+            seed in 0i64..50,
+        ) {
+            let cfg = ScoreboardConfig::with_width(6);
+            let si = StaticSi::from_patterns(cfg, calib);
+            let (nested, flat) = staged_inputs(6, m, seed);
+            let want = si.evaluate_tile_functional(&tile, &nested);
+
+            let view = TileView::new(&flat, 6, m, m);
+            let mut scratch = ExecScratch::new();
+            si.evaluate_tile_functional_into(&dirty_tile, view, &mut scratch, &mut NullSink);
+            let mut got: Vec<(u16, Vec<i64>)> = Vec::new();
+            si.evaluate_tile_functional_into(&tile, view, &mut scratch,
+                &mut |p: u16, r: &[i64]| got.push((p, r.to_vec())));
+            prop_assert_eq!(&got, &want);
+            for (p, v) in &want {
+                prop_assert_eq!(scratch.result(*p), Some(v.as_slice()));
+            }
+        }
+
         /// Every computed pattern's functional result equals the direct
         /// subset sum — the paper's losslessness claim at plan level.
         #[test]

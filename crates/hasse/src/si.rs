@@ -8,8 +8,10 @@
 //! a tile may need a prefix whose result no row of the tile produces, so
 //! the chain must be materialized on the fly, costing extra adds.
 
+use crate::exec::{ExecScratch, ResultSink};
 use crate::scoreboard::{Scoreboard, ScoreboardConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
+use ta_bitslice::TileView;
 
 /// Process-wide counter backing [`StaticSi::instance_token`].
 static NEXT_SI_TOKEN: AtomicU64 = AtomicU64::new(1);
@@ -238,6 +240,86 @@ impl StaticSi {
             self.materialize_functional(p, inputs, &mut results, &mut order);
         }
         order
+    }
+
+    /// Flat-buffer counterpart of [`Self::evaluate_tile_functional`]:
+    /// materializes every tile pattern's result straight into `scratch`'s
+    /// slab, emitting each finalized pattern to `sink` in the same
+    /// computation order. Allocation-free once the scratch is warm (the
+    /// per-tile Hamming sort reuses a scratch-resident buffer);
+    /// [`Self::evaluate_tile_functional`] is retained as the test oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != width`.
+    pub fn evaluate_tile_functional_into(
+        &self,
+        patterns: &[u16],
+        inputs: TileView<'_>,
+        scratch: &mut ExecScratch,
+        sink: &mut impl ResultSink,
+    ) {
+        assert_eq!(inputs.rows(), self.cfg.width as usize, "need one input row per bit");
+        scratch.begin(self.cfg.width, inputs.cols());
+        let mut sorted = std::mem::take(&mut scratch.sort_buf);
+        sorted.clear();
+        sorted.extend_from_slice(patterns);
+        sorted.sort_unstable_by_key(|p| (p.count_ones(), *p));
+        sorted.dedup();
+        for &p in &sorted {
+            if p == 0 || scratch.computed(p) {
+                continue;
+            }
+            self.materialize_into(p, inputs, scratch, sink);
+        }
+        scratch.sort_buf = sorted;
+    }
+
+    /// Walks `p`'s static chain down to the first computed ancestor (or a
+    /// from-scratch stop), then replays it upward into the scratch slab —
+    /// the iterative, slab-resident form of [`Self::materialize_functional`].
+    /// Chain depth is bounded by the TransRow width (every prefix drops
+    /// at least one bit), so the walk uses a fixed-size stack.
+    fn materialize_into(
+        &self,
+        p: u16,
+        inputs: TileView<'_>,
+        scratch: &mut ExecScratch,
+        sink: &mut impl ResultSink,
+    ) {
+        // Chain of not-yet-computed nodes, `p` first, deepest last.
+        let mut chain = [0u16; 16];
+        let mut len = 0usize;
+        let mut cur = p;
+        while !scratch.computed(cur) {
+            chain[len] = cur;
+            len += 1;
+            match self.prefix[cur as usize] {
+                ABSENT | SELF => break, // from-scratch stop
+                parent => cur = parent,
+            }
+        }
+        // Replay deepest-first: one prefix copy + diff adds per node.
+        for &node in chain[..len].iter().rev() {
+            let diff = match self.prefix[node as usize] {
+                ABSENT | SELF => {
+                    scratch.slot_mut(node).fill(0);
+                    node // from scratch: all set bits
+                }
+                parent => {
+                    scratch.copy_slot(parent, node);
+                    node ^ parent
+                }
+            };
+            let mut bits = diff;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                scratch.add_input(node, inputs, j);
+            }
+            scratch.mark(node);
+            scratch.emit(node, sink);
+        }
     }
 
     fn materialize_functional(

@@ -37,8 +37,8 @@ pub use llama::{LlamaConfig, NamedGemm, PAPER_SEQ_LEN};
 pub use resnet::{resnet18_layers, resnet18_total_macs, ResnetLayer};
 pub use rng::{mix, splitmix64, StreamRng};
 pub use synth::{
-    llm_activation_matrix, llm_weight_matrix, llm_weight_matrix_int, QuantGaussianSource,
-    UniformBitSource,
+    llm_activation_matrix, llm_activation_matrix_int, llm_weight_matrix, llm_weight_matrix_int,
+    QuantGaussianSource, UniformBitSource,
 };
 
 #[cfg(test)]

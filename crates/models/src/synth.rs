@@ -189,6 +189,21 @@ pub fn llm_weight_matrix_int(n: usize, k: usize, bits: u32, seed: u64) -> MatI32
     })
 }
 
+/// Quantized integer LLM-like activations for functional runs: the
+/// Gaussian body of [`llm_activation_matrix`] with its 40× outlier
+/// feature rows saturating the integer grid — the input side of the
+/// functional-execution bench workload.
+pub fn llm_activation_matrix_int(k: usize, mcols: usize, bits: u32, seed: u64) -> MatI32 {
+    let qmax = (1i32 << (bits - 1)) - 1;
+    let sigma = qmax as f32 / 3.2;
+    let outliers = outlier_features(k);
+    MatI32::from_fn(k, mcols, |r, c| {
+        let g = StreamRng::new(mix(seed, r as u64, c as u64, 4)).next_gaussian();
+        let scale = if outliers.contains(&r) { sigma * 40.0 } else { sigma };
+        ((g * scale).round() as i32).clamp(-qmax, qmax)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +291,19 @@ mod tests {
         // Distribution actually uses the range.
         let (lo, hi) = w8.min_max();
         assert!(lo < -40 && hi > 40, "{lo}..{hi}");
+    }
+
+    #[test]
+    fn activation_matrix_int_fits_bits_and_keeps_outlier_rows() {
+        let a = llm_activation_matrix_int(256, 16, 8, 5);
+        assert!(a.fits_signed_bits(8));
+        // Feature 3 is an outlier row: it saturates far more often than
+        // the Gaussian body.
+        let row_mean = |r: usize| (0..16).map(|c| a.get(r, c).abs()).sum::<i32>() as f64 / 16.0;
+        assert!(row_mean(3) > 3.0 * row_mean(0), "{} vs {}", row_mean(3), row_mean(0));
+        // Deterministic per seed.
+        assert_eq!(a, llm_activation_matrix_int(256, 16, 8, 5));
+        assert_ne!(a, llm_activation_matrix_int(256, 16, 8, 6));
     }
 
     #[test]

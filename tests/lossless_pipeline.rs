@@ -227,6 +227,70 @@ fn plan_cache_execute_gemm_bit_identical_across_thread_counts() {
     }
 }
 
+/// Fused-path contract: the arena-backed engine behind `execute_gemm`
+/// (`evaluate_subtile_into` over a reused, dirty `ExecScratch`) produces
+/// row results bit-identical to the nested-`Vec` oracle
+/// (`evaluate_subtile`) for random sub-tiles in both Scoreboard modes —
+/// and the end-to-end fused GEMM stays lossless and report-identical at
+/// threads 1/2/8 with the plan cache on and off.
+#[test]
+fn fused_engine_matches_oracle_and_stays_deterministic() {
+    use ta_bitslice::TileView;
+    use ta_hasse::{ExecScratch, ScoreboardConfig, StaticSi};
+    use transitive_array::core::{evaluate_subtile, evaluate_subtile_into};
+
+    // Per-sub-tile oracle equivalence with one scratch reused (dirty)
+    // across every tile, mode, and shape.
+    let mut scratch = ExecScratch::new();
+    let mut rng = StreamRng::new(515);
+    for (m, rows) in [(1usize, 24usize), (3, 40), (7, 64)] {
+        let patterns: Vec<u16> = (0..rows).map(|_| (rng.next_u64() & 0xF) as u16).collect();
+        let inputs: Vec<Vec<i64>> =
+            (0..4).map(|_| (0..m).map(|_| (rng.next_gaussian() * 30.0) as i64).collect()).collect();
+        let staged: Vec<i64> = inputs.iter().flat_map(|r| r.iter().copied()).collect();
+        let view = TileView::new(&staged, 4, m, m);
+        let si = StaticSi::from_patterns(ScoreboardConfig::with_width(4), patterns.iter().copied());
+        for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+            let cfg = small_cfg(4, mode);
+            let si_opt = (mode == ScoreboardMode::Static).then_some(&si);
+            let want = evaluate_subtile(&cfg, si_opt, &patterns, &inputs);
+            evaluate_subtile_into(&cfg, si_opt, &patterns, view, &mut scratch);
+            for (r, (&p, want_row)) in patterns.iter().zip(&want).enumerate() {
+                if p == 0 {
+                    assert!(want_row.iter().all(|&v| v == 0), "{mode:?} row {r}");
+                } else {
+                    assert_eq!(
+                        scratch.result(p),
+                        Some(want_row.as_slice()),
+                        "{mode:?} m={m} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    // End-to-end: the fused engine at threads 1/2/8 × modes × cache
+    // settings agrees with the dense reference and the serial report.
+    let w = MatI32::from_fn(37, 29, |r, c| (((r * 29 + c) as i64 * 2654435761 % 15) - 7) as i32);
+    let x = MatI32::from_fn(29, 11, |r, c| (((r * 11 + c) as i64 * 40503 % 255) - 127) as i32);
+    let reference = gemm_i32(&w, &x);
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        let serial = TransitiveArray::new(small_cfg(4, mode)).execute_gemm(&w, &x);
+        assert_eq!(serial.0, reference, "{mode:?}: fused serial engine must be lossless");
+        for threads in [1usize, 2, 8] {
+            for plan_cache in [0usize, 64] {
+                let cfg = TransArrayConfig { threads, plan_cache, ..small_cfg(4, mode) };
+                let (out, report) = TransitiveArray::new(cfg).execute_gemm(&w, &x);
+                assert_eq!(out, reference, "{mode:?} threads={threads} cache={plan_cache}");
+                assert_eq!(
+                    report, serial.1,
+                    "{mode:?} threads={threads} cache={plan_cache}: report must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn eight_bit_weights_wide_activations() {
     let mut rng = StreamRng::new(77);
