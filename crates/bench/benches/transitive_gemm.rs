@@ -103,11 +103,11 @@ fn bench_l7b_layer(c: &mut Criterion) {
         wall_norm: 0.0,
     };
     let report = PerfReport {
-        schema: 3,
+        schema: 4,
         sha: "bench".to_string(),
         scale: scale.name().to_string(),
         threads: runtime::Runtime::new(0).threads(),
-        cores: runtime::available_cores(),
+        host_cores: runtime::available_cores(),
         calibration_wall_s: 0.0,
         speedup_parallel: if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 },
         plan_cache_hit_rate: hit_rate,
@@ -115,6 +115,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
         dram_requests: 0,
         dram_bursts: 0,
         exec_allocs_per_subtile: -1.0,
+        contention: Vec::new(),
         workloads: vec![
             record("l7b_qproj_serial", serial_wall),
             record("l7b_qproj_parallel", parallel_wall),

@@ -18,6 +18,9 @@
 //! * plan cache: `TA_PLAN_CACHE` overrides the cached workload's
 //!   capacity (default 4096 entries; `0` is rejected — the suite gates
 //!   the cache, so it cannot run without one);
+//! * plan-cache shards: `TA_PLAN_CACHE_SHARDS` overrides the shard
+//!   count used by the cached workload and the `plan_cache_contention`
+//!   sweep (default `0` = auto: ~4× cores, power of two);
 //! * `TA_BENCH_INJECT_SLOWDOWN=<factor>` multiplies the measured wall
 //!   times — a self-test hook that lets CI (or a reviewer) confirm the
 //!   gate actually trips; never set it in a real run.
@@ -138,15 +141,21 @@ fn main() {
         Ok(None) => perf::DEFAULT_PLAN_CACHE_ENTRIES,
         Err(e) => fail(&e),
     };
+    let plan_cache_shards = match runtime::plan_cache_shards_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => 0,
+        Err(e) => fail(&e),
+    };
 
     println!(
-        "bench_smoke: scale={} threads={} cores={} plan_cache={}",
+        "bench_smoke: scale={} threads={} cores={} plan_cache={} plan_cache_shards={}",
         args.scale.name(),
         threads,
         runtime::available_cores(),
-        plan_cache
+        plan_cache,
+        plan_cache_shards
     );
-    let mut report = perf::run_suite(args.scale, threads, plan_cache);
+    let mut report = perf::run_suite(args.scale, threads, plan_cache, plan_cache_shards);
     report.sha = resolve_sha();
 
     // Gate self-test hook: scale the measured wall times so a reviewer
@@ -179,7 +188,7 @@ fn main() {
     }
     println!(
         "  serial/parallel speedup: {:.2}x at {} threads ({} cores)",
-        report.speedup_parallel, report.threads, report.cores
+        report.speedup_parallel, report.threads, report.host_cores
     );
     println!(
         "  plan cache: warm-replay hit rate {:.3}, cached-vs-uncached speedup {:.2}x",
@@ -193,6 +202,12 @@ fn main() {
         "  exec engine: {:.4} steady-state allocs/sub-tile (0 healthy)",
         report.exec_allocs_per_subtile
     );
+    for p in &report.contention {
+        println!(
+            "  plan-cache contention: {:>2} threads  {:>8} lookups  {:>8.1} ns/lookup  {:>8.2} Mlookups/s",
+            p.threads, p.lookups, p.ns_per_lookup, p.mlookups_per_s
+        );
+    }
 
     // The run's own JSON is written first so a failing run still leaves
     // a debuggable artifact.

@@ -30,7 +30,10 @@ use ta_bitslice::{BitSlicedMatrix, RowMajor, TileView};
 use ta_core::{
     runtime, GemmReport, GemmShape, PatternSource, SlicedSource, TransArrayConfig, TransitiveArray,
 };
-use ta_hasse::{ExecScratch, ExecutionPlan, NullSink, Scoreboard, StaticSi};
+use ta_hasse::{
+    CachedPlan, ExecScratch, ExecutionPlan, NullSink, PlanKey, Scoreboard, ScoreboardConfig,
+    SharedPlanCache, StaticSi,
+};
 use ta_models::{llm_activation_matrix_int, llm_weight_matrix_int, QuantGaussianSource};
 use ta_quant::{gemm_i32, MatI32};
 use ta_sim::DramModel;
@@ -54,6 +57,25 @@ pub struct PerfRecord {
     pub wall_norm: f64,
 }
 
+/// One point of the `plan_cache_contention` workload: `threads` workers
+/// hammering a pre-warmed sharded plan cache at a forced 1.0 hit rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionPoint {
+    /// Concurrent lookup threads.
+    pub threads: usize,
+    /// Total lookups across all threads (every one a hit, by
+    /// construction — the suite panics otherwise).
+    pub lookups: u64,
+    /// Wall seconds for all threads to complete.
+    pub wall_s: f64,
+    /// Mean lock-hold-plus-lookup latency per hit (nanoseconds of
+    /// aggregate thread time per lookup).
+    pub ns_per_lookup: f64,
+    /// Aggregate hit throughput (million lookups per wall second) — the
+    /// scaling metric the gate compares across thread counts.
+    pub mlookups_per_s: f64,
+}
+
 /// One full bench-smoke run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -65,8 +87,12 @@ pub struct PerfReport {
     pub scale: String,
     /// Resolved parallel worker count used by the `*_parallel` workloads.
     pub threads: usize,
-    /// Available host cores (speedups are only gated on ≥4-core hosts).
-    pub cores: usize,
+    /// Available host cores. The parallel-speedup and contention gates
+    /// self-disable (with a logged note) when baseline and current runs
+    /// saw different core counts — those metrics are machine-shape
+    /// facts, not portable ratios. Written as `host_cores` in schema-4
+    /// JSON (`cores` in older schemas; both parse).
+    pub host_cores: usize,
     /// Wall seconds of the dense-GEMM calibration loop.
     pub calibration_wall_s: f64,
     /// Serial wall / parallel wall for the LLaMA-7B layer.
@@ -90,6 +116,10 @@ pub struct PerfReport {
     /// "unmeasured" — no counting global allocator was installed (the
     /// `bench_smoke` binary installs one; library tests don't).
     pub exec_allocs_per_subtile: f64,
+    /// Hit-path lock-contention sweep over the sharded plan cache
+    /// (threads 1/2/8/16 at forced hit rate 1.0). Empty on schema ≤ 3
+    /// baselines, which self-disables the contention gate.
+    pub contention: Vec<ContentionPoint>,
     /// Measured workloads.
     pub workloads: Vec<PerfRecord>,
 }
@@ -179,10 +209,87 @@ fn calibration_loop() -> f64 {
     wall
 }
 
+/// Thread counts the `plan_cache_contention` workload sweeps.
+pub const CONTENTION_THREADS: [usize; 4] = [1, 2, 8, 16];
+
+/// Lookups each contention thread performs per sweep point.
+const CONTENTION_LOOKUPS_PER_THREAD: u64 = 20_000;
+
+/// Distinct keys the contention workload pre-warms (small enough that
+/// every shard's working set stays resident — the sweep must never miss).
+const CONTENTION_KEYS: usize = 64;
+
+/// Hammers a pre-warmed [`SharedPlanCache`] from 1/2/8/16 threads at a
+/// forced 1.0 hit rate and reports per-point throughput — the pure
+/// hit-path cost (key hash + shard read lock + referenced-bit store +
+/// `Arc` clone), with key construction hoisted out of the loop. On a
+/// multi-core host the sharded cache's throughput scales with threads;
+/// the old global-mutex design flatlined here.
+///
+/// `shards` is the `plan_cache_shards` knob (`0` = auto).
+///
+/// # Panics
+///
+/// Panics if any sweep point records a miss — the workload exists to
+/// measure the hit path, and a miss means the cache or routing broke.
+pub fn contention_workload(shards: usize) -> Vec<ContentionPoint> {
+    let cfg = ScoreboardConfig::with_width(8);
+    let cache = match shards {
+        0 => SharedPlanCache::new(256),
+        n => SharedPlanCache::with_shards(256, n),
+    };
+    let keys: Vec<PlanKey> = (0..CONTENTION_KEYS as u16)
+        .map(|i| {
+            let patterns = [i, i.wrapping_mul(37) % 256, 255 - i, (i * 3) % 256];
+            let key = PlanKey::new(&cfg, None, &patterns);
+            cache.insert(
+                key.clone(),
+                std::sync::Arc::new(CachedPlan::build_dynamic(&cfg, &patterns, false)),
+            );
+            key
+        })
+        .collect();
+    CONTENTION_THREADS
+        .iter()
+        .map(|&threads| {
+            let before = cache.stats();
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let (cache, keys) = (&cache, &keys);
+                    scope.spawn(move || {
+                        for i in 0..CONTENTION_LOOKUPS_PER_THREAD {
+                            let k = &keys[(i as usize + t) % keys.len()];
+                            assert!(cache.get(k).is_some(), "contention workload must never miss");
+                        }
+                    });
+                }
+            });
+            let wall_s = start.elapsed().as_secs_f64();
+            let delta = cache.stats().delta(&before);
+            let lookups = threads as u64 * CONTENTION_LOOKUPS_PER_THREAD;
+            assert_eq!(delta.misses, 0, "forced hit-rate 1.0 violated: {delta}");
+            assert_eq!(delta.lookups(), lookups, "lookup counter conservation violated");
+            ContentionPoint {
+                threads,
+                lookups,
+                wall_s,
+                ns_per_lookup: if lookups > 0 {
+                    wall_s * 1e9 * threads as f64 / lookups as f64
+                } else {
+                    0.0
+                },
+                mlookups_per_s: if wall_s > 0.0 { lookups as f64 / wall_s / 1e6 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
 /// Runs the bench-smoke workload roster at `scale` with `threads`
-/// parallel workers (`0` = one per core) and a plan cache of
-/// `plan_cache` entries for the cached LLaMA-7B workload, and returns
-/// the report (`sha` is left empty for the caller to fill in).
+/// parallel workers (`0` = one per core), a plan cache of `plan_cache`
+/// entries for the cached LLaMA-7B workload, and `plan_cache_shards`
+/// shards (`0` = auto) for the cache and the contention sweep, and
+/// returns the report (`sha` is left empty for the caller to fill in).
 ///
 /// # Panics
 ///
@@ -191,9 +298,14 @@ fn calibration_loop() -> f64 {
 /// violation, which the CI gate must surface loudly. Also panics if
 /// `plan_cache` is zero (the suite exists to keep the cache measured; a
 /// run without it cannot produce the gated hit rate).
-pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport {
+pub fn run_suite(
+    scale: Scale,
+    threads: usize,
+    plan_cache: usize,
+    plan_cache_shards: usize,
+) -> PerfReport {
     assert!(plan_cache > 0, "run_suite requires a non-zero plan-cache capacity");
-    let cores = runtime::available_cores();
+    let host_cores = runtime::available_cores();
     let resolved_threads = runtime::Runtime::new(threads).threads();
     // Calibrate at suite start AND end, taking the min: host load drifts
     // at minute scale, and a calibration sample that caught a slow window
@@ -244,7 +356,8 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
     // is exactly the cross-call reuse the cache exists for. The best
     // sample is therefore a warm-cache time; the uncached serial wall is
     // the denominator of `speedup_cached`.
-    let cached_ta = TransitiveArray::new(TransArrayConfig { plan_cache, ..layer_cfg(1) });
+    let cached_ta =
+        TransitiveArray::new(TransArrayConfig { plan_cache, plan_cache_shards, ..layer_cfg(1) });
     let n_tile = cached_ta.config().n_tile();
     let (cached_rep, cached_wall) = measure(|| {
         let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
@@ -304,11 +417,11 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
 
     let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 };
     PerfReport {
-        schema: 3,
+        schema: 4,
         sha: String::new(),
         scale: scale.name().to_string(),
         threads: resolved_threads,
-        cores,
+        host_cores,
         calibration_wall_s: calibration,
         speedup_parallel: speedup,
         plan_cache_hit_rate,
@@ -316,6 +429,7 @@ pub fn run_suite(scale: Scale, threads: usize, plan_cache: usize) -> PerfReport 
         dram_requests: dram.requests(),
         dram_bursts: dram.bursts(),
         exec_allocs_per_subtile: measure_exec_allocs(),
+        contention: contention_workload(plan_cache_shards),
         workloads,
     }
 }
@@ -454,10 +568,16 @@ fn check_ratio(
         return;
     }
     let ratio = current / baseline;
+    // Thresholds are reciprocal-symmetric: "worse" is past 1+tolerance
+    // in the bad direction, "better" past 1/(1+tolerance) in the good
+    // one. (A subtractive `1 - tolerance` bound would stop working the
+    // moment a widened tolerance reaches 100% — the check could never
+    // trip for lower-is-worse metrics.)
+    let upper = 1.0 + tolerance;
     let (regressed, improved) = if higher_is_worse {
-        (ratio > 1.0 + tolerance, ratio < 1.0 - tolerance)
+        (ratio > upper, ratio * upper < 1.0)
     } else {
-        (ratio < 1.0 - tolerance, ratio > 1.0 + tolerance)
+        (ratio * upper < 1.0, ratio > upper)
     };
     if regressed {
         out.failures.push(format!(
@@ -535,7 +655,7 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
             false,
             tolerance,
         );
-        if baseline.cores == current.cores {
+        if baseline.host_cores == current.host_cores {
             check_ratio(
                 &mut out,
                 &base.name,
@@ -547,10 +667,10 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
             );
         }
     }
-    if baseline.cores != current.cores {
+    if baseline.host_cores != current.host_cores {
         out.notes.push(format!(
-            "wall_norm gate skipped (baseline cores {}, current cores {}; refresh the baseline from a machine of the runner's shape to arm it)",
-            baseline.cores, current.cores
+            "wall_norm gate skipped (baseline host_cores {}, current host_cores {}; refresh the baseline from a machine of the runner's shape to arm it)",
+            baseline.host_cores, current.host_cores
         ));
     }
     // Deterministic by construction (warm-replay counter deltas), so it
@@ -595,7 +715,20 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
                 .to_string(),
         );
     }
-    if baseline.cores >= 4 && current.cores >= 4 {
+    // Parallel speedup is a machine-shape fact: it only gates when the
+    // two runs saw the *same* core count (never silently comparing
+    // across shapes) and the shape is big enough to show a speedup.
+    if baseline.host_cores != current.host_cores {
+        out.notes.push(format!(
+            "speedup gate skipped (host core count changed: baseline {}, current {} — parallel speedups are not comparable across machine shapes)",
+            baseline.host_cores, current.host_cores
+        ));
+    } else if baseline.host_cores < 4 {
+        out.notes.push(format!(
+            "speedup gate skipped (baseline cores {}, current cores {}; needs >= 4 on both)",
+            baseline.host_cores, current.host_cores
+        ));
+    } else {
         check_ratio(
             &mut out,
             "l7b_qproj",
@@ -605,11 +738,68 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
             false,
             tolerance,
         );
-    } else {
+    }
+    // Hit-path contention gate: per-thread-count throughput plus the
+    // max-threads/1-thread scaling ratio, both at the widened wall
+    // tolerance (they are wall-clock metrics). Same self-disable rules
+    // as the speedup gate — core-count mismatch or a small host logs an
+    // explicit note instead of silently comparing 1-core numbers.
+    if baseline.contention.is_empty() {
+        out.notes.push(
+            "contention gate skipped (baseline predates the plan_cache_contention workload; refresh it)"
+                .to_string(),
+        );
+    } else if current.contention.is_empty() {
+        out.failures.push("plan_cache_contention workload missing from current run".to_string());
+    } else if baseline.host_cores != current.host_cores {
         out.notes.push(format!(
-            "speedup gate skipped (baseline cores {}, current cores {}; needs >= 4 on both)",
-            baseline.cores, current.cores
+            "contention gate skipped (host core count changed: baseline {}, current {} — hit-path scaling is not comparable across machine shapes)",
+            baseline.host_cores, current.host_cores
         ));
+    } else if baseline.host_cores < 4 {
+        out.notes.push(format!(
+            "contention gate skipped ({}-core host cannot demonstrate hit-path scaling; needs >= 4 cores)",
+            baseline.host_cores
+        ));
+    } else {
+        for base_pt in &baseline.contention {
+            let Some(cur_pt) = current.contention.iter().find(|p| p.threads == base_pt.threads)
+            else {
+                out.failures.push(format!(
+                    "plan_cache_contention point for {} threads missing from current run",
+                    base_pt.threads
+                ));
+                continue;
+            };
+            check_ratio(
+                &mut out,
+                &format!("plan_cache_contention_t{}", base_pt.threads),
+                "mlookups_per_s",
+                base_pt.mlookups_per_s,
+                cur_pt.mlookups_per_s,
+                false,
+                tolerance * WALL_TOLERANCE_FACTOR,
+            );
+        }
+        let scaling = |pts: &[ContentionPoint]| -> Option<f64> {
+            let t1 = pts.iter().find(|p| p.threads == 1)?;
+            let tmax = pts.iter().max_by_key(|p| p.threads)?;
+            (t1.mlookups_per_s > 0.0 && tmax.threads > 1)
+                .then(|| tmax.mlookups_per_s / t1.mlookups_per_s)
+        };
+        if let (Some(base_scaling), Some(cur_scaling)) =
+            (scaling(&baseline.contention), scaling(&current.contention))
+        {
+            check_ratio(
+                &mut out,
+                "plan_cache_contention",
+                "hit_path_scaling",
+                base_scaling,
+                cur_scaling,
+                false,
+                tolerance * WALL_TOLERANCE_FACTOR,
+            );
+        }
     }
     out
 }
@@ -646,6 +836,19 @@ pub(crate) fn json_str(s: &str) -> String {
     out
 }
 
+impl ContentionPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"lookups\": {}, \"wall_s\": {}, \"ns_per_lookup\": {}, \"mlookups_per_s\": {}}}",
+            self.threads,
+            self.lookups,
+            json_f64(self.wall_s),
+            json_f64(self.ns_per_lookup),
+            json_f64(self.mlookups_per_s),
+        )
+    }
+}
+
 impl PerfRecord {
     fn to_json(&self) -> String {
         format!(
@@ -670,7 +873,7 @@ impl PerfReport {
         let _ = writeln!(out, "  \"sha\": {},", json_str(&self.sha));
         let _ = writeln!(out, "  \"scale\": {},", json_str(&self.scale));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
-        let _ = writeln!(out, "  \"cores\": {},", self.cores);
+        let _ = writeln!(out, "  \"host_cores\": {},", self.host_cores);
         let _ = writeln!(out, "  \"calibration_wall_s\": {},", json_f64(self.calibration_wall_s));
         let _ = writeln!(out, "  \"speedup_parallel\": {},", json_f64(self.speedup_parallel));
         let _ = writeln!(out, "  \"plan_cache_hit_rate\": {},", json_f64(self.plan_cache_hit_rate));
@@ -682,6 +885,12 @@ impl PerfReport {
             "  \"exec_allocs_per_subtile\": {},",
             json_f64(self.exec_allocs_per_subtile)
         );
+        let _ = writeln!(out, "  \"plan_cache_contention\": [");
+        for (i, c) in self.contention.iter().enumerate() {
+            let comma = if i + 1 < self.contention.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", c.to_json());
+        }
+        let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
             let comma = if i + 1 < self.workloads.len() { "," } else { "" };
@@ -723,7 +932,12 @@ impl PerfReport {
             sha: obj.get("sha")?.as_str("sha")?.to_string(),
             scale: obj.get("scale")?.as_str("scale")?.to_string(),
             threads: obj.get("threads")?.as_u64("threads")? as usize,
-            cores: obj.get("cores")?.as_u64("cores")? as usize,
+            // Schema-4 renamed `cores` to `host_cores` (the satellite
+            // gate fix); either key parses.
+            host_cores: match obj.get_opt("host_cores") {
+                Some(v) => v.as_u64("host_cores")? as usize,
+                None => obj.get("cores")?.as_u64("cores")? as usize,
+            },
             calibration_wall_s: obj.get("calibration_wall_s")?.as_f64("calibration_wall_s")?,
             speedup_parallel: obj.get("speedup_parallel")?.as_f64("speedup_parallel")?,
             // Schema-1 reports predate the plan cache; default the new
@@ -750,6 +964,25 @@ impl PerfReport {
             exec_allocs_per_subtile: match obj.get_opt("exec_allocs_per_subtile") {
                 Some(v) => v.as_f64("exec_allocs_per_subtile")?,
                 None => -1.0,
+            },
+            // Schema ≤ 3 reports predate the contention sweep; an empty
+            // vec self-disables the contention gate with a note.
+            contention: match obj.get_opt("plan_cache_contention") {
+                Some(v) => v
+                    .as_arr("plan_cache_contention")?
+                    .iter()
+                    .map(|c| {
+                        let o = c.as_obj("contention point")?;
+                        Ok(ContentionPoint {
+                            threads: o.get("threads")?.as_u64("threads")? as usize,
+                            lookups: o.get("lookups")?.as_u64("lookups")?,
+                            wall_s: o.get("wall_s")?.as_f64("wall_s")?,
+                            ns_per_lookup: o.get("ns_per_lookup")?.as_f64("ns_per_lookup")?,
+                            mlookups_per_s: o.get("mlookups_per_s")?.as_f64("mlookups_per_s")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                None => Vec::new(),
             },
             workloads,
         })
@@ -985,11 +1218,11 @@ mod tests {
 
     fn sample_report() -> PerfReport {
         PerfReport {
-            schema: 3,
+            schema: 4,
             sha: "abc123".into(),
             scale: "quick".into(),
             threads: 4,
-            cores: 8,
+            host_cores: 8,
             calibration_wall_s: 0.00125,
             speedup_parallel: 2.5,
             plan_cache_hit_rate: 1.0,
@@ -997,6 +1230,22 @@ mod tests {
             dram_requests: 3,
             dram_bursts: 544_768,
             exec_allocs_per_subtile: 0.0,
+            contention: vec![
+                ContentionPoint {
+                    threads: 1,
+                    lookups: 20_000,
+                    wall_s: 0.002,
+                    ns_per_lookup: 100.0,
+                    mlookups_per_s: 10.0,
+                },
+                ContentionPoint {
+                    threads: 8,
+                    lookups: 160_000,
+                    wall_s: 0.004,
+                    ns_per_lookup: 200.0,
+                    mlookups_per_s: 40.0,
+                },
+            ],
             workloads: vec![
                 PerfRecord {
                     name: "l7b_qproj_serial".into(),
@@ -1110,12 +1359,46 @@ mod tests {
     #[test]
     fn gate_skips_speedup_on_small_hosts() {
         let mut base = sample_report();
-        base.cores = 1;
+        base.host_cores = 1;
         let mut cur = base.clone();
         cur.speedup_parallel = 0.5; // would fail on a >= 4-core pair
         let outcome = compare(&base, &cur, GATE_TOLERANCE);
         assert!(outcome.passed(), "failures: {:?}", outcome.failures);
         assert!(outcome.notes.iter().any(|n| n.contains("speedup gate skipped")));
+        // The contention gate self-disables on a small host too, with
+        // its own logged reason.
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("contention gate skipped")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn gate_skips_speedup_and_contention_on_core_count_mismatch() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.host_cores = 64; // both ≥ 4, but shapes differ
+        cur.speedup_parallel = 0.1; // would fail on matching shapes
+        cur.contention[1].mlookups_per_s = 0.1; // would fail on matching shapes
+        let outcome = compare(&base, &cur, GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome.notes.iter().any(
+                |n| n.contains("speedup gate skipped") && n.contains("host core count changed")
+            ),
+            "notes: {:?}",
+            outcome.notes
+        );
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("contention gate skipped")
+                    && n.contains("host core count changed")),
+            "notes: {:?}",
+            outcome.notes
+        );
     }
 
     #[test]
@@ -1138,7 +1421,7 @@ mod tests {
     fn gate_skips_wall_norm_across_machine_shapes() {
         let base = sample_report();
         let mut cur = base.clone();
-        cur.cores = 4; // baseline recorded 8 cores
+        cur.host_cores = 4; // baseline recorded 8 cores
         cur.workloads[0].wall_norm *= 10.0; // would trip on matching shapes
         let outcome = compare(&base, &cur, GATE_TOLERANCE);
         assert!(outcome.passed(), "failures: {:?}", outcome.failures);
@@ -1167,6 +1450,88 @@ mod tests {
         let mut drop = base.clone();
         drop.plan_cache_hit_rate = 0.5;
         assert!(!compare(&base, &drop, GATE_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn contention_gate_trips_on_throughput_collapse() {
+        let base = sample_report();
+        // The 8-thread point flattens back to mutex-like throughput:
+        // past even the widened (5×20% = 100%) gate — both the absolute
+        // point and the scaling ratio must fail.
+        let mut flat = base.clone();
+        flat.contention[1].mlookups_per_s = 8.0;
+        let outcome = compare(&base, &flat, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("plan_cache_contention_t8")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("hit_path_scaling")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // Jitter inside the widened gate passes.
+        let mut jitter = base.clone();
+        jitter.contention[1].mlookups_per_s = 30.0;
+        assert!(compare(&base, &jitter, GATE_TOLERANCE).passed());
+        // A current run that dropped the workload entirely fails.
+        let mut missing = base.clone();
+        missing.contention.clear();
+        let outcome = compare(&base, &missing, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("missing from current run")),
+            "failures: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn contention_workload_forces_full_hit_rate() {
+        // Small direct run of the sweep itself: every point must record
+        // the exact lookup count and a positive throughput.
+        let points = contention_workload(4);
+        assert_eq!(points.len(), CONTENTION_THREADS.len());
+        for (p, &threads) in points.iter().zip(CONTENTION_THREADS.iter()) {
+            assert_eq!(p.threads, threads);
+            assert_eq!(p.lookups, threads as u64 * 20_000);
+            assert!(p.wall_s > 0.0 && p.mlookups_per_s > 0.0 && p.ns_per_lookup > 0.0);
+        }
+    }
+
+    #[test]
+    fn schema3_baseline_parses_with_legacy_cores_and_skips_contention_gate() {
+        // A schema-3 baseline has `cores` (not `host_cores`) and no
+        // `plan_cache_contention` array.
+        let mut old = sample_report();
+        old.schema = 3;
+        old.contention.clear();
+        let text = old
+            .to_json()
+            .lines()
+            .filter(|l| *l != "  \"plan_cache_contention\": [" && *l != "  ],")
+            .map(|l| {
+                if l.starts_with("  \"host_cores\"") {
+                    format!("  \"cores\": {},", old.host_cores)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfReport::from_json(&text).expect("schema-3 baseline must parse");
+        assert_eq!(parsed.host_cores, old.host_cores, "legacy `cores` key must map over");
+        assert!(parsed.contention.is_empty());
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("contention gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
     }
 
     #[test]
@@ -1256,8 +1621,14 @@ mod tests {
     #[test]
     fn suite_runs_at_tiny_scale_and_is_deterministic() {
         let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
-        let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES);
+        let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES, 0);
         assert_eq!(report.workloads.len(), 5);
+        assert_eq!(report.schema, 4);
+        assert_eq!(report.contention.len(), CONTENTION_THREADS.len());
+        for p in &report.contention {
+            assert!(p.mlookups_per_s > 0.0, "contention sweep must measure real throughput");
+        }
+        assert!(report.host_cores >= 1);
         let serial = report.workloads.iter().find(|w| w.name == "l7b_qproj_serial").unwrap();
         let parallel = report.workloads.iter().find(|w| w.name == "l7b_qproj_parallel").unwrap();
         let cached = report.workloads.iter().find(|w| w.name == "l7b_qproj_cached").unwrap();
@@ -1287,6 +1658,6 @@ mod tests {
     #[should_panic(expected = "non-zero plan-cache capacity")]
     fn suite_rejects_zero_plan_cache() {
         let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
-        let _ = run_suite(tiny, 1, 0);
+        let _ = run_suite(tiny, 1, 0, 0);
     }
 }

@@ -173,8 +173,12 @@ impl TransitiveArray {
     /// Creates the accelerator with a custom energy model.
     pub fn with_energy_model(cfg: TransArrayConfig, energy: EnergyModel) -> Self {
         cfg.validate();
-        let plan_cache =
-            (cfg.plan_cache > 0).then(|| Arc::new(SharedPlanCache::new(cfg.plan_cache)));
+        let plan_cache = (cfg.plan_cache > 0).then(|| {
+            Arc::new(match cfg.plan_cache_shards {
+                0 => SharedPlanCache::new(cfg.plan_cache),
+                n => SharedPlanCache::with_shards(cfg.plan_cache, n),
+            })
+        });
         Self { cfg, energy, plan_cache }
     }
 

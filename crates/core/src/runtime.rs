@@ -112,9 +112,19 @@ impl Runtime {
         self.run_shards_with(shards, |i, r, ()| f(i, r))
     }
 
-    /// Runs independent owned jobs on the pool, distributing them
-    /// round-robin for balance, and returns the results **in submission
-    /// order**.
+    /// Runs independent owned jobs on the pool and returns the results
+    /// **in submission order**.
+    ///
+    /// Workers **claim** jobs dynamically through one shared atomic
+    /// counter instead of receiving a pre-assigned round-robin bucket:
+    /// a worker that draws cheap jobs keeps claiming while its peers
+    /// chew on expensive ones, so a skewed batch never idles most of
+    /// the pool behind a static assignment. Each job slot is taken
+    /// exactly once (the slot mutex is locked by exactly one claimant,
+    /// so it is never contended); results carry their submission index
+    /// and are restored to submission order at the end — `f` being
+    /// deterministic per `(index, job)`, the claim order cannot leak
+    /// into the output.
     pub fn run_jobs<J, T>(&self, jobs: Vec<J>, f: impl Fn(usize, J) -> T + Sync) -> Vec<T>
     where
         J: Send,
@@ -124,17 +134,26 @@ impl Runtime {
         if workers <= 1 {
             return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
         }
-        let mut buckets: Vec<Vec<(usize, J)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, job) in jobs.into_iter().enumerate() {
-            buckets[i % workers].push((i, job));
-        }
+        let slots: Vec<std::sync::Mutex<Option<J>>> =
+            jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let parts = std::thread::scope(|scope| {
-            let f = &f;
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| {
+            let (f, slots, next) = (&f, &slots, &next);
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     scope.spawn(move || {
-                        bucket.into_iter().map(|(i, j)| (i, f(i, j))).collect::<Vec<_>>()
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(slot) = slots.get(i) else { break };
+                            let job = slot
+                                .lock()
+                                .expect("job slot lock")
+                                .take()
+                                .expect("job claimed exactly once");
+                            out.push((i, f(i, job)));
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -193,6 +212,28 @@ pub fn plan_cache_from_env() -> Result<Option<usize>, String> {
         Ok(s) => s.trim().parse::<usize>().map(Some).map_err(|_| {
             format!(
                 "invalid TA_PLAN_CACHE '{s}': expected a non-negative entry count (0 = cache off)"
+            )
+        }),
+    }
+}
+
+/// Reads the `TA_PLAN_CACHE_SHARDS` override: `Ok(None)` when unset, the
+/// parsed plan-cache shard count otherwise (`0` = auto: ~4× cores).
+///
+/// # Errors
+///
+/// Returns a descriptive error for anything that is not a non-negative
+/// integer instead of silently defaulting.
+pub fn plan_cache_shards_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("TA_PLAN_CACHE_SHARDS") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("invalid TA_PLAN_CACHE_SHARDS: not valid unicode".to_string())
+        }
+        Ok(s) => s.trim().parse::<usize>().map(Some).map_err(|_| {
+            format!(
+                "invalid TA_PLAN_CACHE_SHARDS '{s}': expected a non-negative shard count \
+                 (0 = auto)"
             )
         }),
     }
@@ -482,6 +523,22 @@ mod tests {
         let jobs: Vec<usize> = (0..10).collect();
         let out = rt.run_jobs(jobs, |_, j| j * 2);
         assert_eq!(out, (0..10).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_with_skewed_costs_preserves_order() {
+        // Dynamic claiming must still hand back submission order even
+        // when job costs are wildly uneven and workers finish out of
+        // order.
+        let rt = Runtime::new(4);
+        let jobs: Vec<usize> = (0..32).collect();
+        let out = rt.run_jobs(jobs, |_, j| {
+            if j % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            j * j
+        });
+        assert_eq!(out, (0..32).map(|j| j * j).collect::<Vec<_>>());
     }
 
     #[test]

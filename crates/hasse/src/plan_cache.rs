@@ -13,6 +13,21 @@
 //! [`SharedPlanCache`] is the thread-safe wrapper the tile-execution
 //! runtime's workers share.
 //!
+//! ## Concurrency design
+//!
+//! [`SharedPlanCache`] is **sharded**: the key space is partitioned by
+//! key hash across a power-of-two number of independently locked
+//! [`PlanCache`] shards, so concurrent lookups of different keys only
+//! contend when they land in the same shard. Within a shard, recency is
+//! **CLOCK** (second-chance), not LRU: a hit sets an atomic referenced
+//! bit instead of relinking a recency list, so the hit path needs only a
+//! shard **read** lock plus one relaxed atomic store — warm replay never
+//! takes a write path, and readers of the same shard proceed in
+//! parallel. Only misses (which insert) and evictions take a shard write
+//! lock. Aggregate counters ([`SharedPlanCache::stats`]) are folded
+//! across shards, so callers see the same hit/miss/eviction/insertion
+//! totals a single-table cache would report.
+//!
 //! Position-dependent per-tile quantities (crossbar bank occupancy, which
 //! depends on each row's original index) are deliberately **not** cached
 //! — callers recompute them per tile, which is what keeps a cache hit
@@ -23,8 +38,12 @@ use crate::exec::ExecutionPlan;
 use crate::scoreboard::{BalancePolicy, Scoreboard, ScoreboardConfig};
 use crate::si::StaticTileReport;
 use crate::stats::TileStats;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Canonical, permutation-invariant cache key for one sub-tile plan.
 ///
@@ -165,13 +184,17 @@ pub struct PlanCacheStats {
 }
 
 impl PlanCacheStats {
+    /// Total lookups (hits plus misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Hit fraction over all lookups (0.0 when nothing was looked up).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.lookups() == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.lookups() as f64
         }
     }
 
@@ -197,35 +220,71 @@ impl PlanCacheStats {
             insertions: self.insertions - before.insertions,
         }
     }
+
+    /// Folds another counter snapshot into this one (used to aggregate
+    /// per-shard counters into a cache-wide total).
+    pub fn merge(&mut self, other: &PlanCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+    }
 }
 
-/// Slab slot of the LRU list. `usize::MAX` marks "no neighbor".
+impl fmt::Display for PlanCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups ({:.1}% hit rate), {} insertions, {} evictions",
+            self.hits,
+            self.lookups(),
+            self.hit_rate() * 100.0,
+            self.insertions,
+            self.evictions
+        )
+    }
+}
+
+/// One occupied CLOCK slot.
 #[derive(Debug)]
 struct Slot {
     key: PlanKey,
     value: Arc<CachedPlan>,
-    prev: usize,
-    next: usize,
+    /// CLOCK referenced bit: set by [`PlanCache::get`] under a shared
+    /// borrow (relaxed — it is a recency heuristic, not a happens-before
+    /// edge), cleared by the eviction sweep.
+    referenced: AtomicBool,
 }
 
-const NIL: usize = usize::MAX;
-
-/// A bounded, LRU-evicting memo table from canonical pattern multisets to
-/// their post-scoreboard plans.
+/// A bounded memo table from canonical pattern multisets to their
+/// post-scoreboard plans, with CLOCK (second-chance) eviction.
 ///
-/// Single-threaded; wrap in [`SharedPlanCache`] to share across the
-/// tile-execution runtime's workers.
+/// CLOCK keeps the hit path **touch-free**: [`PlanCache::get`] takes
+/// `&self` and mutates nothing but two relaxed atomics (the hit counter
+/// and the slot's referenced bit), so a shared wrapper can serve hits
+/// under a read lock. Eviction sweeps a clock hand over the slot slab:
+/// a referenced slot gets its bit cleared and a second chance; the first
+/// unreferenced slot is the victim (the sweep terminates within two
+/// laps). An entry that was hit since the last sweep therefore survives
+/// an entry that was not — the LRU-like property the warm-replay
+/// workloads rely on — without hits ever rewriting list links.
+///
+/// Single-threaded building block; [`SharedPlanCache`] wraps one
+/// `PlanCache` per shard for the tile-execution runtime's workers.
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
     map: HashMap<PlanKey, usize>,
     slots: Vec<Slot>,
-    free: Vec<usize>,
-    /// Most-recently-used slot.
-    head: usize,
-    /// Least-recently-used slot (the eviction victim).
-    tail: usize,
-    stats: PlanCacheStats,
+    /// Next slot the eviction sweep inspects.
+    hand: usize,
+    /// Hit/miss counters are atomic so `get(&self)` can count under a
+    /// shared borrow; insertion/eviction counters only move under
+    /// `&mut self` and stay plain.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: u64,
+    insertions: u64,
 }
 
 impl PlanCache {
@@ -241,10 +300,11 @@ impl PlanCache {
             capacity,
             map: HashMap::new(),
             slots: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            stats: PlanCacheStats::default(),
+            hand: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: 0,
+            insertions: 0,
         }
     }
 
@@ -265,147 +325,202 @@ impl PlanCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> PlanCacheStats {
-        self.stats
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions,
+            insertions: self.insertions,
+        }
     }
 
-    /// Looks up `key`, marking the entry most-recently-used on a hit.
-    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
-        match self.map.get(key).copied() {
-            Some(slot) => {
-                self.stats.hits += 1;
-                self.detach(slot);
-                self.attach_front(slot);
+    /// Looks up `key`, setting the entry's referenced bit on a hit.
+    ///
+    /// Takes `&self`: the hit path performs no structural mutation, so
+    /// concurrent readers (behind a shard read lock) proceed in parallel.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        match self.map.get(key) {
+            Some(&slot) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.slots[slot].referenced.store(true, Ordering::Relaxed);
                 Some(Arc::clone(&self.slots[slot].value))
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts (or refreshes) `key → value`, evicting the
-    /// least-recently-used entry when full.
+    /// Inserts (or refreshes) `key → value`, evicting via the CLOCK
+    /// sweep when full.
+    ///
+    /// Fresh entries start with the referenced bit **clear**: an entry
+    /// earns its second chance by being hit, so a burst of one-shot keys
+    /// cycles through without displacing the warm working set.
     pub fn insert(&mut self, key: PlanKey, value: Arc<CachedPlan>) {
         if let Some(&slot) = self.map.get(&key) {
             // Concurrent workers can race a miss: both compute, both
             // insert. Results are identical by construction; keep the
             // newer value and refresh recency.
-            self.slots[slot].value = value;
-            self.detach(slot);
-            self.attach_front(slot);
+            let s = &mut self.slots[slot];
+            s.value = value;
+            s.referenced.store(true, Ordering::Relaxed);
             return;
         }
-        if self.map.len() == self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
-            self.detach(victim);
-            let old_key = self.slots[victim].key.clone();
-            self.map.remove(&old_key);
-            self.free.push(victim);
-            self.stats.evictions += 1;
+        if self.slots.len() < self.capacity {
+            self.slots.push(Slot { key: key.clone(), value, referenced: AtomicBool::new(false) });
+            self.map.insert(key, self.slots.len() - 1);
+            self.insertions += 1;
+            return;
         }
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.slots[slot] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
-                slot
-            }
-            None => {
-                self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
-                self.slots.len() - 1
+        // CLOCK sweep: clear-and-skip referenced slots; the first
+        // unreferenced slot is the victim. Terminates within two laps —
+        // a first lap over all-referenced slots clears every bit.
+        let victim = loop {
+            let hand = self.hand;
+            self.hand = (self.hand + 1) % self.capacity;
+            if !self.slots[hand].referenced.swap(false, Ordering::Relaxed) {
+                break hand;
             }
         };
-        self.attach_front(slot);
-        self.map.insert(key, slot);
-        self.stats.insertions += 1;
-    }
-
-    /// Unlinks `slot` from the recency list.
-    fn detach(&mut self, slot: usize) {
-        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else if self.head == slot {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else if self.tail == slot {
-            self.tail = prev;
-        }
-        self.slots[slot].prev = NIL;
-        self.slots[slot].next = NIL;
-    }
-
-    /// Links `slot` at the most-recently-used end.
-    fn attach_front(&mut self, slot: usize) {
-        self.slots[slot].prev = NIL;
-        self.slots[slot].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
+        self.map.remove(&self.slots[victim].key);
+        self.slots[victim] = Slot { key: key.clone(), value, referenced: AtomicBool::new(false) };
+        self.map.insert(key, victim);
+        self.evictions += 1;
+        self.insertions += 1;
     }
 }
 
-/// Thread-safe [`PlanCache`] the tile-execution runtime's workers (and
-/// `Batch` jobs) share. All methods take `&self`; contention is one
-/// short critical section per lookup/insert — the plan construction a
-/// miss triggers happens **outside** the lock, so two workers may race
-/// the same miss and insert identical values (harmless by construction).
+/// Thread-safe, **sharded** [`PlanCache`] the tile-execution runtime's
+/// workers (and `Batch` jobs) share.
+///
+/// Keys are routed to a power-of-two number of shards by a deterministic
+/// hash of the canonical [`PlanKey`] (so every permutation of a multiset
+/// routes identically). Each shard is an independent `RwLock<PlanCache>`:
+///
+/// * a **hit** takes one shard *read* lock plus one relaxed atomic store
+///   (the CLOCK referenced bit) — concurrent hits, even on the same
+///   shard, never serialize against each other;
+/// * a **miss** still builds the plan **outside** any lock, then takes
+///   one shard *write* lock to insert; two workers may race the same
+///   miss and insert identical values (harmless by construction);
+/// * counters, lengths, and capacity are folded across shards, so
+///   [`SharedPlanCache::stats`] reports the same aggregate totals a
+///   single-table cache would.
+///
+/// The per-shard capacities sum to exactly the requested capacity; the
+/// shard count is clamped so no shard is ever empty.
 #[derive(Debug)]
 pub struct SharedPlanCache {
-    inner: Mutex<PlanCache>,
+    shards: Box<[RwLock<PlanCache>]>,
 }
 
 impl SharedPlanCache {
-    /// Creates a shared cache holding at most `capacity` plans.
+    /// Creates a shared cache holding at most `capacity` plans, sharded
+    /// [`Self::default_shard_count`] ways.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        Self { inner: Mutex::new(PlanCache::new(capacity)) }
+        Self::with_shards(capacity, Self::default_shard_count())
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
-        // A worker that panicked mid-insert cannot leave the LRU list in
-        // a state that corrupts *values* (they are immutable Arcs), so
-        // recover instead of poisoning every later simulation.
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Creates a shared cache holding at most `capacity` plans across
+    /// `shards` shards. The shard count is rounded up to a power of two
+    /// and clamped to at most `capacity` (each shard holds ≥ 1 entry);
+    /// per-shard capacities sum to exactly `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be non-zero");
+        let mut count = shards.max(1).next_power_of_two();
+        while count > capacity {
+            count /= 2;
+        }
+        let base = capacity / count;
+        let extra = capacity % count;
+        let shards = (0..count)
+            .map(|i| RwLock::new(PlanCache::new(base + usize::from(i < extra))))
+            .collect();
+        Self { shards }
     }
 
-    /// Looks up `key` (see [`PlanCache::get`]).
+    /// Default shard count: ~4× the host cores, rounded up to a power of
+    /// two — enough shards that workers rarely collide even under a
+    /// skewed key distribution, few enough that per-shard capacity stays
+    /// useful.
+    pub fn default_shard_count() -> usize {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        (4 * cores).next_power_of_two()
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to — deterministic per key within
+    /// one process build, and identical for every permutation of a
+    /// multiset (the canonical [`PlanKey`] is hashed, not the raw
+    /// pattern slice).
+    pub fn shard_for(&self, key: &PlanKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    // A worker that panicked mid-insert cannot leave a shard in a state
+    // that corrupts *values* (they are immutable Arcs), so recover from
+    // poisoning instead of failing every later simulation.
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, PlanCache> {
+        self.shards[i].read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, PlanCache> {
+        self.shards[i].write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key` under its shard's read lock (see
+    /// [`PlanCache::get`]).
     pub fn get(&self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
-        self.lock().get(key)
+        self.read_shard(self.shard_for(key)).get(key)
     }
 
-    /// Inserts `key → value` (see [`PlanCache::insert`]).
+    /// Inserts `key → value` under its shard's write lock (see
+    /// [`PlanCache::insert`]).
     pub fn insert(&self, key: PlanKey, value: Arc<CachedPlan>) {
-        self.lock().insert(key, value);
+        self.write_shard(self.shard_for(&key)).insert(key, value);
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot folded across shards. Each shard's counters are
+    /// read consistently; the fold itself is not one atomic snapshot
+    /// across shards (quiescent reads — after workers joined — are
+    /// exact, which is how every gate and test uses it).
     pub fn stats(&self) -> PlanCacheStats {
-        self.lock().stats()
+        let mut total = PlanCacheStats::default();
+        for i in 0..self.shards.len() {
+            total.merge(&self.read_shard(i).stats());
+        }
+        total
     }
 
-    /// Current entries.
+    /// Current entries across all shards.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        (0..self.shards.len()).map(|i| self.read_shard(i).len()).sum()
     }
 
-    /// Whether the cache is empty.
+    /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        (0..self.shards.len()).all(|i| self.read_shard(i).is_empty())
     }
 
-    /// Maximum entries.
+    /// Maximum entries across all shards (exactly the constructor's
+    /// `capacity`).
     pub fn capacity(&self) -> usize {
-        self.lock().capacity()
+        (0..self.shards.len()).map(|i| self.read_shard(i).capacity()).sum()
     }
 }
 
@@ -489,19 +604,36 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_least_recently_used() {
+    fn clock_grants_hit_entries_a_second_chance() {
         let mut cache = PlanCache::new(2);
         let (a, b, c) = (key(&[1]), key(&[2]), key(&[3]));
         cache.insert(a.clone(), plan(&[1]));
         cache.insert(b.clone(), plan(&[2]));
-        // Touch `a` so `b` becomes the victim.
+        // Touch `a` so its referenced bit protects it from the sweep;
+        // `b` (never hit) becomes the victim.
         assert!(cache.get(&a).is_some());
         cache.insert(c.clone(), plan(&[3]));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&a).is_some(), "recently used entry survives");
-        assert!(cache.get(&b).is_none(), "LRU entry evicted");
+        assert!(cache.get(&a).is_some(), "referenced entry survives the sweep");
+        assert!(cache.get(&b).is_none(), "unreferenced entry evicted");
         assert!(cache.get(&c).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clock_sweep_terminates_when_everything_is_referenced() {
+        let mut cache = PlanCache::new(2);
+        let (a, b, c) = (key(&[1]), key(&[2]), key(&[3]));
+        cache.insert(a.clone(), plan(&[1]));
+        cache.insert(b.clone(), plan(&[2]));
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_some());
+        // Both referenced: the first lap clears both bits, the second
+        // evicts the slot the hand started at.
+        cache.insert(c.clone(), plan(&[3]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&c).is_some(), "new entry must be present");
     }
 
     #[test]
@@ -544,12 +676,30 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_shared_rejected() {
+        let _ = SharedPlanCache::new(0);
+    }
+
+    #[test]
     fn hit_rate_math() {
         let mut s = PlanCacheStats::default();
         assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.lookups(), 0);
         s.hits = 3;
         s.misses = 1;
+        assert_eq!(s.lookups(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_display_is_human_readable() {
+        let s = PlanCacheStats { hits: 3, misses: 1, evictions: 0, insertions: 1 };
+        assert_eq!(s.to_string(), "3 hits / 4 lookups (75.0% hit rate), 1 insertions, 0 evictions");
+        assert_eq!(
+            PlanCacheStats::default().to_string(),
+            "0 hits / 0 lookups (0.0% hit rate), 0 insertions, 0 evictions"
+        );
     }
 
     #[test]
@@ -560,6 +710,13 @@ mod tests {
         assert_eq!(d, PlanCacheStats { hits: 8, misses: 0, evictions: 0, insertions: 0 });
         assert_eq!(d.hit_rate(), 1.0);
         assert_eq!(before.delta(&before).hit_rate(), 0.0, "empty window");
+    }
+
+    #[test]
+    fn stats_merge_folds_counters() {
+        let mut total = PlanCacheStats { hits: 1, misses: 2, evictions: 3, insertions: 4 };
+        total.merge(&PlanCacheStats { hits: 10, misses: 20, evictions: 30, insertions: 40 });
+        assert_eq!(total, PlanCacheStats { hits: 11, misses: 22, evictions: 33, insertions: 44 });
     }
 
     #[test]
@@ -592,6 +749,49 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_rounds_to_power_of_two_and_clamps() {
+        assert_eq!(SharedPlanCache::with_shards(100, 3).shard_count(), 4);
+        assert_eq!(SharedPlanCache::with_shards(100, 8).shard_count(), 8);
+        // Clamped: never more shards than capacity.
+        assert_eq!(SharedPlanCache::with_shards(2, 64).shard_count(), 2);
+        assert_eq!(SharedPlanCache::with_shards(1, 64).shard_count(), 1);
+        assert_eq!(SharedPlanCache::with_shards(3, 64).shard_count(), 2);
+        // 0 is treated as 1.
+        assert_eq!(SharedPlanCache::with_shards(8, 0).shard_count(), 1);
+        assert!(SharedPlanCache::new(4096).shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn sharded_capacity_sums_exactly() {
+        for (cap, shards) in [(4096usize, 16usize), (100, 8), (7, 4), (1, 1), (13, 64)] {
+            let cache = SharedPlanCache::with_shards(cap, shards);
+            assert_eq!(cache.capacity(), cap, "capacity must be exact for {cap}/{shards}");
+            assert!(cache.is_empty());
+            assert_eq!(cache.len(), 0);
+        }
+    }
+
+    #[test]
+    fn default_shard_count_is_power_of_two() {
+        let n = SharedPlanCache::default_shard_count();
+        assert!(n.is_power_of_two());
+        assert!(n >= 4, "at least 4 shards even on one core, got {n}");
+    }
+
+    #[test]
+    fn shard_routing_spreads_distinct_keys() {
+        // Not a distribution-quality test — just that routing actually
+        // uses more than one shard for a varied key population.
+        let cache = SharedPlanCache::with_shards(1024, 8);
+        let used: std::collections::HashSet<usize> =
+            (0..64u16).map(|i| cache.shard_for(&key(&[i % 16, (i / 16) % 16]))).collect();
+        assert!(used.len() > 1, "64 distinct keys all routed to one shard");
+        for &s in &used {
+            assert!(s < cache.shard_count());
+        }
+    }
+
+    #[test]
     fn shared_cache_concurrent_access() {
         let cache = std::sync::Arc::new(SharedPlanCache::new(64));
         std::thread::scope(|scope| {
@@ -609,8 +809,105 @@ mod tests {
             }
         });
         let s = cache.stats();
-        assert_eq!(s.hits + s.misses, 4 * 32);
+        assert_eq!(s.lookups(), 4 * 32);
         assert!(s.hits > 0, "repeat lookups must hit: {s:?}");
         assert!(cache.len() <= 16);
+    }
+
+    #[test]
+    fn spawn_storm_conserves_counters_and_loses_no_entry() {
+        // N threads hammer a small key set with interleaved get/insert.
+        // Afterwards the aggregate counters must balance exactly:
+        // every lookup is a hit or a miss, and the entry count is the
+        // insertions that were not later evicted.
+        const THREADS: u16 = 8;
+        const ROUNDS: u16 = 200;
+        let keys: Vec<Vec<u16>> = (0..6u16).map(|i| vec![i, i, (i + 1) % 16]).collect();
+        let cache = std::sync::Arc::new(SharedPlanCache::with_shards(64, 8));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = std::sync::Arc::clone(&cache);
+                let keys = &keys;
+                scope.spawn(move || {
+                    for i in 0..ROUNDS {
+                        let p = &keys[((i + t) % keys.len() as u16) as usize];
+                        let k = key(p);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, plan(p));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.lookups(), u64::from(THREADS) * u64::from(ROUNDS), "lookup conservation");
+        assert_eq!(s.insertions - s.evictions, cache.len() as u64, "entry conservation");
+        assert_eq!(s.evictions, 0, "6 keys fit in 64 entries");
+        // No lost entries: every key of the working set is resident.
+        for p in &keys {
+            assert!(cache.get(&key(p)).is_some(), "key {p:?} lost");
+        }
+    }
+
+    #[test]
+    fn spawn_storm_under_eviction_pressure_stays_consistent() {
+        // Same storm, but the key population exceeds capacity so every
+        // shard evicts continuously; conservation must still hold.
+        const THREADS: u16 = 8;
+        const ROUNDS: u16 = 150;
+        let cache = std::sync::Arc::new(SharedPlanCache::with_shards(8, 4));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..ROUNDS {
+                        let p = [(i.wrapping_mul(7) + t) % 16, t % 16];
+                        let k = key(&p);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, plan(&p));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.lookups(), u64::from(THREADS) * u64::from(ROUNDS));
+        assert_eq!(s.insertions - s.evictions, cache.len() as u64);
+        assert!(s.evictions > 0, "population of ~16×8 keys must overflow 8 entries");
+        assert!(cache.len() <= cache.capacity());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Shard routing is permutation-invariant: any shuffle of a
+        /// pattern multiset canonicalizes to the same key and therefore
+        /// routes to the same shard.
+        #[test]
+        fn shard_routing_is_stable_under_permutation(
+            mut patterns in proptest::collection::vec(0u16..16, 0..64),
+            seed in 0u64..1024,
+            shards in 1usize..64,
+        ) {
+            let cfg = ScoreboardConfig::with_width(4);
+            let cache = SharedPlanCache::with_shards(256, shards);
+            let original = PlanKey::new(&cfg, None, &patterns);
+            let home = cache.shard_for(&original);
+            // Seeded Fisher-Yates so the permutation is reproducible.
+            let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            for i in (1..patterns.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = ((s >> 33) as usize) % (i + 1);
+                patterns.swap(i, j);
+            }
+            let permuted = PlanKey::new(&cfg, None, &patterns);
+            prop_assert_eq!(&original, &permuted, "canonical keys must match");
+            prop_assert_eq!(home, cache.shard_for(&permuted), "shard routing must match");
+            prop_assert!(home < cache.shard_count());
+        }
     }
 }

@@ -204,6 +204,67 @@ fn plan_cache_bit_identical_across_thread_counts() {
     }
 }
 
+/// Shard-count invariance: the sharded cache must be a pure concurrency
+/// optimization. `plan_cache_shards = 1` reproduces the old
+/// single-mutex layout, so comparing it against 8 shards and the auto
+/// default proves reports never depend on shard routing or on which
+/// shard a CLOCK eviction sweeps — across thread counts, Scoreboard
+/// modes, and both entry points.
+#[test]
+fn plan_cache_shard_count_never_changes_a_report() {
+    let shape = GemmShape::new(512, 256, 128);
+    let mut rng = StreamRng::new(8192);
+    let w =
+        MatI32::from_fn(40, 36, |_, _| ((rng.next_gaussian() * 3.0).round() as i32).clamp(-8, 7));
+    let x = MatI32::from_fn(36, 9, |_, _| {
+        ((rng.next_gaussian() * 40.0).round() as i32).clamp(-128, 127)
+    });
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        // simulate_layer entry point, at-scale config.
+        let layer_run = |threads: usize, shards: usize| {
+            let cfg = TransArrayConfig {
+                sample_limit: 24,
+                threads,
+                plan_cache: 512,
+                plan_cache_shards: shards,
+                scoreboard_mode: mode,
+                ..TransArrayConfig::paper_w8()
+            };
+            let ta = TransitiveArray::new(cfg);
+            let mut src = QuantGaussianSource::new(8, 8, ta.config().n_tile(), 7);
+            ta.simulate_layer(shape, &mut src)
+        };
+        // execute_gemm entry point, small exact config. The tiny cache
+        // (8 entries) keeps the CLOCK sweep active during the run.
+        let gemm_run = |threads: usize, shards: usize| {
+            let cfg = TransArrayConfig {
+                threads,
+                plan_cache: 8,
+                plan_cache_shards: shards,
+                ..small_cfg(4, mode)
+            };
+            TransitiveArray::new(cfg).execute_gemm(&w, &x)
+        };
+        for threads in [1usize, 2, 8] {
+            let layer_ref = layer_run(threads, 1);
+            let gemm_ref = gemm_run(threads, 1);
+            assert_eq!(gemm_ref.0, gemm_i32(&w, &x), "{mode:?} threads={threads}: lossless");
+            for shards in [8usize, 0] {
+                assert_eq!(
+                    layer_run(threads, shards),
+                    layer_ref,
+                    "{mode:?} threads={threads} shards={shards}: simulate_layer report differs"
+                );
+                assert_eq!(
+                    gemm_run(threads, shards),
+                    gemm_ref,
+                    "{mode:?} threads={threads} shards={shards}: execute_gemm result differs"
+                );
+            }
+        }
+    }
+}
+
 /// The same contract for the exact functional engine: cached
 /// `execute_gemm` output and report equal the uncached serial run at
 /// threads 1/2/8.
