@@ -215,8 +215,9 @@ pub const CONTENTION_THREADS: [usize; 4] = [1, 2, 8, 16];
 /// Lookups each contention thread performs per sweep point.
 const CONTENTION_LOOKUPS_PER_THREAD: u64 = 20_000;
 
-/// Distinct keys the contention workload pre-warms (small enough that
-/// every shard's working set stays resident — the sweep must never miss).
+/// Distinct keys the contention workload pre-warms. The cache below is
+/// sized so **every shard** can hold all of them, so residency never
+/// depends on how the hash spreads keys across shards.
 const CONTENTION_KEYS: usize = 64;
 
 /// Hammers a pre-warmed [`SharedPlanCache`] from 1/2/8/16 threads at a
@@ -226,18 +227,28 @@ const CONTENTION_KEYS: usize = 64;
 /// multi-core host the sharded cache's throughput scales with threads;
 /// the old global-mutex design flatlined here.
 ///
-/// `shards` is the `plan_cache_shards` knob (`0` = auto).
+/// `shards` is the `plan_cache_shards` knob (`0` = auto). The cache
+/// capacity is `shard count × CONTENTION_KEYS`, giving each shard
+/// exactly `CONTENTION_KEYS` slots: even if the hash routed every key
+/// to one shard, nothing can evict, so the forced 1.0 hit rate holds on
+/// any host shape (per-shard capacity is what matters — a fixed total
+/// capacity divided by an auto shard count of ~4× cores left 1-slot
+/// shards on big hosts, where pre-warm collisions evicted warm keys).
 ///
 /// # Panics
 ///
-/// Panics if any sweep point records a miss — the workload exists to
-/// measure the hit path, and a miss means the cache or routing broke.
+/// Panics if pre-warm evicts (capacity sizing broke) or if any sweep
+/// point records a miss — the workload exists to measure the hit path,
+/// and a miss means the cache or routing broke.
 pub fn contention_workload(shards: usize) -> Vec<ContentionPoint> {
     let cfg = ScoreboardConfig::with_width(8);
-    let cache = match shards {
-        0 => SharedPlanCache::new(256),
-        n => SharedPlanCache::with_shards(256, n),
+    // Mirror `with_shards`'s rounding so capacity is sized for the
+    // shard count the cache will actually use.
+    let shard_count = match shards {
+        0 => SharedPlanCache::default_shard_count(),
+        n => n.next_power_of_two(),
     };
+    let cache = SharedPlanCache::with_shards(shard_count * CONTENTION_KEYS, shard_count);
     let keys: Vec<PlanKey> = (0..CONTENTION_KEYS as u16)
         .map(|i| {
             let patterns = [i, i.wrapping_mul(37) % 256, 255 - i, (i * 3) % 256];
@@ -249,6 +260,9 @@ pub fn contention_workload(shards: usize) -> Vec<ContentionPoint> {
             key
         })
         .collect();
+    let warm = cache.stats();
+    assert_eq!(warm.evictions, 0, "pre-warm must not evict: {warm}");
+    assert_eq!(cache.len(), CONTENTION_KEYS, "every pre-warmed key must be resident");
     CONTENTION_THREADS
         .iter()
         .map(|&threads| {
@@ -1496,6 +1510,19 @@ mod tests {
             assert_eq!(p.threads, threads);
             assert_eq!(p.lookups, threads as u64 * 20_000);
             assert!(p.wall_s > 0.0 && p.mlookups_per_s > 0.0 && p.ns_per_lookup > 0.0);
+        }
+    }
+
+    #[test]
+    fn contention_workload_survives_many_shards() {
+        // Regression test for the shard-count/capacity interaction: 256
+        // shards is the auto count of a 64-core host. With a fixed total
+        // capacity that meant 1-entry shards, where pre-warm hash
+        // collisions evicted warm keys and the sweep's never-miss assert
+        // panicked — nondeterministically by host shape. Capacity now
+        // scales with the shard count, so this must hold on any host.
+        for p in contention_workload(256) {
+            assert!(p.mlookups_per_s > 0.0);
         }
     }
 

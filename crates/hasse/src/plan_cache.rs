@@ -416,20 +416,39 @@ pub struct SharedPlanCache {
 }
 
 impl SharedPlanCache {
+    /// Minimum per-shard capacity the **auto** shard count preserves.
+    /// Below this, CLOCK degenerates toward a direct-mapped cache: a
+    /// skewed key distribution evicts from a full shard while total
+    /// occupancy is far below the requested capacity. Explicit shard
+    /// counts ([`Self::with_shards`]) are honored past this floor.
+    pub const MIN_AUTO_SHARD_CAPACITY: usize = 8;
+
     /// Creates a shared cache holding at most `capacity` plans, sharded
-    /// [`Self::default_shard_count`] ways.
+    /// [`Self::default_shard_count`] ways — halved as needed so each
+    /// shard keeps at least [`Self::MIN_AUTO_SHARD_CAPACITY`] entries
+    /// (a small cache degenerates to a single shard, i.e. the old
+    /// single-table behavior, rather than to per-shard slots of 1).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        Self::with_shards(capacity, Self::default_shard_count())
+        let mut count = Self::default_shard_count();
+        while count > 1 && count * Self::MIN_AUTO_SHARD_CAPACITY > capacity {
+            count /= 2;
+        }
+        Self::with_shards(capacity, count)
     }
 
     /// Creates a shared cache holding at most `capacity` plans across
     /// `shards` shards. The shard count is rounded up to a power of two
     /// and clamped to at most `capacity` (each shard holds ≥ 1 entry);
-    /// per-shard capacities sum to exactly `capacity`.
+    /// per-shard capacities sum to exactly `capacity`. The explicit
+    /// count is otherwise honored — callers pairing a small capacity
+    /// with many shards get shards of very few entries, which evict
+    /// under skewed keys well below total capacity; prefer [`Self::new`]
+    /// (which keeps per-shard capacity ≥
+    /// [`Self::MIN_AUTO_SHARD_CAPACITY`]) unless the count is the point.
     ///
     /// # Panics
     ///
@@ -450,8 +469,9 @@ impl SharedPlanCache {
 
     /// Default shard count: ~4× the host cores, rounded up to a power of
     /// two — enough shards that workers rarely collide even under a
-    /// skewed key distribution, few enough that per-shard capacity stays
-    /// useful.
+    /// skewed key distribution. Capacity-independent; [`Self::new`]
+    /// additionally halves it until per-shard capacity reaches
+    /// [`Self::MIN_AUTO_SHARD_CAPACITY`].
     pub fn default_shard_count() -> usize {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         (4 * cores).next_power_of_two()
@@ -776,6 +796,26 @@ mod tests {
         let n = SharedPlanCache::default_shard_count();
         assert!(n.is_power_of_two());
         assert!(n >= 4, "at least 4 shards even on one core, got {n}");
+    }
+
+    #[test]
+    fn auto_sharding_preserves_min_per_shard_capacity() {
+        // `new` (the `plan_cache_shards = 0` path) must never hand out
+        // shards smaller than MIN_AUTO_SHARD_CAPACITY on any host shape:
+        // an 8-entry cache gets one shard (the old single-table
+        // behavior), never 8 direct-mapped slots.
+        for cap in [1usize, 2, 7, 8, 9, 31, 32, 64, 256, 4096] {
+            let cache = SharedPlanCache::new(cap);
+            let count = cache.shard_count();
+            assert!(count.is_power_of_two());
+            assert!(
+                count == 1 || cap / count >= SharedPlanCache::MIN_AUTO_SHARD_CAPACITY,
+                "capacity {cap} auto-sharded {count} ways leaves {}-entry shards",
+                cap / count
+            );
+        }
+        assert_eq!(SharedPlanCache::new(8).shard_count(), 1);
+        assert_eq!(SharedPlanCache::new(1).shard_count(), 1);
     }
 
     #[test]
