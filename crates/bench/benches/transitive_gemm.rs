@@ -103,7 +103,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
         wall_norm: 0.0,
     };
     let report = PerfReport {
-        schema: 4,
+        schema: 5,
         sha: "bench".to_string(),
         scale: scale.name().to_string(),
         threads: runtime::Runtime::new(0).threads(),
@@ -116,6 +116,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
         dram_bursts: 0,
         exec_allocs_per_subtile: -1.0,
         contention: Vec::new(),
+        serve: None,
         workloads: vec![
             record("l7b_qproj_serial", serial_wall),
             record("l7b_qproj_parallel", parallel_wall),

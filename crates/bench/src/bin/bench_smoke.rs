@@ -173,6 +173,11 @@ fn main() {
                     w.wall_norm *= factor;
                 }
                 report.speedup_parallel /= factor.max(f64::MIN_POSITIVE);
+                if let Some(serve) = &mut report.serve {
+                    serve.throughput_rps /= factor.max(f64::MIN_POSITIVE);
+                    serve.p50_latency_ns *= factor;
+                    serve.p99_latency_ns *= factor;
+                }
             }
             _ => {
                 fail(&format!("invalid TA_BENCH_INJECT_SLOWDOWN '{v}': expected a positive number"))
@@ -206,6 +211,18 @@ fn main() {
         println!(
             "  plan-cache contention: {:>2} threads  {:>8} lookups  {:>8.1} ns/lookup  {:>8.2} Mlookups/s",
             p.threads, p.lookups, p.ns_per_lookup, p.mlookups_per_s
+        );
+    }
+    if let Some(s) = &report.serve {
+        println!(
+            "  serving: {} requests / {} batches / {} padded on {} workers  {:>8.0} req/s  p50 {:.1} us  p99 {:.1} us",
+            s.requests,
+            s.batches,
+            s.padded,
+            s.workers,
+            s.throughput_rps,
+            s.p50_latency_ns / 1e3,
+            s.p99_latency_ns / 1e3
         );
     }
 

@@ -28,7 +28,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use ta_bitslice::{BitSlicedMatrix, RowMajor, TileView};
 use ta_core::{
-    runtime, GemmReport, GemmShape, PatternSource, SlicedSource, TransArrayConfig, TransitiveArray,
+    runtime, GemmReport, GemmShape, PatternSource, Session, SlicedSource, TransArrayConfig,
+    TransitiveArray,
 };
 use ta_hasse::{
     CachedPlan, ExecScratch, ExecutionPlan, NullSink, PlanKey, Scoreboard, ScoreboardConfig,
@@ -36,6 +37,8 @@ use ta_hasse::{
 };
 use ta_models::{llm_activation_matrix_int, llm_weight_matrix_int, QuantGaussianSource};
 use ta_quant::{gemm_i32, MatI32};
+use ta_serve::loadgen::{poisson_trace, request_for};
+use ta_serve::{BatchPolicy, Server, ServerConfig};
 use ta_sim::DramModel;
 
 /// One measured workload.
@@ -74,6 +77,33 @@ pub struct ContentionPoint {
     /// Aggregate hit throughput (million lookups per wall second) — the
     /// scaling metric the gate compares across thread counts.
     pub mlookups_per_s: f64,
+}
+
+/// Stats from the `serve_open_loop` workload: the whole serving stack
+/// (admission queue → tenant round-robin → shape-bucketing batcher →
+/// continuous-batching worker pool) under a seeded open-loop Poisson
+/// trace. `requests` and `padded` are deterministic (the trace is
+/// seeded and padding depends only on each request's shape and the
+/// bucket quantum); `batches` depends on scheduler timing and is
+/// recorded but not gated; the throughput/latency figures are
+/// wall-clock metrics gated at the widened wall tolerance, same-shape
+/// hosts only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests served (the gate requires an exact match).
+    pub requests: u64,
+    /// Batches dispatched to workers (informational — timing-dependent).
+    pub batches: u64,
+    /// Requests zero-padded to their bucket width (deterministic).
+    pub padded: u64,
+    /// Worker threads the workload ran with.
+    pub workers: usize,
+    /// Served requests per wall second (open-loop, best measured pass).
+    pub throughput_rps: f64,
+    /// Median submit-to-complete latency in nanoseconds.
+    pub p50_latency_ns: f64,
+    /// 99th-percentile submit-to-complete latency in nanoseconds.
+    pub p99_latency_ns: f64,
 }
 
 /// One full bench-smoke run.
@@ -120,6 +150,10 @@ pub struct PerfReport {
     /// (threads 1/2/8/16 at forced hit rate 1.0). Empty on schema ≤ 3
     /// baselines, which self-disables the contention gate.
     pub contention: Vec<ContentionPoint>,
+    /// Serving-frontend stats from the `serve_open_loop` workload.
+    /// `None` on schema ≤ 4 baselines, which self-disables the serve
+    /// gate with a logged note.
+    pub serve: Option<ServeStats>,
     /// Measured workloads.
     pub workloads: Vec<PerfRecord>,
 }
@@ -299,6 +333,114 @@ pub fn contention_workload(shards: usize) -> Vec<ContentionPoint> {
         .collect()
 }
 
+/// Weight precision of the serving workload's requests.
+const SERVE_WEIGHT_BITS: u32 = 4;
+/// Activation precision of the serving workload's requests.
+const SERVE_ACT_BITS: u32 = 8;
+/// Worker threads behind the serving workload's frontend.
+const SERVE_WORKERS: usize = 2;
+
+/// The small design point the serving workload runs on — sized so one
+/// request is cheap enough to serve hundreds per pass at every scale.
+fn serve_session() -> Session {
+    let cfg = TransArrayConfig::builder()
+        .width(4)
+        .max_transrows(16)
+        .weight_bits(SERVE_WEIGHT_BITS)
+        .units(2)
+        .m_tile(4)
+        .sample_limit(0)
+        .build()
+        .expect("serve workload config is valid");
+    Session::new(cfg).expect("serve workload session opens")
+}
+
+/// The `serve_open_loop` workload: replays a seeded Poisson arrival
+/// trace through a full `ta-serve` frontend (2 workers, width-quantized
+/// buckets so padding is actually exercised), then checks every served
+/// output bit-for-bit against a direct serial run. The PerfRecord's
+/// `cycles`/`total_ops` are the deterministic sums over all served
+/// responses — any drift is a behavior change in the serving stack or
+/// the simulator, and gates at full strength; the wall-clock
+/// throughput/latency figures ride in [`ServeStats`] under the widened
+/// wall tolerance.
+///
+/// # Panics
+///
+/// Panics if any served output differs from the direct run — the
+/// serving determinism contract is part of what this workload guards.
+fn serve_open_loop(scale: Scale) -> (PerfRecord, ServeStats) {
+    let shapes = [
+        GemmShape::new(8, 16, 3),
+        GemmShape::new(8, 16, 4),
+        GemmShape::new(12, 16, 5),
+        GemmShape::new(16, 32, 2),
+    ];
+    // Scale the trace off the existing tile knob: 32 requests at the
+    // tiny test scale, 48 at quick, 256 at full.
+    let count = scale.tiles.max(2) * 16;
+    let trace = poisson_trace(0x5E_12_7E, count, 200, 4, &shapes);
+    let policy = BatchPolicy { max_batch: 8, max_delay_ns: 50_000, quantum_m: 4 };
+    let ((responses, stats), wall) = measure(|| {
+        let server =
+            Server::start(serve_session(), ServerConfig { workers: SERVE_WORKERS, policy });
+        let tickets: Vec<_> = trace
+            .iter()
+            .map(|a| {
+                server
+                    .submit(a.tenant, request_for(a, SERVE_WEIGHT_BITS, SERVE_ACT_BITS))
+                    .expect("trace requests are valid")
+            })
+            .collect();
+        let responses: Vec<_> =
+            tickets.into_iter().map(|t| t.wait().expect("server answers every request")).collect();
+        let stats = server.shutdown();
+        (responses, stats)
+    });
+    assert_eq!(stats.completed as usize, count, "open loop must serve the whole trace");
+
+    // Bit-equality through the whole stack, outside the timed region.
+    // Outputs must match exactly; the *report* of a padded request
+    // legitimately differs (the modelled GEMM is wider), so the
+    // deterministic cycle/op sums below are taken from the served
+    // responses themselves.
+    let direct = serve_session();
+    let (mut served_cycles, mut served_ops) = (0u64, 0u64);
+    let mut latencies: Vec<u64> = Vec::with_capacity(responses.len());
+    for (resp, arrival) in responses.iter().zip(&trace) {
+        let want = direct
+            .run_serial(request_for(arrival, SERVE_WEIGHT_BITS, SERVE_ACT_BITS))
+            .expect("direct run succeeds");
+        assert_eq!(
+            resp.response.output, want.output,
+            "serving determinism violation: served output differs from direct at {arrival:?}"
+        );
+        served_cycles += resp.response.report.cycles;
+        served_ops += resp.response.report.total_ops;
+        latencies.push(resp.latency_ns());
+    }
+    latencies.sort_unstable();
+    let record = PerfRecord {
+        name: "serve_open_loop".into(),
+        cycles: served_cycles,
+        total_ops: served_ops,
+        density: 0.0,
+        macs_per_cycle: 0.0,
+        wall_s: wall,
+        wall_norm: 0.0, // assigned after the final calibration
+    };
+    let serve = ServeStats {
+        requests: stats.completed,
+        batches: stats.batches,
+        padded: stats.padded,
+        workers: SERVE_WORKERS,
+        throughput_rps: if wall > 0.0 { count as f64 / wall } else { 0.0 },
+        p50_latency_ns: latencies[latencies.len() / 2] as f64,
+        p99_latency_ns: latencies[latencies.len() * 99 / 100] as f64,
+    };
+    (record, serve)
+}
+
 /// Runs the bench-smoke workload roster at `scale` with `threads`
 /// parallel workers (`0` = one per core), a plan cache of `plan_cache`
 /// entries for the cached LLaMA-7B workload, and `plan_cache_shards`
@@ -416,6 +558,11 @@ pub fn run_suite(
         });
     }
 
+    // Serving frontend: the full ta-serve stack under a seeded
+    // open-loop trace, bit-checked against direct execution.
+    let (serve_record, serve_stats) = serve_open_loop(scale);
+    workloads.push(serve_record);
+
     // Surface the layer's DRAM traffic as requests vs bursts (one
     // request per weight/input/output stream of the shared tiling
     // policy, 64 B bursts).
@@ -431,7 +578,7 @@ pub fn run_suite(
 
     let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 };
     PerfReport {
-        schema: 4,
+        schema: 5,
         sha: String::new(),
         scale: scale.name().to_string(),
         threads: resolved_threads,
@@ -444,6 +591,7 @@ pub fn run_suite(
         dram_bursts: dram.bursts(),
         exec_allocs_per_subtile: measure_exec_allocs(),
         contention: contention_workload(plan_cache_shards),
+        serve: Some(serve_stats),
         workloads,
     }
 }
@@ -815,6 +963,71 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
             );
         }
     }
+    // Serving-frontend gate. The trace is seeded, so the request count
+    // must match exactly and the padded count gates at full strength;
+    // throughput/latency are wall-clock metrics — widened tolerance,
+    // same-shape hosts only (batch count is timing-dependent and is
+    // recorded but never gated). The `serve_open_loop` PerfRecord's
+    // deterministic cycle/op sums already gate through the per-workload
+    // loop above.
+    match (&baseline.serve, &current.serve) {
+        (None, _) => out.notes.push(
+            "serve gate skipped (baseline predates the serve_open_loop workload; refresh it)"
+                .to_string(),
+        ),
+        (Some(_), None) => {
+            out.failures.push("serve_open_loop stats missing from current run".to_string());
+        }
+        (Some(base), Some(cur)) => {
+            if base.requests != cur.requests {
+                out.failures.push(format!(
+                    "serve_open_loop/requests changed: {} -> {} (the trace is seeded; the count is exact)",
+                    base.requests, cur.requests
+                ));
+            }
+            if base.padded != cur.padded {
+                out.failures.push(format!(
+                    "serve_open_loop/padded changed: {} -> {} (padding depends only on shape and quantum)",
+                    base.padded, cur.padded
+                ));
+            }
+            if baseline.host_cores == current.host_cores {
+                let wall_tol = tolerance * WALL_TOLERANCE_FACTOR;
+                check_ratio(
+                    &mut out,
+                    "serve_open_loop",
+                    "throughput_rps",
+                    base.throughput_rps,
+                    cur.throughput_rps,
+                    false,
+                    wall_tol,
+                );
+                check_ratio(
+                    &mut out,
+                    "serve_open_loop",
+                    "p50_latency_ns",
+                    base.p50_latency_ns,
+                    cur.p50_latency_ns,
+                    true,
+                    wall_tol,
+                );
+                check_ratio(
+                    &mut out,
+                    "serve_open_loop",
+                    "p99_latency_ns",
+                    base.p99_latency_ns,
+                    cur.p99_latency_ns,
+                    true,
+                    wall_tol,
+                );
+            } else {
+                out.notes.push(format!(
+                    "serve throughput/latency gate skipped (baseline host_cores {}, current host_cores {})",
+                    baseline.host_cores, current.host_cores
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -863,6 +1076,21 @@ impl ContentionPoint {
     }
 }
 
+impl ServeStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"batches\": {}, \"padded\": {}, \"workers\": {}, \"throughput_rps\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
+            self.requests,
+            self.batches,
+            self.padded,
+            self.workers,
+            json_f64(self.throughput_rps),
+            json_f64(self.p50_latency_ns),
+            json_f64(self.p99_latency_ns),
+        )
+    }
+}
+
 impl PerfRecord {
     fn to_json(&self) -> String {
         format!(
@@ -899,6 +1127,11 @@ impl PerfReport {
             "  \"exec_allocs_per_subtile\": {},",
             json_f64(self.exec_allocs_per_subtile)
         );
+        // Schema-5 field, one line so older tooling can strip it; omitted
+        // entirely when absent (the parser defaults to `None`).
+        if let Some(serve) = &self.serve {
+            let _ = writeln!(out, "  \"serve\": {},", serve.to_json());
+        }
         let _ = writeln!(out, "  \"plan_cache_contention\": [");
         for (i, c) in self.contention.iter().enumerate() {
             let comma = if i + 1 < self.contention.len() { "," } else { "" };
@@ -997,6 +1230,23 @@ impl PerfReport {
                     })
                     .collect::<Result<Vec<_>, String>>()?,
                 None => Vec::new(),
+            },
+            // Schema ≤ 4 reports predate the serving frontend; `None`
+            // self-disables the serve gate with a note.
+            serve: match obj.get_opt("serve") {
+                Some(v) => {
+                    let o = v.as_obj("serve")?;
+                    Some(ServeStats {
+                        requests: o.get("requests")?.as_u64("requests")?,
+                        batches: o.get("batches")?.as_u64("batches")?,
+                        padded: o.get("padded")?.as_u64("padded")?,
+                        workers: o.get("workers")?.as_u64("workers")? as usize,
+                        throughput_rps: o.get("throughput_rps")?.as_f64("throughput_rps")?,
+                        p50_latency_ns: o.get("p50_latency_ns")?.as_f64("p50_latency_ns")?,
+                        p99_latency_ns: o.get("p99_latency_ns")?.as_f64("p99_latency_ns")?,
+                    })
+                }
+                None => None,
             },
             workloads,
         })
@@ -1232,7 +1482,7 @@ mod tests {
 
     fn sample_report() -> PerfReport {
         PerfReport {
-            schema: 4,
+            schema: 5,
             sha: "abc123".into(),
             scale: "quick".into(),
             threads: 4,
@@ -1260,6 +1510,15 @@ mod tests {
                     mlookups_per_s: 40.0,
                 },
             ],
+            serve: Some(ServeStats {
+                requests: 48,
+                batches: 12,
+                padded: 30,
+                workers: 2,
+                throughput_rps: 5_000.0,
+                p50_latency_ns: 120_000.0,
+                p99_latency_ns: 900_000.0,
+            }),
             workloads: vec![
                 PerfRecord {
                     name: "l7b_qproj_serial".into(),
@@ -1533,6 +1792,7 @@ mod tests {
         let mut old = sample_report();
         old.schema = 3;
         old.contention.clear();
+        old.serve = None;
         let text = old
             .to_json()
             .lines()
@@ -1566,6 +1826,7 @@ mod tests {
         // A pre-plan-cache baseline lacks the schema-2 fields entirely.
         let mut old = sample_report();
         old.schema = 1;
+        old.serve = None;
         let mut text = old.to_json();
         for field in [
             "plan_cache_hit_rate",
@@ -1597,6 +1858,7 @@ mod tests {
         // allocation-audit field but keeps everything else.
         let mut old = sample_report();
         old.schema = 2;
+        old.serve = None;
         let needle = "  \"exec_allocs_per_subtile\"";
         let text =
             old.to_json().lines().filter(|l| !l.starts_with(needle)).collect::<Vec<_>>().join("\n");
@@ -1638,6 +1900,109 @@ mod tests {
     }
 
     #[test]
+    fn schema4_baseline_parses_and_skips_serve_gate() {
+        // A schema-4 baseline predates the serving frontend: no `serve`
+        // object (and no `serve_open_loop` workload). It must parse,
+        // and the serve gate must self-disable with a note instead of
+        // failing on the missing stats.
+        let mut old = sample_report();
+        old.schema = 4;
+        old.serve = None;
+        let text = old.to_json();
+        assert!(!text.contains("\"serve\""), "None must omit the serve line entirely");
+        let parsed = PerfReport::from_json(&text).expect("schema-4 baseline must parse");
+        assert_eq!(parsed, old);
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("serve gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn serve_gate_requires_exact_deterministic_counts() {
+        let base = sample_report();
+        // A current run that dropped the serving stats entirely fails.
+        let mut missing = base.clone();
+        missing.serve = None;
+        let outcome = compare(&base, &missing, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_open_loop stats missing")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // The trace is seeded: a changed request count is a hard fail.
+        let mut drifted = base.clone();
+        drifted.serve.as_mut().unwrap().requests = 47;
+        let outcome = compare(&base, &drifted, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_open_loop/requests changed")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // Padding depends only on shape and quantum: also exact.
+        let mut padded = base.clone();
+        padded.serve.as_mut().unwrap().padded = 31;
+        let outcome = compare(&base, &padded, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_open_loop/padded changed")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // Batch count is timing-dependent — never gated.
+        let mut batches = base.clone();
+        batches.serve.as_mut().unwrap().batches = 48;
+        assert!(compare(&base, &batches, GATE_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn serve_wall_metrics_gate_at_widened_tolerance_and_matching_shape_only() {
+        let base = sample_report();
+        // -40% throughput: inside the widened (100%) wall gate — passes.
+        let mut jitter = base.clone();
+        jitter.serve.as_mut().unwrap().throughput_rps *= 0.6;
+        assert!(compare(&base, &jitter, GATE_TOLERANCE).passed());
+        // Throughput halved-and-worse plus p99 tripled: both fail.
+        let mut slow = base.clone();
+        {
+            let s = slow.serve.as_mut().unwrap();
+            s.throughput_rps /= 2.5;
+            s.p99_latency_ns *= 3.0;
+        }
+        let outcome = compare(&base, &slow, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_open_loop/throughput_rps")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_open_loop/p99_latency_ns")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // Across machine shapes the wall metrics skip with a note; the
+        // deterministic counts still gate.
+        let mut other_host = slow.clone();
+        other_host.host_cores = 64;
+        let outcome = compare(&base, &other_host, GATE_TOLERANCE);
+        assert!(
+            !outcome.failures.iter().any(|f| f.contains("throughput_rps")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("serve throughput/latency gate skipped")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
     fn gate_rejects_scale_mismatch() {
         let base = sample_report();
         let mut cur = base.clone();
@@ -1649,8 +2014,8 @@ mod tests {
     fn suite_runs_at_tiny_scale_and_is_deterministic() {
         let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
         let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES, 0);
-        assert_eq!(report.workloads.len(), 5);
-        assert_eq!(report.schema, 4);
+        assert_eq!(report.workloads.len(), 6);
+        assert_eq!(report.schema, 5);
         assert_eq!(report.contention.len(), CONTENTION_THREADS.len());
         for p in &report.contention {
             assert!(p.mlookups_per_s > 0.0, "contention sweep must measure real throughput");
@@ -1679,6 +2044,14 @@ mod tests {
             report.exec_allocs_per_subtile, -1.0,
             "library tests run without the counting allocator"
         );
+        let served = report.workloads.iter().find(|w| w.name == "serve_open_loop").unwrap();
+        assert!(served.cycles > 0 && served.total_ops > 0, "serve workload sums real runs");
+        let serve = report.serve.as_ref().expect("schema-5 suite always measures serving");
+        assert_eq!(serve.requests, 32, "tiny scale serves tiles.max(2) * 16 requests");
+        assert!(serve.padded > 0, "width-quantized buckets must pad the off-quantum shapes");
+        assert!(serve.batches > 0 && serve.batches <= serve.requests);
+        assert!(serve.throughput_rps > 0.0);
+        assert!(serve.p50_latency_ns > 0.0 && serve.p99_latency_ns >= serve.p50_latency_ns);
     }
 
     #[test]

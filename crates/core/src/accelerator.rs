@@ -3,13 +3,15 @@
 //! prove losslessness.
 
 use crate::config::{ScoreboardMode, TransArrayConfig};
+use crate::error::TaError;
 use crate::runtime::Runtime;
 use crate::source::{PatternSource, SlicedSource};
 use crate::tiling::{dram_traffic, GemmShape, TrafficReport};
 use crate::unit::{process_and_evaluate_subtile_into, process_subtile_cached, SubtileReport};
+use std::ops::Range;
 use std::sync::Arc;
 use ta_bitslice::{BitSlicedMatrix, RowMajor, RowsMut};
-use ta_hasse::{ExecScratch, PlanCacheStats, SharedPlanCache, StaticSi};
+use ta_hasse::{ExecScratch, NullSink, PlanCacheStats, ResultSink, SharedPlanCache, StaticSi};
 use ta_quant::MatI32;
 use ta_sim::{transarray_area, EnergyBreakdown, EnergyModel, VpuModel};
 
@@ -320,23 +322,97 @@ impl TransitiveArray {
     ///
     /// Panics if the weights don't fit `weight_bits`, the inputs don't fit
     /// `act_bits`, shapes disagree, or an accumulator overflows `i32`.
+    /// Prefer [`Self::try_execute_gemm`] (or the [`crate::Session`] API)
+    /// in code that must not panic.
     pub fn execute_gemm(&self, weights: &MatI32, input: &MatI32) -> (MatI32, GemmReport) {
-        assert_eq!(weights.cols(), input.rows(), "GEMM inner dimension mismatch");
-        assert!(
-            input.fits_signed_bits(self.cfg.act_bits),
-            "input does not fit act_bits; quantize first"
-        );
-        let rt = Runtime::new(self.cfg.threads);
+        match self.try_execute_gemm(weights, input) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::execute_gemm`] with operand validation instead of panics:
+    /// shape mismatch and out-of-range operands come back as [`TaError`].
+    ///
+    /// # Errors
+    ///
+    /// [`TaError::ShapeMismatch`] when `weights.cols() != input.rows()`,
+    /// [`TaError::WeightRange`] / [`TaError::InputRange`] when an operand
+    /// exceeds the configured precision.
+    pub fn try_execute_gemm(
+        &self,
+        weights: &MatI32,
+        input: &MatI32,
+    ) -> Result<(MatI32, GemmReport), TaError> {
+        self.check_gemm_operands(weights, input)?;
+        Ok(self.execute_gemm_with(weights, input, &Runtime::new(self.cfg.threads), &mut NullSink))
+    }
+
+    /// [`Self::try_execute_gemm`] that additionally streams every
+    /// computed pattern result into `sink` as it is finalized (the
+    /// serving frontend's per-request streaming hook).
+    ///
+    /// Streaming runs the sub-tile grid **serially** so emissions arrive
+    /// in the deterministic serial order; the returned output and report
+    /// are bit-identical to [`Self::execute_gemm`] either way (the
+    /// determinism contract makes parallel ≡ serial).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::try_execute_gemm`].
+    pub fn execute_gemm_streaming(
+        &self,
+        weights: &MatI32,
+        input: &MatI32,
+        sink: &mut dyn ResultSink,
+    ) -> Result<(MatI32, GemmReport), TaError> {
+        self.check_gemm_operands(weights, input)?;
+        Ok(self.execute_gemm_with(weights, input, &Runtime::serial(), sink))
+    }
+
+    /// Validates `execute_gemm` operands against the configuration.
+    pub(crate) fn check_gemm_operands(
+        &self,
+        weights: &MatI32,
+        input: &MatI32,
+    ) -> Result<(), TaError> {
+        if weights.cols() != input.rows() {
+            return Err(TaError::ShapeMismatch {
+                weight_cols: weights.cols(),
+                input_rows: input.rows(),
+            });
+        }
+        if !weights.fits_signed_bits(self.cfg.weight_bits) {
+            return Err(TaError::WeightRange { weight_bits: self.cfg.weight_bits });
+        }
+        if !input.fits_signed_bits(self.cfg.act_bits) {
+            return Err(TaError::InputRange { act_bits: self.cfg.act_bits });
+        }
+        Ok(())
+    }
+
+    /// The execution engine behind every `execute_gemm` flavor: operands
+    /// are assumed validated. With a multi-worker runtime the weight
+    /// tiles shard across the pool (`sink` must then be [`NullSink`]-like
+    /// and is only fed from the serial path); [`crate::Session`] and the
+    /// batch paths pass [`Runtime::serial`] to pin one request to one
+    /// worker.
+    pub(crate) fn execute_gemm_with(
+        &self,
+        weights: &MatI32,
+        input: &MatI32,
+        rt: &Runtime,
+        sink: &mut dyn ResultSink,
+    ) -> (MatI32, GemmReport) {
         let shape = GemmShape::new(weights.rows(), weights.cols(), input.cols());
         let sliced = BitSlicedMatrix::slice_parallel(weights, self.cfg.weight_bits, rt.threads());
         let t = self.cfg.width as usize;
-        let s_bits = self.cfg.weight_bits as usize;
         let n_tile = self.cfg.n_tile();
         let n_tiles = shape.n.div_ceil(n_tile);
         let k_chunks = shape.k.div_ceil(t);
 
         let mut source = SlicedSource::new(&sliced, n_tile, self.cfg.width);
-        let static_si = self.build_static_si(n_tiles, k_chunks, 1, &mut source, &rt);
+        let static_si = self.build_static_si(n_tiles, k_chunks, 1, &mut source, rt);
 
         // Stage the whole input once as a single contiguous row-major
         // buffer (zero-padded past K): sub-tile evaluations borrow `T`
@@ -369,64 +445,106 @@ impl TransitiveArray {
             }
         }
         let si_ref = static_si.as_ref();
-        let cache = self.plan_cache();
-        let staged_ref = &staged;
-        let aggs = rt.run_shards_with(shard_jobs, |_, tiles, mut acc_rows| {
-            let mut src = SlicedSource::new(&sliced, n_tile, self.cfg.width);
-            let row_offset = tiles.start * n_tile;
-            let mut agg = Agg::default();
-            // Per-worker arena + pattern buffer: reused across every
-            // sub-tile this worker touches (zero steady-state allocation
-            // on the evaluation path).
-            let mut scratch = ExecScratch::new();
-            let mut patterns: Vec<u16> = Vec::new();
-            for nt in tiles {
-                for kc in 0..k_chunks {
-                    src.subtile_patterns_into(nt, kc, &mut patterns);
-                    let inputs = staged_ref.view_rows(kc * t, t);
-                    let rep = process_and_evaluate_subtile_into(
-                        &self.cfg,
-                        si_ref,
-                        &patterns,
-                        inputs,
-                        cache,
-                        &mut scratch,
-                    );
-                    agg.add(&rep);
-                    // Fused row expansion: accumulate each non-zero row's
-                    // slab result straight into the output shard.
-                    for (r, &p) in patterns.iter().enumerate() {
-                        if p == 0 {
-                            continue;
-                        }
-                        let n_local = r / s_bits;
-                        let level = (r % s_bits) as u32;
-                        let n_global = nt * n_tile + n_local;
-                        if n_global >= shape.n {
-                            continue;
-                        }
-                        let w = if level == self.cfg.weight_bits - 1 {
-                            -(1i64 << level)
-                        } else {
-                            1i64 << level
-                        };
-                        let result = scratch.result(p).expect("pattern must be computed");
-                        for (a, &v) in
-                            acc_rows.row_mut(n_global - row_offset).iter_mut().zip(result)
-                        {
-                            *a += w * v;
-                        }
-                    }
-                }
-            }
-            agg
-        });
+        let aggs = if shard_jobs.len() <= 1 {
+            // Serial path: runs inline on the caller's thread and is the
+            // only path that feeds a live streaming sink.
+            shard_jobs
+                .into_iter()
+                .map(|(tiles, acc_rows)| {
+                    self.execute_shard(
+                        &sliced, &staged, si_ref, shape, k_chunks, tiles, acc_rows, sink,
+                    )
+                })
+                .collect()
+        } else {
+            rt.run_shards_with(shard_jobs, |_, tiles, acc_rows| {
+                self.execute_shard(
+                    &sliced,
+                    &staged,
+                    si_ref,
+                    shape,
+                    k_chunks,
+                    tiles,
+                    acc_rows,
+                    &mut NullSink,
+                )
+            })
+        };
         let agg = Agg::merge_shards(&aggs);
         let out = MatI32::from_fn(shape.n, shape.m, |r, c| {
             i32::try_from(acc.row(r)[c]).expect("TransArray accumulation overflowed i32")
         });
         let report = self.finalize(shape, agg, (n_tiles * k_chunks) as u64);
         (out, report)
+    }
+
+    /// One worker's share of the fused execute path: walks `tiles` in
+    /// serial order, evaluates every sub-tile into its scratch slab,
+    /// streams each computed pattern into `sink`, and accumulates the
+    /// expanded rows into this shard's slice of the output.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_shard(
+        &self,
+        sliced: &BitSlicedMatrix,
+        staged: &RowMajor<i64>,
+        si_ref: Option<&StaticSi>,
+        shape: GemmShape,
+        k_chunks: usize,
+        tiles: Range<usize>,
+        mut acc_rows: RowsMut<'_, i64>,
+        sink: &mut dyn ResultSink,
+    ) -> Agg {
+        let t = self.cfg.width as usize;
+        let s_bits = self.cfg.weight_bits as usize;
+        let n_tile = self.cfg.n_tile();
+        let cache = self.plan_cache();
+        let mut src = SlicedSource::new(sliced, n_tile, self.cfg.width);
+        let row_offset = tiles.start * n_tile;
+        let mut agg = Agg::default();
+        // Per-worker arena + pattern buffer: reused across every
+        // sub-tile this worker touches (zero steady-state allocation
+        // on the evaluation path).
+        let mut scratch = ExecScratch::new();
+        let mut patterns: Vec<u16> = Vec::new();
+        for nt in tiles {
+            for kc in 0..k_chunks {
+                src.subtile_patterns_into(nt, kc, &mut patterns);
+                let inputs = staged.view_rows(kc * t, t);
+                let rep = process_and_evaluate_subtile_into(
+                    &self.cfg,
+                    si_ref,
+                    &patterns,
+                    inputs,
+                    cache,
+                    &mut scratch,
+                    sink,
+                );
+                agg.add(&rep);
+                // Fused row expansion: accumulate each non-zero row's
+                // slab result straight into the output shard.
+                for (r, &p) in patterns.iter().enumerate() {
+                    if p == 0 {
+                        continue;
+                    }
+                    let n_local = r / s_bits;
+                    let level = (r % s_bits) as u32;
+                    let n_global = nt * n_tile + n_local;
+                    if n_global >= shape.n {
+                        continue;
+                    }
+                    let w = if level == self.cfg.weight_bits - 1 {
+                        -(1i64 << level)
+                    } else {
+                        1i64 << level
+                    };
+                    let result = scratch.result(p).expect("pattern must be computed");
+                    for (a, &v) in acc_rows.row_mut(n_global - row_offset).iter_mut().zip(result) {
+                        *a += w * v;
+                    }
+                }
+            }
+        }
+        agg
     }
 
     /// Builds the static SI (offline calibration over the sampled tensor
@@ -830,7 +948,8 @@ mod tests {
             let want = uncached.simulate_layer(shape, &mut src);
             assert!(uncached.plan_cache_stats().is_none());
 
-            let cached = TransitiveArray::new(base_cfg.with_plan_cache(256));
+            let cached =
+                TransitiveArray::new(base_cfg.to_builder().plan_cache(256).build().unwrap());
             let mut src = SlicedSource::new(&sliced, cached.config().n_tile(), 8);
             let first = cached.simulate_layer(shape, &mut src);
             let mut src = SlicedSource::new(&sliced, cached.config().n_tile(), 8);
@@ -846,7 +965,7 @@ mod tests {
     #[test]
     fn plan_cache_execute_gemm_stays_exact() {
         for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
-            let cfg = small_cfg(4, mode).with_plan_cache(64);
+            let cfg = small_cfg(4, mode).to_builder().plan_cache(64).build().unwrap();
             let ta = TransitiveArray::new(cfg);
             let w = det_mat(10, 13, 4, 31);
             let x = det_mat(13, 7, 8, 32);
@@ -878,7 +997,7 @@ mod tests {
     #[test]
     fn plan_cache_eviction_under_tiny_capacity_stays_exact() {
         // Capacity 1 forces constant eviction; results must not change.
-        let cfg = small_cfg(4, ScoreboardMode::Dynamic).with_plan_cache(1);
+        let cfg = small_cfg(4, ScoreboardMode::Dynamic).to_builder().plan_cache(1).build().unwrap();
         let ta = TransitiveArray::new(cfg);
         let w = det_mat(12, 17, 4, 33);
         let x = det_mat(17, 5, 8, 34);

@@ -1,0 +1,192 @@
+//! Error types for the public request–response API.
+//!
+//! The historical entry points (`TransitiveArray::new`, `execute_gemm`)
+//! panic on bad inputs — fine for experiment drivers, fatal for a serving
+//! frontend. Everything reachable from [`crate::Session`] returns
+//! [`TaError`] instead; panics remain only for internal invariant
+//! violations (a computed pattern missing from the slab, an accumulator
+//! overflowing the simulated datapath).
+
+use std::error::Error;
+use std::fmt;
+
+/// A configuration rejected by [`crate::ConfigBuilder`] (or by
+/// [`crate::TransArrayConfig::try_validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// TransRow width outside the supported `1..=16` range.
+    WidthOutOfRange {
+        /// The rejected width.
+        width: u32,
+    },
+    /// `max_transrows` was zero.
+    ZeroTransrows,
+    /// `max_transrows` is not a multiple of `weight_bits`, so weight rows
+    /// cannot be sliced into whole TransRow groups.
+    IndivisibleTransrows {
+        /// The rejected row count.
+        max_transrows: usize,
+        /// The weight precision it must divide into.
+        weight_bits: u32,
+    },
+    /// Weight precision outside `2..=16`.
+    WeightBitsOutOfRange {
+        /// The rejected precision.
+        bits: u32,
+    },
+    /// Activation precision outside `2..=16`.
+    ActBitsOutOfRange {
+        /// The rejected precision.
+        bits: u32,
+    },
+    /// The accelerator needs at least one TransArray unit.
+    ZeroUnits,
+    /// `m_tile` was zero.
+    ZeroMTile,
+    /// `plan_cache_shards` was set while the plan cache is disabled
+    /// (`plan_cache == 0`) — the knob would be silently ignored.
+    ShardsWithoutCache {
+        /// The requested shard count.
+        shards: usize,
+    },
+    /// More plan-cache shards than cache entries: every shard would hold
+    /// less than one entry. The legacy constructors clamp this silently;
+    /// the builder rejects it.
+    ShardsExceedCache {
+        /// The requested shard count.
+        shards: usize,
+        /// The requested cache capacity (entries).
+        cache: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WidthOutOfRange { width } => {
+                write!(f, "width {width} out of range: must be in 1..=16")
+            }
+            Self::ZeroTransrows => write!(f, "max_transrows must be non-zero"),
+            Self::IndivisibleTransrows { max_transrows, weight_bits } => write!(
+                f,
+                "max_transrows ({max_transrows}) must divide into weight_bits ({weight_bits})"
+            ),
+            Self::WeightBitsOutOfRange { bits } => {
+                write!(f, "weight_bits {bits} out of range: must be in 2..=16")
+            }
+            Self::ActBitsOutOfRange { bits } => {
+                write!(f, "act_bits {bits} out of range: must be in 2..=16")
+            }
+            Self::ZeroUnits => write!(f, "need at least one unit"),
+            Self::ZeroMTile => write!(f, "m_tile must be non-zero"),
+            Self::ShardsWithoutCache { shards } => write!(
+                f,
+                "plan_cache_shards = {shards} has no effect with plan_cache = 0; \
+                 enable the cache or drop the shard knob"
+            ),
+            Self::ShardsExceedCache { shards, cache } => write!(
+                f,
+                "plan_cache_shards ({shards}) exceeds plan_cache capacity ({cache}): \
+                 each shard must hold at least one entry"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Any error the request–response API ([`crate::Session`]) can return.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TaError {
+    /// The accelerator configuration is invalid.
+    Config(ConfigError),
+    /// GEMM inner dimension mismatch: `weights.cols() != input.rows()`.
+    ShapeMismatch {
+        /// Columns of the weight matrix (the inner dimension `K`).
+        weight_cols: usize,
+        /// Rows of the input matrix (must equal `weight_cols`).
+        input_rows: usize,
+    },
+    /// The input matrix does not fit the configured activation precision.
+    InputRange {
+        /// The configured activation precision in bits.
+        act_bits: u32,
+    },
+    /// The weight matrix does not fit the configured weight precision.
+    WeightRange {
+        /// The configured weight precision in bits.
+        weight_bits: u32,
+    },
+    /// A simulate request's pattern source disagrees with the
+    /// accelerator's TransRow width.
+    SourceWidthMismatch {
+        /// The source's TransRow width.
+        source: u32,
+        /// The accelerator's TransRow width.
+        accelerator: u32,
+    },
+}
+
+impl fmt::Display for TaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::ShapeMismatch { weight_cols, input_rows } => write!(
+                f,
+                "GEMM inner dimension mismatch: weights have {weight_cols} columns but the \
+                 input has {input_rows} rows"
+            ),
+            Self::InputRange { act_bits } => {
+                write!(f, "input does not fit act_bits ({act_bits}); quantize first")
+            }
+            Self::WeightRange { weight_bits } => {
+                write!(f, "weights do not fit weight_bits ({weight_bits}); quantize first")
+            }
+            Self::SourceWidthMismatch { source, accelerator } => write!(
+                f,
+                "source width mismatch: source emits width-{source} patterns but the \
+                 accelerator runs width {accelerator}"
+            ),
+        }
+    }
+}
+
+impl Error for TaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TaError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_knob() {
+        let e = ConfigError::IndivisibleTransrows { max_transrows: 100, weight_bits: 8 };
+        assert!(e.to_string().contains("must divide"));
+        let e = ConfigError::ShardsExceedCache { shards: 64, cache: 8 };
+        assert!(e.to_string().contains("64") && e.to_string().contains("8"));
+        let e = TaError::ShapeMismatch { weight_cols: 3, input_rows: 4 };
+        assert!(e.to_string().contains("inner dimension mismatch"));
+    }
+
+    #[test]
+    fn ta_error_wraps_config_error_as_source() {
+        let e = TaError::from(ConfigError::ZeroUnits);
+        assert!(matches!(e, TaError::Config(ConfigError::ZeroUnits)));
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("at least one unit"));
+    }
+}

@@ -18,7 +18,10 @@
 //!   worker pool that shards the sub-tile grid across cores (the
 //!   `threads` knob of [`TransArrayConfig`]) with a bit-exact
 //!   determinism contract, and the [`Batch`] API that simulates many
-//!   layers concurrently.
+//!   layers concurrently;
+//! * [`Session`] / [`GemmRequest`] / [`GemmResponse`] — the validated
+//!   request–response front door ([`ConfigBuilder`] + [`TaError`])
+//!   behind which `ta-serve` runs a multi-tenant serving frontend.
 //!
 //! ## Quick example
 //!
@@ -43,14 +46,18 @@
 
 mod accelerator;
 mod config;
+pub mod error;
 pub mod runtime;
+mod session;
 mod source;
 mod tiling;
 mod unit;
 
 pub use accelerator::{GemmReport, TransitiveArray};
-pub use config::{ScoreboardMode, TransArrayConfig};
+pub use config::{ConfigBuilder, ScoreboardMode, TransArrayConfig};
+pub use error::{ConfigError, TaError};
 pub use runtime::{Batch, BatchReport, Runtime};
+pub use session::{GemmRequest, GemmResponse, Session};
 pub use source::{PatternSource, SlicedSource};
 pub use tiling::{dram_traffic, GemmShape, TrafficReport};
 pub use unit::{

@@ -9,8 +9,8 @@ use crate::config::{ScoreboardMode, TransArrayConfig};
 use std::sync::Arc;
 use ta_bitslice::{bitonic_depth, TileView};
 use ta_hasse::{
-    CachedPlan, ExecScratch, ExecutionPlan, NullSink, PlanKey, Scoreboard, SharedPlanCache,
-    StaticSi, StaticTileReport, TileStats,
+    CachedPlan, ExecScratch, ExecutionPlan, NullSink, PlanKey, ResultSink, Scoreboard,
+    SharedPlanCache, StaticSi, StaticTileReport, TileStats,
 };
 use ta_sim::Crossbar;
 
@@ -216,7 +216,9 @@ pub(crate) fn process_subtile_cached(
 /// `scratch`'s pattern-result slab: callers read
 /// [`ExecScratch::result`] per row (the fused replacement for the old
 /// per-row expansion), so the steady state of this function allocates
-/// nothing beyond what the plan lookup itself needs.
+/// nothing beyond what the plan lookup itself needs. Each computed
+/// pattern is additionally emitted into `sink` as its slab slice is
+/// finalized (pass [`NullSink`] when nothing streams — the common case).
 pub(crate) fn process_and_evaluate_subtile_into(
     cfg: &TransArrayConfig,
     static_si: Option<&StaticSi>,
@@ -224,6 +226,7 @@ pub(crate) fn process_and_evaluate_subtile_into(
     inputs: TileView<'_>,
     cache: Option<&SharedPlanCache>,
     scratch: &mut ExecScratch,
+    sink: &mut dyn ResultSink,
 ) -> SubtileReport {
     if let Some(cache) = cache {
         let plan = lookup_or_build_plan(cfg, static_si, patterns, cache, true);
@@ -231,22 +234,22 @@ pub(crate) fn process_and_evaluate_subtile_into(
         match &*plan {
             CachedPlan::Dynamic { .. } => plan
                 .dynamic_plan(&cfg.scoreboard_config(), patterns)
-                .evaluate_into(inputs, scratch, &mut NullSink),
+                .evaluate_into(inputs, scratch, sink),
             CachedPlan::Static { .. } => static_si
                 .expect("static mode requires a prefetched SI")
-                .evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink),
+                .evaluate_tile_functional_into(patterns, inputs, scratch, sink),
         }
         return report;
     }
     match cfg.scoreboard_mode {
         ScoreboardMode::Dynamic => {
             let (sb, report) = process_dynamic(cfg, patterns);
-            ExecutionPlan::from_scoreboard(&sb).evaluate_into(inputs, scratch, &mut NullSink);
+            ExecutionPlan::from_scoreboard(&sb).evaluate_into(inputs, scratch, sink);
             report
         }
         ScoreboardMode::Static => {
             let si = static_si.expect("static mode requires a prefetched SI");
-            si.evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink);
+            si.evaluate_tile_functional_into(patterns, inputs, scratch, sink);
             process_static(cfg, si, patterns)
         }
     }
@@ -518,6 +521,7 @@ mod tests {
                     view,
                     cache.as_ref(),
                     &mut scratch,
+                    &mut NullSink,
                 );
                 assert_eq!(rep, want_rep);
                 assert_scratch_rows(&scratch, &patterns, &want_rows);
@@ -530,6 +534,7 @@ mod tests {
                         view,
                         Some(cache),
                         &mut scratch,
+                        &mut NullSink,
                     );
                     assert_eq!(rep2, want_rep);
                     assert_scratch_rows(&scratch, &patterns, &want_rows);

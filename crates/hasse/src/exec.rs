@@ -37,6 +37,33 @@ impl<F: FnMut(u16, &[i64])> ResultSink for F {
     }
 }
 
+/// A [`ResultSink`] that records every emission in order — the buffering
+/// building block for streaming consumers (a serving frontend forwarding
+/// chunks over a channel) and for order-sensitive tests.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// `(pattern, result)` pairs in emission order.
+    pub emitted: Vec<(u16, Vec<i64>)>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the recorded emissions, leaving the sink empty for reuse.
+    pub fn drain(&mut self) -> Vec<(u16, Vec<i64>)> {
+        std::mem::take(&mut self.emitted)
+    }
+}
+
+impl ResultSink for VecSink {
+    fn emit(&mut self, pattern: u16, result: &[i64]) {
+        self.emitted.push((pattern, result.to_vec()));
+    }
+}
+
 /// Per-worker evaluation arena: one contiguous `2^T × m` pattern-result
 /// slab plus a generation-stamped computed-flag table, reused across
 /// every sub-tile a worker touches — the steady state allocates nothing.
@@ -155,7 +182,7 @@ impl ExecScratch {
 
     /// Emits `pattern`'s finalized slot to the sink.
     #[inline]
-    pub(crate) fn emit(&self, pattern: u16, sink: &mut impl ResultSink) {
+    pub(crate) fn emit(&self, pattern: u16, sink: &mut (impl ResultSink + ?Sized)) {
         let off = pattern as usize * self.m;
         sink.emit(pattern, &self.slab[off..off + self.m]);
     }
@@ -329,7 +356,7 @@ impl ExecutionPlan {
         &self,
         inputs: TileView<'_>,
         scratch: &mut ExecScratch,
-        sink: &mut impl ResultSink,
+        sink: &mut (impl ResultSink + ?Sized),
     ) {
         assert_eq!(inputs.rows(), self.width as usize, "need one input row per TransRow bit");
         scratch.begin(self.width, inputs.cols());

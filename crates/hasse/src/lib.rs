@@ -51,7 +51,9 @@ mod si;
 mod stats;
 
 pub use bitfield::{PackedEntry, PACKED_PREFIX_FIELDS};
-pub use exec::{ExecScratch, ExecutionPlan, NullSink, OpKind, OutlierOp, PlanOp, ResultSink};
+pub use exec::{
+    ExecScratch, ExecutionPlan, NullSink, OpKind, OutlierOp, PlanOp, ResultSink, VecSink,
+};
 pub use graph::HasseGraph;
 pub use node::{NodeEntry, DIST_INF, HW_MAX_DISTANCE, MAX_DISTANCE, NO_LANE};
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats, PlanKey, SharedPlanCache};

@@ -257,7 +257,7 @@ impl StaticSi {
         patterns: &[u16],
         inputs: TileView<'_>,
         scratch: &mut ExecScratch,
-        sink: &mut impl ResultSink,
+        sink: &mut (impl ResultSink + ?Sized),
     ) {
         assert_eq!(inputs.rows(), self.cfg.width as usize, "need one input row per bit");
         scratch.begin(self.cfg.width, inputs.cols());
@@ -285,7 +285,7 @@ impl StaticSi {
         p: u16,
         inputs: TileView<'_>,
         scratch: &mut ExecScratch,
-        sink: &mut impl ResultSink,
+        sink: &mut (impl ResultSink + ?Sized),
     ) {
         // Chain of not-yet-computed nodes, `p` first, deepest last.
         let mut chain = [0u16; 16];

@@ -1,0 +1,181 @@
+//! # ta-serve — multi-tenant continuous-batching serving frontend
+//!
+//! A std-only (threads + channels, no async runtime) serving layer over
+//! the redesigned `ta-core` request API:
+//!
+//! * [`Server`] — admission queue → shape-bucketing batcher →
+//!   continuous-batching worker pool, all behind
+//!   [`Server::submit`] / [`Server::submit_streaming`];
+//! * tenant fairness — per-tenant FIFOs drained round-robin, so a
+//!   flooding tenant cannot starve a light one;
+//! * [`BatchPolicy`] — bucket compatible shapes, flush on budget
+//!   (`max_batch`) or deadline (`max_delay_ns`), optional width
+//!   quantization (`quantum_m`) with exact zero-padding;
+//! * [`loadgen`] — seeded Poisson and bursty open-loop traces (pure
+//!   functions of the seed; no wall-clock randomness).
+//!
+//! The headline guarantee is inherited from the accelerator runtime:
+//! **serving never changes a bit**. Each request executes serially
+//! inside one worker, so its output matrix and `GemmReport` are
+//! identical to a direct `Session::run_serial` call whatever the
+//! worker count, batch size, or arrival order.
+//!
+//! ```
+//! use ta_core::{GemmRequest, Session, TransArrayConfig};
+//! use ta_quant::MatI32;
+//! use ta_serve::{Server, ServerConfig};
+//!
+//! let cfg = TransArrayConfig::builder()
+//!     .width(4)
+//!     .max_transrows(16)
+//!     .weight_bits(4)
+//!     .m_tile(4)
+//!     .sample_limit(0)
+//!     .build()
+//!     .unwrap();
+//! let server = Server::start(Session::new(cfg).unwrap(), ServerConfig::default());
+//! let w = MatI32::from_rows(&[&[3, -5, 7, 1], &[-8, 2, 0, 6]]);
+//! let x = MatI32::from_rows(&[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+//! let ticket = server.submit(0, GemmRequest::execute(w, x)).unwrap();
+//! let resp = ticket.wait().unwrap();
+//! assert_eq!(resp.response.output.unwrap().get(0, 0), 3 - 15 + 35 + 7);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batcher;
+pub mod loadgen;
+mod queue;
+mod request;
+mod server;
+
+pub use batcher::BatchPolicy;
+pub use request::{
+    RequestId, ServeError, ServeResponse, StreamChunk, StreamTicket, TenantId, Ticket,
+};
+pub use server::{Server, ServerConfig, ServerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loadgen::{poisson_trace, request_for};
+    use ta_core::error::TaError;
+    use ta_core::{GemmRequest, GemmShape, Session, TransArrayConfig};
+    use ta_quant::{gemm_i32, MatI32};
+
+    fn small_session(threads: usize) -> Session {
+        let cfg = TransArrayConfig::builder()
+            .width(4)
+            .max_transrows(16)
+            .weight_bits(4)
+            .units(2)
+            .m_tile(4)
+            .threads(threads)
+            .sample_limit(0)
+            .build()
+            .unwrap();
+        Session::new(cfg).unwrap()
+    }
+
+    fn server_with(threads: usize, policy: BatchPolicy) -> Server {
+        Server::start(small_session(threads), ServerConfig { workers: threads, policy })
+    }
+
+    const SHAPES: &[GemmShape] = &[
+        GemmShape { n: 8, k: 16, m: 3 },
+        GemmShape { n: 8, k: 16, m: 4 },
+        GemmShape { n: 12, k: 16, m: 5 },
+    ];
+
+    #[test]
+    fn served_responses_match_direct_execution_bit_for_bit() {
+        let direct = small_session(1);
+        let trace = poisson_trace(17, 24, 100, 3, SHAPES);
+        let server = server_with(2, BatchPolicy::default());
+        let tickets: Vec<_> =
+            trace.iter().map(|a| server.submit(a.tenant, request_for(a, 4, 8)).unwrap()).collect();
+        for (ticket, arrival) in tickets.into_iter().zip(&trace) {
+            let served = ticket.wait().unwrap();
+            let want = direct.run_serial(request_for(arrival, 4, 8)).unwrap();
+            assert_eq!(served.response, want, "arrival {arrival:?}");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.padded, 0, "quantum 1 never pads");
+    }
+
+    #[test]
+    fn padded_buckets_still_return_exact_outputs() {
+        let policy = BatchPolicy { max_batch: 4, max_delay_ns: 0, quantum_m: 4 };
+        let server = server_with(2, policy);
+        let trace = poisson_trace(23, 16, 50, 2, SHAPES);
+        let tickets: Vec<_> =
+            trace.iter().map(|a| server.submit(a.tenant, request_for(a, 4, 8)).unwrap()).collect();
+        let direct = small_session(1);
+        for (ticket, arrival) in tickets.into_iter().zip(&trace) {
+            let served = ticket.wait().unwrap();
+            let shape = request_for(arrival, 4, 8).shape();
+            let out = served.response.output.expect("execute requests carry output");
+            assert_eq!(out.cols(), shape.m, "padding must be sliced back off");
+            let want = direct.run_serial(request_for(arrival, 4, 8)).unwrap();
+            assert_eq!(out, want.output.unwrap(), "padded serving changed bits for {arrival:?}");
+        }
+        let stats = server.shutdown();
+        assert!(stats.padded > 0, "m=3 and m=5 shapes must have been padded");
+    }
+
+    #[test]
+    fn streaming_tickets_deliver_chunks_and_identical_response() {
+        let server = server_with(1, BatchPolicy::default());
+        let w = MatI32::from_fn(8, 16, |r, c| ((r * 5 + c * 3) % 15) as i32 - 7);
+        let x = MatI32::from_fn(16, 4, |r, c| ((r * 7 + c) % 255) as i32 - 127);
+        let st = server.submit_streaming(1, GemmRequest::execute(w.clone(), x.clone())).unwrap();
+        let resp = st.ticket.wait().unwrap();
+        assert_eq!(resp.response.output.as_ref().unwrap(), &gemm_i32(&w, &x));
+        let chunks: Vec<_> = st.chunks.try_iter().collect();
+        assert!(!chunks.is_empty(), "streaming must emit per-pattern chunks");
+        assert!(chunks.iter().all(|c| c.values.len() == 4));
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_admission() {
+        let server = server_with(1, BatchPolicy::default());
+        let err = server
+            .submit(0, GemmRequest::execute(MatI32::zeros(4, 5), MatI32::zeros(6, 2)))
+            .unwrap_err();
+        assert!(matches!(err, TaError::ShapeMismatch { .. }));
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 0, "rejected requests are never admitted");
+    }
+
+    #[test]
+    fn shutdown_drains_all_in_flight_requests() {
+        // A large max_delay with a huge max_batch parks requests in the
+        // batcher; shutdown must still flush and answer every ticket.
+        let policy = BatchPolicy { max_batch: 1024, max_delay_ns: u64::MAX / 4, quantum_m: 1 };
+        let server = server_with(2, policy);
+        let trace = poisson_trace(31, 12, 10, 4, SHAPES);
+        let tickets: Vec<_> =
+            trace.iter().map(|a| server.submit(a.tenant, request_for(a, 4, 8)).unwrap()).collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 12);
+        for ticket in tickets {
+            ticket.wait().expect("shutdown resolves every outstanding ticket");
+        }
+    }
+
+    #[test]
+    fn simulate_requests_are_served_too() {
+        let server = server_with(1, BatchPolicy::default());
+        let shape = GemmShape::new(16, 16, 8);
+        let src = ta_models::UniformBitSource::new(4, 4, 5);
+        let ticket = server.submit(2, GemmRequest::simulate(shape, src)).unwrap();
+        let resp = ticket.wait().unwrap();
+        assert!(resp.response.output.is_none());
+        assert!(resp.response.report.cycles > 0);
+        server.shutdown();
+    }
+}

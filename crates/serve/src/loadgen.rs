@@ -1,0 +1,176 @@
+//! Deterministic open-loop load generation.
+//!
+//! Every trace is a pure function of its seed — inter-arrival gaps come
+//! from a splitmix64 stream pushed through the inverse-CDF exponential
+//! transform, never from wall-clock randomness — so tests and benches
+//! replay byte-identical workloads on every run. Arrival *times* are
+//! logical offsets; an open-loop driver sleeps until each offset and
+//! submits, closing the loop only at measurement time.
+
+use ta_core::{GemmRequest, GemmShape};
+use ta_models::splitmix64;
+use ta_quant::MatI32;
+
+use crate::request::TenantId;
+
+/// One scheduled request arrival in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Logical nanoseconds (from trace start) at which to submit.
+    pub at_ns: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// The GEMM shape to request.
+    pub shape: GemmShape,
+    /// Per-arrival seed for deterministic operand synthesis.
+    pub seed: u64,
+}
+
+/// Draws a unit-interval uniform from a counter-mode splitmix64 stream.
+fn uniform(seed: u64, counter: &mut u64) -> f64 {
+    *counter += 1;
+    let bits = splitmix64(seed.wrapping_add(*counter).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // 53 mantissa bits → uniform in [0, 1).
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Inverse-CDF exponential draw with the given mean.
+fn exponential_ns(mean_ns: u64, seed: u64, counter: &mut u64) -> u64 {
+    let u = uniform(seed, counter);
+    (-(1.0 - u).ln() * mean_ns as f64) as u64
+}
+
+/// A Poisson process: exponential inter-arrival gaps with mean
+/// `mean_gap_ns`, tenants drawn uniformly from `0..tenants`, shapes
+/// cycling round-robin through `shapes`.
+///
+/// # Panics
+///
+/// Panics if `tenants` is zero or `shapes` is empty.
+pub fn poisson_trace(
+    seed: u64,
+    count: usize,
+    mean_gap_ns: u64,
+    tenants: u32,
+    shapes: &[GemmShape],
+) -> Vec<Arrival> {
+    assert!(tenants > 0, "need at least one tenant");
+    assert!(!shapes.is_empty(), "need at least one shape");
+    let mut counter = 0u64;
+    let mut at_ns = 0u64;
+    (0..count)
+        .map(|i| {
+            at_ns += exponential_ns(mean_gap_ns, seed, &mut counter);
+            let tenant = (splitmix64(seed ^ (0xA5A5_0000 + i as u64)) % tenants as u64) as u32;
+            Arrival { at_ns, tenant, shape: shapes[i % shapes.len()], seed: seed ^ (i as u64) }
+        })
+        .collect()
+}
+
+/// A bursty process: `burst_len` arrivals packed at `mean_gap_ns / 8`,
+/// then an idle gap of `8 × mean_gap_ns`, repeating. Models the
+/// feast-or-famine arrival pattern that stresses deadline-driven
+/// batching (full buckets during bursts, timer flushes in the lulls).
+///
+/// # Panics
+///
+/// Panics if `burst_len` or `tenants` is zero or `shapes` is empty.
+pub fn bursty_trace(
+    seed: u64,
+    count: usize,
+    mean_gap_ns: u64,
+    burst_len: usize,
+    tenants: u32,
+    shapes: &[GemmShape],
+) -> Vec<Arrival> {
+    assert!(burst_len > 0, "burst_len must be non-zero");
+    assert!(tenants > 0, "need at least one tenant");
+    assert!(!shapes.is_empty(), "need at least one shape");
+    let mut counter = 0u64;
+    let mut at_ns = 0u64;
+    (0..count)
+        .map(|i| {
+            let mean = if i % burst_len == 0 && i > 0 {
+                mean_gap_ns.saturating_mul(8) // inter-burst lull
+            } else {
+                (mean_gap_ns / 8).max(1) // inside a burst
+            };
+            at_ns += exponential_ns(mean, seed, &mut counter);
+            let tenant = (splitmix64(seed ^ (0x5A5A_0000 + i as u64)) % tenants as u64) as u32;
+            Arrival { at_ns, tenant, shape: shapes[i % shapes.len()], seed: seed ^ (i as u64) }
+        })
+        .collect()
+}
+
+/// Synthesizes the deterministic execute request for an arrival:
+/// operands are seeded functions of `(arrival.seed, position)` within
+/// the given bit-widths, so a trace maps to byte-identical GEMMs on
+/// every replay.
+pub fn request_for(arrival: &Arrival, weight_bits: u32, act_bits: u32) -> GemmRequest {
+    let GemmShape { n, k, m } = arrival.shape;
+    let weights = seeded_mat(n, k, weight_bits, arrival.seed ^ 0x5E1F_17E5);
+    let input = seeded_mat(k, m, act_bits, arrival.seed ^ 0xAC71_AC71);
+    GemmRequest::execute(weights, input)
+}
+
+/// A deterministic matrix with entries spanning the signed `bits` range.
+fn seeded_mat(rows: usize, cols: usize, bits: u32, seed: u64) -> MatI32 {
+    let span = 1u64 << bits;
+    let half = (1i64 << (bits - 1)) as i32;
+    MatI32::from_fn(rows, cols, |r, c| {
+        let x = splitmix64(seed ^ (((r as u64) << 32) | c as u64));
+        (x % span) as i32 - half
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPES: &[GemmShape] =
+        &[GemmShape { n: 8, k: 16, m: 4 }, GemmShape { n: 8, k: 16, m: 6 }];
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        let a = poisson_trace(42, 64, 1_000, 3, SHAPES);
+        let b = poisson_trace(42, 64, 1_000, 3, SHAPES);
+        assert_eq!(a, b, "same seed must replay identically");
+        let c = poisson_trace(43, 64, 1_000, 3, SHAPES);
+        assert_ne!(a, c, "different seeds must differ");
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns), "arrivals are ordered");
+        assert!(a.iter().all(|arr| arr.tenant < 3));
+    }
+
+    #[test]
+    fn poisson_gaps_track_the_requested_mean() {
+        let trace = poisson_trace(7, 4096, 1_000, 1, SHAPES);
+        let mean = trace.last().unwrap().at_ns as f64 / trace.len() as f64;
+        assert!((mean - 1_000.0).abs() < 120.0, "empirical mean gap {mean} too far from 1000");
+    }
+
+    #[test]
+    fn bursty_trace_alternates_dense_and_sparse_gaps() {
+        let trace = bursty_trace(9, 64, 10_000, 8, 2, SHAPES);
+        let gaps: Vec<u64> = trace.windows(2).map(|w| w[1].at_ns - w[0].at_ns).collect();
+        // Gaps at burst boundaries (every 8th arrival) dwarf in-burst gaps.
+        let boundary: Vec<u64> = gaps.iter().skip(7).step_by(8).copied().collect();
+        let inside: Vec<u64> =
+            gaps.iter().enumerate().filter(|(i, _)| (i + 1) % 8 != 0).map(|(_, g)| *g).collect();
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&boundary) > 4.0 * mean(&inside),
+            "burst boundaries ({}) should dwarf in-burst gaps ({})",
+            mean(&boundary),
+            mean(&inside)
+        );
+    }
+
+    #[test]
+    fn request_synthesis_is_deterministic_and_in_range() {
+        let arrival = Arrival { at_ns: 0, tenant: 0, shape: SHAPES[0], seed: 11 };
+        let a = request_for(&arrival, 4, 8);
+        let b = request_for(&arrival, 4, 8);
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.shape(), SHAPES[0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Request and response envelopes for the serving frontend.
+
+use std::sync::mpsc;
+
+use ta_core::error::TaError;
+use ta_core::{GemmRequest, GemmResponse};
+
+/// Monotonically increasing identifier assigned at admission.
+pub type RequestId = u64;
+
+/// Tenant identifier. Tenants share the accelerator but are scheduled
+/// fairly against each other by the admission queue.
+pub type TenantId = u32;
+
+/// One streamed per-pattern result chunk from an execute request: the
+/// TransRow `pattern` and the accumulator row it produced (one `i64`
+/// per input column, at the batch's possibly padded width).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamChunk {
+    /// The non-trivial TransRow pattern that was computed.
+    pub pattern: u16,
+    /// The per-column dot-product contribution for that pattern.
+    pub values: Vec<i64>,
+}
+
+/// A completed request: the [`GemmResponse`] plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The admission-order id [`crate::Server::submit`] returned.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The accelerator's answer — bit-identical to running the same
+    /// [`GemmRequest`] directly on the session.
+    pub response: GemmResponse,
+    /// Server-clock nanoseconds at which the request was admitted.
+    pub submitted_at_ns: u64,
+    /// Server-clock nanoseconds at which the response was finalized.
+    pub completed_at_ns: u64,
+    /// How many requests shared the batch this one was dispatched in.
+    pub batch_size: usize,
+}
+
+impl ServeResponse {
+    /// End-to-end latency (admission to completion) in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_at_ns.saturating_sub(self.submitted_at_ns)
+    }
+}
+
+/// Why a served request failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request failed accelerator-side validation.
+    Rejected(TaError),
+    /// The server shut down before the response was produced.
+    ServerClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(e) => write!(f, "request rejected: {e}"),
+            Self::ServerClosed => write!(f, "server shut down before the response was produced"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rejected(e) => Some(e),
+            Self::ServerClosed => None,
+        }
+    }
+}
+
+impl From<TaError> for ServeError {
+    fn from(e: TaError) -> Self {
+        Self::Rejected(e)
+    }
+}
+
+/// A handle on one in-flight request; resolves to its [`ServeResponse`].
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: RequestId,
+    pub(crate) reply: mpsc::Receiver<Result<ServeResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// The id the server assigned this request at admission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ServerClosed`] if the server shut down first.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.reply.recv().unwrap_or(Err(ServeError::ServerClosed))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&mut self) -> Option<Result<ServeResponse, ServeError>> {
+        match self.reply.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ServerClosed)),
+        }
+    }
+}
+
+/// A [`Ticket`] whose per-pattern results also stream out as they are
+/// computed (via the accelerator's `ResultSink` hook).
+#[derive(Debug)]
+pub struct StreamTicket {
+    /// Resolves to the final response, exactly like a plain ticket.
+    pub ticket: Ticket,
+    /// Receives every computed [`StreamChunk`] in emission order; closes
+    /// when the request completes.
+    pub chunks: mpsc::Receiver<StreamChunk>,
+}
+
+/// The internal unit the queue, batcher, and workers pass around: the
+/// tenant's request plus its reply channels.
+pub(crate) struct Envelope {
+    pub(crate) id: RequestId,
+    pub(crate) tenant: TenantId,
+    pub(crate) request: GemmRequest,
+    pub(crate) submitted_at_ns: u64,
+    pub(crate) reply: mpsc::Sender<Result<ServeResponse, ServeError>>,
+    pub(crate) stream: Option<mpsc::Sender<StreamChunk>>,
+}
+
+impl Envelope {
+    /// The GEMM shape, used for bucket keying.
+    pub(crate) fn shape(&self) -> ta_core::GemmShape {
+        self.request.shape()
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_envelope(id: RequestId, tenant: TenantId, request: GemmRequest) -> Envelope {
+    // Queue/batcher tests never execute the envelope, so the dropped
+    // receiver is harmless (workers ignore send errors anyway).
+    let (reply, _) = mpsc::channel();
+    Envelope { id, tenant, request, submitted_at_ns: 0, reply, stream: None }
+}

@@ -1,0 +1,370 @@
+//! The continuous-batching server: admission → batcher → worker pool.
+//!
+//! ```text
+//!  submit() ──mpsc──▶ scheduler thread ──mpsc──▶ worker 0..W
+//!                      │  AdmissionQueue           │ run each request
+//!                      │  (tenant round-robin)     │ serially, stream
+//!                      │  Batcher (shape buckets,  │ chunks, reply on
+//!                      │  budget/deadline flush)   │ the ticket channel
+//! ```
+//!
+//! Determinism contract: every request executes as its own GEMM,
+//! serially, inside one worker (`Session::run_serial`). The runtime's
+//! parallel-equals-serial guarantee then makes each response —
+//! output matrix *and* full `GemmReport` — bit-identical to calling
+//! the session directly, regardless of worker count, batching policy,
+//! or arrival order. Padding (`quantum_m > 1`) widens a request's
+//! input with zero columns that are sliced back off, so outputs still
+//! match bit-for-bit; only then does the report describe the padded
+//! shape.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ta_core::error::TaError;
+use ta_core::{GemmRequest, Session};
+use ta_quant::MatI32;
+
+use crate::batcher::{BatchJob, BatchPolicy, Batcher};
+use crate::queue::AdmissionQueue;
+use crate::request::{
+    Envelope, RequestId, ServeError, ServeResponse, StreamChunk, StreamTicket, TenantId, Ticket,
+};
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerConfig {
+    /// Worker threads executing batches; `0` means one per host core.
+    /// Each request runs serially inside its worker, so this is the
+    /// server's total parallelism.
+    pub workers: usize,
+    /// Shape-bucketing policy (see [`BatchPolicy`]).
+    pub policy: BatchPolicy,
+}
+
+/// A monotonic snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests admitted by [`Server::submit`] and variants.
+    pub submitted: u64,
+    /// Responses delivered (successfully executed requests).
+    pub completed: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Execute requests that were zero-padded to their bucket width.
+    pub padded: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    padded: AtomicU64,
+}
+
+/// The serving frontend. See the module docs for the architecture and
+/// the determinism contract.
+pub struct Server {
+    session: Session,
+    cmd_tx: Option<mpsc::Sender<Envelope>>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+    next_id: AtomicU64,
+    epoch: Instant,
+}
+
+impl Server {
+    /// Starts the scheduler and worker threads over a session.
+    pub fn start(session: Session, config: ServerConfig) -> Self {
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let counters = Arc::new(Counters::default());
+        let epoch = Instant::now();
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Envelope>();
+        let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let sched_counters = Arc::clone(&counters);
+        let policy = config.policy;
+        let scheduler = std::thread::Builder::new()
+            .name("ta-serve-sched".into())
+            .spawn(move || scheduler_loop(cmd_rx, job_tx, policy, epoch, &sched_counters))
+            .expect("spawn scheduler thread");
+
+        let workers = (0..worker_count)
+            .map(|i| {
+                let session = session.clone();
+                let job_rx = Arc::clone(&job_rx);
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("ta-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&session, &job_rx, epoch, &counters))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Self {
+            session,
+            cmd_tx: Some(cmd_tx),
+            scheduler: Some(scheduler),
+            workers,
+            counters,
+            next_id: AtomicU64::new(0),
+            epoch,
+        }
+    }
+
+    /// The session this server runs (shared plan cache and all).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Validates and admits a request; returns a [`Ticket`] resolving
+    /// to its response.
+    ///
+    /// # Errors
+    ///
+    /// The session's validation error; rejected requests are never
+    /// admitted.
+    pub fn submit(&self, tenant: TenantId, request: GemmRequest) -> Result<Ticket, TaError> {
+        self.admit(tenant, request, None)
+    }
+
+    /// [`Self::submit`], but per-pattern results also stream out on the
+    /// returned [`StreamTicket::chunks`] channel as they are computed.
+    /// Simulate requests complete normally but stream nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::submit`].
+    pub fn submit_streaming(
+        &self,
+        tenant: TenantId,
+        request: GemmRequest,
+    ) -> Result<StreamTicket, TaError> {
+        let (chunk_tx, chunks) = mpsc::channel();
+        let ticket = self.admit(tenant, request, Some(chunk_tx))?;
+        Ok(StreamTicket { ticket, chunks })
+    }
+
+    fn admit(
+        &self,
+        tenant: TenantId,
+        request: GemmRequest,
+        stream: Option<mpsc::Sender<StreamChunk>>,
+    ) -> Result<Ticket, TaError> {
+        self.session.validate(&request)?;
+        let id: RequestId = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let env = Envelope {
+            id,
+            tenant,
+            request,
+            submitted_at_ns: self.now_ns(),
+            reply: reply_tx,
+            stream,
+        };
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.cmd_tx
+            .as_ref()
+            .expect("server is running")
+            .send(env)
+            .expect("scheduler outlives the server handle");
+        Ok(Ticket { id, reply: reply_rx })
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            padded: self.counters.padded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Nanoseconds since the server started (the clock every
+    /// [`ServeResponse`] timestamp uses).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Stops admissions, drains every in-flight request, and joins all
+    /// threads. Outstanding tickets resolve before this returns.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        // Closing the command channel makes the scheduler drain its
+        // queue, flush the batcher, and close the job channel; workers
+        // then finish their remaining jobs and exit.
+        drop(self.cmd_tx.take());
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn scheduler_loop(
+    cmd_rx: mpsc::Receiver<Envelope>,
+    job_tx: mpsc::Sender<BatchJob>,
+    policy: BatchPolicy,
+    epoch: Instant,
+    counters: &Counters,
+) {
+    let mut queue = AdmissionQueue::new();
+    let mut batcher = Batcher::new(policy);
+    let mut open = true;
+    while open || !queue.is_empty() || batcher.pending() > 0 {
+        if open {
+            let now_ns = epoch.elapsed().as_nanos() as u64;
+            // Sleep until the next bucket deadline (or for new work).
+            let first = match batcher.next_deadline_ns() {
+                Some(deadline) => {
+                    let wait = Duration::from_nanos(deadline.saturating_sub(now_ns));
+                    match cmd_rx.recv_timeout(wait) {
+                        Ok(env) => Some(env),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            open = false;
+                            None
+                        }
+                    }
+                }
+                None => match cmd_rx.recv() {
+                    Ok(env) => Some(env),
+                    Err(_) => {
+                        open = false;
+                        None
+                    }
+                },
+            };
+            if let Some(env) = first {
+                queue.push(env);
+            }
+            // Batch up everything else that has already arrived.
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(env) => queue.push(env),
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        let mut jobs = Vec::new();
+        // Tenant-fair drain into the batcher; full buckets flush here.
+        while let Some(env) = queue.pop() {
+            jobs.extend(batcher.offer(env, now_ns));
+        }
+        if open {
+            jobs.extend(batcher.flush_due(now_ns));
+        } else {
+            jobs.extend(batcher.flush_all());
+        }
+        for job in jobs {
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            if job_tx.send(job).is_err() {
+                return; // workers are gone; nothing left to do
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    session: &Session,
+    job_rx: &Arc<Mutex<mpsc::Receiver<BatchJob>>>,
+    epoch: Instant,
+    counters: &Counters,
+) {
+    loop {
+        // Holding the lock across recv() briefly serializes job pickup,
+        // which is fine: execution dominates and handoff still rotates
+        // through the pool.
+        let job = {
+            let rx = job_rx.lock().expect("job channel lock");
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let batch_size = job.requests.len();
+        for env in job.requests {
+            run_one(session, env, job.padded_m, batch_size, epoch, counters);
+        }
+    }
+}
+
+fn run_one(
+    session: &Session,
+    env: Envelope,
+    padded_m: usize,
+    batch_size: usize,
+    epoch: Instant,
+    counters: &Counters,
+) {
+    let Envelope { id, tenant, request, submitted_at_ns, reply, stream } = env;
+    let original_m = request.shape().m;
+    let request = if request.is_execute() && original_m < padded_m {
+        counters.padded.fetch_add(1, Ordering::Relaxed);
+        request.padded_to(padded_m)
+    } else {
+        request
+    };
+    let result = match stream {
+        Some(chunk_tx) => {
+            // The blanket FnMut ResultSink impl adapts the channel; a
+            // dropped receiver just discards chunks.
+            let mut sink = |pattern: u16, values: &[i64]| {
+                let _ = chunk_tx.send(StreamChunk { pattern, values: values.to_vec() });
+            };
+            session.run_streaming(request, &mut sink)
+        }
+        None => session.run_serial(request),
+    };
+    let outcome = result
+        .map(|mut response| {
+            if let Some(out) = response.output.take() {
+                response.output = Some(slice_cols(out, original_m));
+            }
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            ServeResponse {
+                id,
+                tenant,
+                response,
+                submitted_at_ns,
+                completed_at_ns: epoch.elapsed().as_nanos() as u64,
+                batch_size,
+            }
+        })
+        .map_err(ServeError::Rejected);
+    let _ = reply.send(outcome); // an abandoned ticket is not an error
+}
+
+/// Drops the zero-padded output columns added by bucket padding.
+fn slice_cols(out: MatI32, m: usize) -> MatI32 {
+    if out.cols() == m {
+        return out;
+    }
+    MatI32::from_fn(out.rows(), m, |r, c| out.get(r, c))
+}

@@ -1,68 +1,109 @@
-//! On-the-fly attention quantization with the **dynamic Scoreboard** —
-//! the capability that sets the Transitive Array apart from the offline
-//! baselines (§3.4, §5.7).
+//! Online attention decode served by `ta-serve` — the dynamic-Scoreboard
+//! capability (§3.4, §5.7) behind the serving frontend.
 //!
 //! The Key cache is generated at runtime (no offline pass possible), so
-//! the Scoreboard builds each sub-tile's SI in hardware. This example
-//! runs a scaled-down single-head QKᵀ exactly, proves it lossless, and
-//! contrasts dynamic-SI density with what a *stale* static SI (calibrated
-//! on a previous sequence) achieves — the SI-miss effect of §3.3.
+//! the Scoreboard builds each sub-tile's SI in hardware; that is what
+//! makes QKᵀ servable at all. This example decodes two tenants'
+//! attention streams concurrently: each step submits a QKᵀ GEMM whose
+//! Key cache has grown by one row (the KV cache), the server buckets
+//! and batches them continuously, and every served score vector is
+//! checked bit-for-bit against the dense reference.
 //!
 //! Run with: `cargo run --release --example attention_online`
 
-use transitive_array::core::{GemmShape, ScoreboardMode, TransArrayConfig, TransitiveArray};
-use transitive_array::models::{QuantGaussianSource, StreamRng};
-use transitive_array::quant::{gemm_i32, MatI32};
+use transitive_array::models::StreamRng;
+use transitive_array::prelude::*;
 
-fn main() {
-    let (seq, head_dim) = (64usize, 32usize);
+const HEAD_DIM: usize = 32;
+const PREFILL: usize = 16;
+const DECODE_STEPS: usize = 24;
 
-    // Runtime-generated K cache and Q activations (int8).
-    let mut rng = StreamRng::new(0xA77E);
-    let k_cache = MatI32::from_fn(seq, head_dim, |_, _| {
-        ((rng.next_gaussian() * 39.0).round() as i32).clamp(-127, 127)
-    });
-    let q = MatI32::from_fn(head_dim, seq, |_, _| {
-        ((rng.next_gaussian() * 39.0).round() as i32).clamp(-127, 127)
-    });
+/// One tenant's runtime-generated attention stream: the full Key cache
+/// (prefill + every decoded token) and one query vector per step.
+struct DecodeStream {
+    k_cache: MatI32,
+    queries: Vec<MatI32>,
+}
 
-    // QKᵀ with the K cache as the "weight" tensor (§5.7).
-    let cfg =
-        TransArrayConfig { units: 2, m_tile: 16, sample_limit: 0, ..TransArrayConfig::paper_w8() };
-    let ta = TransitiveArray::new(cfg.clone());
-    let (scores, report) = ta.execute_gemm(&k_cache, &q);
-    assert_eq!(scores, gemm_i32(&k_cache, &q), "attention scores must be exact");
-    println!("single-head QK^T ({seq}x{head_dim}x{seq}) — lossless ✓");
-    println!(
-        "dynamic Scoreboard: density {:.2}%, {} cycles, {} sub-tiles",
-        100.0 * report.density,
-        report.cycles,
-        report.subtiles_total
+impl DecodeStream {
+    fn new(seed: u64) -> Self {
+        let mut rng = StreamRng::new(seed);
+        let mut int8 =
+            move || -> i32 { ((rng.next_gaussian() * 39.0).round() as i32).clamp(-127, 127) };
+        let k_cache = MatI32::from_fn(PREFILL + DECODE_STEPS, HEAD_DIM, |_, _| int8());
+        let queries =
+            (0..DECODE_STEPS).map(|_| MatI32::from_fn(HEAD_DIM, 1, |_, _| int8())).collect();
+        Self { k_cache, queries }
+    }
+
+    /// The QKᵀ request for decode step `t`: the Key rows seen so far
+    /// (`PREFILL + t + 1` of them) against this step's query.
+    fn step_request(&self, t: usize) -> GemmRequest {
+        let rows = PREFILL + t + 1;
+        let k = MatI32::from_fn(rows, HEAD_DIM, |r, c| self.k_cache.get(r, c));
+        GemmRequest::execute(k, self.queries[t].clone())
+    }
+}
+
+fn main() -> Result<(), TaError> {
+    // The dynamic-Scoreboard design point, sub-tile knobs scaled for a
+    // single head.
+    let cfg = TransArrayConfig::builder().units(2).m_tile(16).sample_limit(0).build()?;
+    let session = Session::new(cfg)?;
+
+    // Two tenants decode concurrently behind one server. Every shape in
+    // a decode trace is unique (the KV cache grows each step), so this
+    // exercises the batcher's bucket churn; fairness interleaves the
+    // tenants even though tenant 0 submits its whole trace first.
+    let server = Server::start(
+        session.clone(),
+        ServerConfig {
+            workers: 2,
+            policy: BatchPolicy { max_batch: 4, max_delay_ns: 200_000, quantum_m: 1 },
+        },
     );
+    let streams = [DecodeStream::new(0xA77E), DecodeStream::new(0xBEEF)];
 
-    // Contrast: a static SI calibrated on a *different* sequence's K
-    // cache misses constantly on this one.
-    let stale =
-        TransitiveArray::new(TransArrayConfig { scoreboard_mode: ScoreboardMode::Static, ..cfg });
-    let (scores2, static_report) = stale.execute_gemm(&k_cache, &q);
-    assert_eq!(scores2, gemm_i32(&k_cache, &q), "static mode stays exact");
-    println!(
-        "static Scoreboard (same-tensor calibration): density {:.2}%, SI misses {}",
-        100.0 * static_report.density,
-        static_report.si_misses
-    );
+    let mut tickets = Vec::new();
+    for (tenant, stream) in streams.iter().enumerate() {
+        for t in 0..DECODE_STEPS {
+            let ticket = server.submit(tenant as u32, stream.step_request(t))?;
+            tickets.push((tenant, t, ticket));
+        }
+    }
 
-    // At-scale dynamic run on the paper's full attention shape.
-    let full = TransitiveArray::new(TransArrayConfig {
-        sample_limit: 512,
-        ..TransArrayConfig::paper_w8()
-    });
-    let mut src = QuantGaussianSource::new(8, 8, full.config().n_tile(), 99);
-    let rep = full.simulate_layer(GemmShape::new(2048, 128, 2048), &mut src);
+    let mut latencies = Vec::new();
+    let mut served_cycles = 0u64;
+    for (tenant, t, ticket) in tickets {
+        let resp = ticket.wait().expect("server answers every admitted request");
+        let stream = &streams[tenant];
+        let request = stream.step_request(t);
+        let shape = request.shape();
+        // Bit-exactness through the whole serving stack, per step.
+        let direct = session.run_serial(request)?;
+        assert_eq!(resp.response, direct, "tenant {tenant} step {t} diverged");
+        assert_eq!(resp.response.output.as_ref().unwrap().rows(), shape.n);
+        latencies.push(resp.latency_ns());
+        served_cycles += resp.response.report.cycles;
+    }
+    latencies.sort_unstable();
+    let stats = server.shutdown();
+
+    println!("served 2 tenants x {DECODE_STEPS} decode steps — all bit-exact ✓");
     println!(
-        "\nfull-scale QK^T (2048x128x2048): density {:.2}%, {} cycles ({:.3} ms @500MHz)",
-        100.0 * rep.density,
-        rep.cycles,
-        rep.seconds * 1e3
+        "KV cache grew {}→{} rows; every step its own shape bucket",
+        PREFILL + 1,
+        PREFILL + DECODE_STEPS
     );
+    println!("\n--- serving stats ---");
+    println!("requests:          {}", stats.completed);
+    println!("batches:           {}", stats.batches);
+    println!("padded requests:   {}", stats.padded);
+    println!("modelled cycles:   {served_cycles}");
+    println!(
+        "host latency:      p50 {:.1} us, p99 {:.1} us",
+        latencies[latencies.len() / 2] as f64 / 1e3,
+        latencies[latencies.len() * 99 / 100] as f64 / 1e3
+    );
+    Ok(())
 }

@@ -2,14 +2,17 @@
 //! Transitive Array at both weight precisions and on every baseline,
 //! printing the Fig. 10-style comparison for a single layer.
 //!
+//! The Transitive Array rows go through the request API: one [`Session`]
+//! per design point, a simulate [`GemmRequest`] per precision.
+//!
 //! Run with: `cargo run --release --example llama_layer`
 
 use transitive_array::baselines::Baseline;
-use transitive_array::core::{GemmShape, TransArrayConfig, TransitiveArray};
 use transitive_array::models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use transitive_array::prelude::*;
 use transitive_array::sim::EnergyModel;
 
-fn main() {
+fn main() -> Result<(), TaError> {
     let layer = LlamaConfig::l1_7b().fc_layers(PAPER_SEQ_LEN)[0];
     let shape = GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m);
     println!(
@@ -41,13 +44,13 @@ fn main() {
         );
     }
 
-    for (label, cfg, wbits) in [
+    for (label, base, wbits) in [
         ("TA-8bit", TransArrayConfig::paper_w8(), 8u32),
         ("TA-4bit", TransArrayConfig::paper_w4(), 4),
     ] {
-        let ta = TransitiveArray::new(TransArrayConfig { sample_limit: 1024, ..cfg });
-        let mut src = QuantGaussianSource::new(8, wbits, ta.config().n_tile(), 7);
-        let rep = ta.simulate_layer(shape, &mut src);
+        let session = Session::new(base.to_builder().sample_limit(1024).build()?)?;
+        let src = QuantGaussianSource::new(8, wbits, session.config().n_tile(), 7);
+        let rep = session.run(GemmRequest::simulate(shape, src))?.report;
         println!(
             "{:<16} {:>14} {:>12.2} {:>12.1}   (density {:.1}%, {} of {} sub-tiles simulated)",
             label,
@@ -59,4 +62,5 @@ fn main() {
             rep.subtiles_total
         );
     }
+    Ok(())
 }

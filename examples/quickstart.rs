@@ -1,17 +1,16 @@
 //! Quickstart: the 60-second tour of the Transitive Array pipeline.
 //!
-//! Quantize an FP32 weight matrix, bit-slice it, run the transitive GEMM
-//! on the simulated accelerator, verify bit-exactness against the dense
-//! integer reference, and print the sparsity/cycle report.
+//! Quantize an FP32 weight matrix, open a [`Session`] on the paper's
+//! accelerator, run the transitive GEMM through the request API, verify
+//! bit-exactness against the dense integer reference, and print the
+//! sparsity/cycle report.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use transitive_array::core::{TransArrayConfig, TransitiveArray};
-use transitive_array::quant::{
-    gemm_i32, quantize_absmax, Granularity, MatF32, MatI32, QuantScheme,
-};
+use transitive_array::prelude::*;
+use transitive_array::quant::{quantize_absmax, Granularity, MatF32, QuantScheme};
 
-fn main() {
+fn main() -> Result<(), TaError> {
     // 1. A toy FP32 weight matrix and an 8-bit activation matrix.
     let w_f32 = MatF32::from_fn(16, 32, |r, c| ((r * 31 + c * 7) as f32 * 0.13).sin() * 2.5);
     let x = MatI32::from_fn(32, 8, |r, c| ((r as i32 * 17 + c as i32 * 5) % 255) - 127);
@@ -21,14 +20,15 @@ fn main() {
     let (w_q, _params) = quantize_absmax(&w_f32, scheme);
     println!("quantized weights: {}x{} int8", w_q.rows(), w_q.cols());
 
-    // 3. Build the paper's accelerator (Table 1 design point, scaled the
-    //    sub-tile knobs down a little for a toy matrix).
-    let cfg =
-        TransArrayConfig { units: 2, m_tile: 8, sample_limit: 0, ..TransArrayConfig::paper_w8() };
-    let ta = TransitiveArray::new(cfg);
+    // 3. Build the paper's accelerator (Table 1 design point, with the
+    //    sub-tile knobs scaled down a little for a toy matrix) and open
+    //    a session on it. The builder validates every knob interaction.
+    let cfg = TransArrayConfig::builder().units(2).m_tile(8).sample_limit(0).build()?;
+    let session = Session::new(cfg)?;
 
-    // 4. Execute the GEMM on the Transitive Array (functionally exact).
-    let (out, report) = ta.execute_gemm(&w_q, &x);
+    // 4. Execute the GEMM through the request API (functionally exact).
+    let response = session.run(GemmRequest::execute(w_q.clone(), x.clone()))?;
+    let (out, report) = (response.output.expect("execute requests carry output"), response.report);
 
     // 5. Verify losslessness against the dense integer reference.
     let reference = gemm_i32(&w_q, &x);
@@ -46,4 +46,5 @@ fn main() {
     println!("energy:            {:.1} nJ", report.energy_nj());
     println!("  buffers:         {:.1} nJ", report.energy.buffer_total() / 1000.0);
     println!("sub-tiles:         {}", report.subtiles_total);
+    Ok(())
 }

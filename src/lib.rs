@@ -12,7 +12,18 @@
 //! * [`sim`] — hardware substrates (SRAM/DRAM, Benes network, energy/area);
 //! * [`core`] — the Transitive Array accelerator itself;
 //! * [`baselines`] — BitFusion / ANT / Olive / Tender / BitVert models;
-//! * [`models`] — LLaMA & ResNet-18 workloads and synthetic tensors.
+//! * [`models`] — LLaMA & ResNet-18 workloads and synthetic tensors;
+//! * [`serve`] — the multi-tenant continuous-batching serving frontend;
+//! * [`mod@bench`] — the benchmark/report toolkit (scale presets, perf gates).
+//!
+//! Most applications only need the [`prelude`]:
+//!
+//! ```
+//! use transitive_array::prelude::*;
+//!
+//! let session = Session::new(TransArrayConfig::builder().build()?)?;
+//! # Ok::<(), TaError>(())
+//! ```
 //!
 //! See `examples/quickstart.rs` for the 60-second tour and DESIGN.md for
 //! the system inventory.
@@ -20,12 +31,32 @@
 #![forbid(unsafe_code)]
 
 pub use ta_baselines as baselines;
+pub use ta_bench as bench;
 pub use ta_bitslice as bitslice;
 pub use ta_core as core;
 pub use ta_hasse as hasse;
 pub use ta_models as models;
 pub use ta_quant as quant;
+pub use ta_serve as serve;
 pub use ta_sim as sim;
+
+/// The one-import surface for applications: the request API
+/// ([`Session`](prelude::Session) and friends), its error types, the
+/// serving frontend, and the handful of support types they mention.
+pub mod prelude {
+    pub use ta_bench::Scale;
+    pub use ta_core::error::{ConfigError, TaError};
+    pub use ta_core::{
+        ConfigBuilder, GemmReport, GemmRequest, GemmResponse, GemmShape, ScoreboardMode, Session,
+        TransArrayConfig, TransitiveArray,
+    };
+    pub use ta_hasse::{NullSink, ResultSink, VecSink};
+    pub use ta_quant::{gemm_i32, MatI32};
+    pub use ta_serve::{
+        BatchPolicy, ServeError, ServeResponse, Server, ServerConfig, ServerStats, StreamTicket,
+        Ticket,
+    };
+}
 
 /// The workspace version, shared by all sub-crates.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
