@@ -5,6 +5,8 @@
 //! costs one add. Density is therefore exactly the fraction of set bits
 //! (~50% on uniform data, the 50–60% ceiling the paper cites in §1).
 
+use ta_bitslice::BinaryMatrix;
+
 /// Ops a bit-sparsity engine needs for a TransRow multiset: one add per
 /// set bit.
 pub fn bit_sparsity_ops(patterns: &[u16]) -> u64 {
@@ -22,6 +24,24 @@ pub fn bit_sparsity_density(patterns: &[u16], width: u32) -> f64 {
         return 0.0;
     }
     bit_sparsity_ops(patterns) as f64 / (patterns.len() as f64 * width as f64)
+}
+
+/// Ops a bit-sparsity engine needs for a whole packed binary plane
+/// matrix: one add per set bit, counted word-parallel over the packed
+/// row words ([`BinaryMatrix::words`]) via the kernel facade — no
+/// per-pattern re-extraction.
+pub fn bit_sparsity_ops_planes(planes: &BinaryMatrix) -> u64 {
+    (0..planes.rows()).map(|r| ta_bitslice::kernels::popcount_words(planes.words(r))).sum()
+}
+
+/// Bit-sparsity density of a packed binary plane matrix (set bits over
+/// `rows × cols`). Empty matrices have density 0.
+pub fn bit_sparsity_density_planes(planes: &BinaryMatrix) -> f64 {
+    let total = (planes.rows() * planes.cols()) as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    bit_sparsity_ops_planes(planes) as f64 / total
 }
 
 #[cfg(test)]
@@ -50,5 +70,20 @@ mod tests {
     #[test]
     fn empty_density_is_zero() {
         assert_eq!(bit_sparsity_density(&[], 8), 0.0);
+    }
+
+    #[test]
+    fn plane_ops_match_pattern_ops() {
+        // A plane matrix whose 8-bit-wide rows carry the same patterns as
+        // the multiset form must count the same ops and density.
+        let patterns = [0b1011u16, 0b0000, 0b1111, 0b0101_0011];
+        let mut planes = BinaryMatrix::zeros(patterns.len(), 8);
+        for (r, &p) in patterns.iter().enumerate() {
+            planes.insert_pattern(r, 0, 8, p);
+        }
+        assert_eq!(bit_sparsity_ops_planes(&planes), bit_sparsity_ops(&patterns));
+        let want = bit_sparsity_density(&patterns, 8);
+        assert!((bit_sparsity_density_planes(&planes) - want).abs() < 1e-12);
+        assert_eq!(bit_sparsity_density_planes(&BinaryMatrix::zeros(0, 0)), 0.0);
     }
 }

@@ -26,7 +26,9 @@ mod baseline;
 mod bit_sparsity;
 
 pub use baseline::{Baseline, BaselineReport};
-pub use bit_sparsity::{bit_sparsity_density, bit_sparsity_ops};
+pub use bit_sparsity::{
+    bit_sparsity_density, bit_sparsity_density_planes, bit_sparsity_ops, bit_sparsity_ops_planes,
+};
 
 #[cfg(test)]
 mod tests {

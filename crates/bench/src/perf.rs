@@ -25,8 +25,9 @@
 use crate::alloc_count;
 use crate::scale::Scale;
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::Instant;
-use ta_bitslice::{BitSlicedMatrix, RowMajor, TileView};
+use ta_bitslice::{kernels, BinaryMatrix, BitSlicedMatrix, ConvShape, RowMajor, TileView};
 use ta_core::{
     runtime, GemmReport, GemmShape, PatternSource, Session, SlicedSource, TransArrayConfig,
     TransitiveArray,
@@ -441,6 +442,99 @@ fn serve_open_loop(scale: Scale) -> (PerfRecord, ServeStats) {
     (record, serve)
 }
 
+/// The `kernel_micro_*` workloads (schema 6): the three word-parallel
+/// primitive families the `ta_bitslice::kernels` facade owns — row-word
+/// popcount/XOR-popcount sweeps, sub-tile TransRow pattern extraction,
+/// and im2col lowering — measured in isolation, so a per-bit loop
+/// creeping back into any of them shows up as a standalone wall
+/// regression instead of being diluted into a full-layer run. Every
+/// matrix has a non-word-multiple column count, keeping the kernels'
+/// masked-tail paths inside the timed region.
+///
+/// `total_ops` is a deterministic kernel *output* (set bits counted /
+/// extracted-pattern bits / nonzero lowered elements), not a wall
+/// metric — so the full-strength 20% gate arms on kernel correctness
+/// drift while `wall_norm` rides the widened wall gate like every other
+/// workload.
+fn kernel_micro(scale: Scale) -> Vec<PerfRecord> {
+    let n = 16 * scale.tiles.max(2);
+    let record = |name: &str, total_ops: u64, wall: f64| PerfRecord {
+        name: name.into(),
+        cycles: 0,
+        total_ops,
+        density: 0.0,
+        macs_per_cycle: 0.0,
+        wall_s: wall,
+        wall_norm: 0.0, // assigned after the final calibration
+    };
+
+    // Popcount sweep: per-row counts plus adjacent-row XOR distances
+    // (the diff-bit metric the Scoreboard orders rows by).
+    let rows = 4 * n;
+    let cols = 8 * n + 37;
+    let planes =
+        BinaryMatrix::from_fn(rows, cols, |r, c| (r.wrapping_mul(31) ^ c.wrapping_mul(7)) % 5 == 0);
+    let (pop_bits, pop_wall) = measure(|| {
+        let mut total = 0u64;
+        for r in 0..rows {
+            total += kernels::popcount_words(planes.words(r));
+        }
+        for r in 1..rows {
+            total += kernels::xor_popcount_words(planes.words(r - 1), planes.words(r));
+        }
+        black_box(total)
+    });
+
+    // TransRow extraction: every width-8 sub-tile of the plane matrix
+    // through `extract_subtile_patterns_into` over one reused buffer,
+    // including the ragged final column window.
+    let width = 8usize;
+    let mut patterns: Vec<u16> = Vec::new();
+    let (ext_bits, ext_wall) = measure(|| {
+        let mut total = 0u64;
+        for row0 in (0..rows).step_by(width) {
+            for k0 in (0..cols).step_by(width) {
+                kernels::extract_subtile_patterns_into(
+                    &planes,
+                    row0,
+                    width,
+                    k0,
+                    width.min(cols - k0) as u32,
+                    &mut patterns,
+                );
+                total += patterns.iter().map(|p| p.count_ones() as u64).sum::<u64>();
+            }
+        }
+        black_box(total)
+    });
+
+    // im2col lowering: a ResNet-style 3×3 stride-1 pad-1 layer whose
+    // feature map width is not a multiple of anything convenient.
+    let shape = ConvShape {
+        in_c: 8,
+        out_c: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+        in_h: n / 4,
+        in_w: n / 4 + 3,
+    };
+    let input = MatI32::from_fn(shape.in_c, shape.in_h * shape.in_w, |r, c| {
+        ((r * 131 + c * 17) % 19) as i32 - 9
+    });
+    let (im_nonzero, im_wall) = measure(|| {
+        let patches = kernels::im2col_lower(&shape, &input);
+        black_box(patches.as_slice().iter().filter(|&&v| v != 0).count() as u64)
+    });
+
+    vec![
+        record("kernel_micro_popcount", pop_bits, pop_wall),
+        record("kernel_micro_extract", ext_bits, ext_wall),
+        record("kernel_micro_im2col", im_nonzero, im_wall),
+    ]
+}
+
 /// Runs the bench-smoke workload roster at `scale` with `threads`
 /// parallel workers (`0` = one per core), a plan cache of `plan_cache`
 /// entries for the cached LLaMA-7B workload, and `plan_cache_shards`
@@ -563,6 +657,9 @@ pub fn run_suite(
     let (serve_record, serve_stats) = serve_open_loop(scale);
     workloads.push(serve_record);
 
+    // Word-parallel kernel microbenchmarks (schema-6 workloads).
+    workloads.extend(kernel_micro(scale));
+
     // Surface the layer's DRAM traffic as requests vs bursts (one
     // request per weight/input/output stream of the shared tiling
     // policy, 64 B bursts).
@@ -578,7 +675,7 @@ pub fn run_suite(
 
     let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 };
     PerfReport {
-        schema: 5,
+        schema: 6,
         sha: String::new(),
         scale: scale.name().to_string(),
         threads: resolved_threads,
@@ -834,6 +931,18 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
             "wall_norm gate skipped (baseline host_cores {}, current host_cores {}; refresh the baseline from a machine of the runner's shape to arm it)",
             baseline.host_cores, current.host_cores
         ));
+    }
+    // The per-workload loop above joins on baseline names, so a schema
+    // ≤ 5 baseline (no `kernel_micro_*` records) silently ignores the
+    // current run's kernel microbenchmarks — make the self-disable
+    // explicit so the CI log says why the new arm is dark.
+    let has_kernel_micro =
+        |r: &PerfReport| r.workloads.iter().any(|w| w.name.starts_with("kernel_micro_"));
+    if !has_kernel_micro(baseline) && has_kernel_micro(current) {
+        out.notes.push(
+            "kernel_micro gate skipped (baseline predates the kernel_micro workloads; refresh it)"
+                .to_string(),
+        );
     }
     // Deterministic by construction (warm-replay counter deltas), so it
     // gates on every run: a drop past tolerance — and in particular a
@@ -1482,7 +1591,7 @@ mod tests {
 
     fn sample_report() -> PerfReport {
         PerfReport {
-            schema: 5,
+            schema: 6,
             sha: "abc123".into(),
             scale: "quick".into(),
             threads: 4,
@@ -1537,6 +1646,15 @@ mod tests {
                     macs_per_cycle: 0.0,
                     wall_s: 0.002,
                     wall_norm: 1.6,
+                },
+                PerfRecord {
+                    name: "kernel_micro_popcount".into(),
+                    cycles: 0,
+                    total_ops: 2_600_000,
+                    density: 0.0,
+                    macs_per_cycle: 0.0,
+                    wall_s: 0.001,
+                    wall_norm: 0.8,
                 },
             ],
         }
@@ -1925,6 +2043,48 @@ mod tests {
     }
 
     #[test]
+    fn schema5_baseline_parses_and_skips_kernel_micro_gate() {
+        // A schema-5 baseline predates the kernel_micro workloads: same
+        // report shape, just no `kernel_micro_*` records. It must parse,
+        // gate everything it does carry, and log that the kernel arm is
+        // dark instead of failing (the gate only joins on baseline
+        // workload names).
+        let mut old = sample_report();
+        old.schema = 5;
+        old.workloads.retain(|w| !w.name.starts_with("kernel_micro_"));
+        let parsed = PerfReport::from_json(&old.to_json()).expect("schema-5 baseline must parse");
+        assert_eq!(parsed, old);
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("kernel_micro gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+        // With kernel_micro on both sides the note disappears and the
+        // deterministic column gates at full strength.
+        let base = sample_report();
+        let mut drift = base.clone();
+        drift.workloads.last_mut().unwrap().total_ops *= 2;
+        let outcome = compare(&base, &drift, GATE_TOLERANCE);
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.contains("kernel_micro_popcount") && f.contains("total_ops")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        assert!(!compare(&base, &base, GATE_TOLERANCE)
+            .notes
+            .iter()
+            .any(|n| n.contains("kernel_micro gate skipped")));
+    }
+
+    #[test]
     fn serve_gate_requires_exact_deterministic_counts() {
         let base = sample_report();
         // A current run that dropped the serving stats entirely fails.
@@ -2014,8 +2174,8 @@ mod tests {
     fn suite_runs_at_tiny_scale_and_is_deterministic() {
         let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
         let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES, 0);
-        assert_eq!(report.workloads.len(), 6);
-        assert_eq!(report.schema, 5);
+        assert_eq!(report.workloads.len(), 9);
+        assert_eq!(report.schema, 6);
         assert_eq!(report.contention.len(), CONTENTION_THREADS.len());
         for p in &report.contention {
             assert!(p.mlookups_per_s > 0.0, "contention sweep must measure real throughput");
@@ -2052,6 +2212,26 @@ mod tests {
         assert!(serve.batches > 0 && serve.batches <= serve.requests);
         assert!(serve.throughput_rps > 0.0);
         assert!(serve.p50_latency_ns > 0.0 && serve.p99_latency_ns >= serve.p50_latency_ns);
+        for name in ["kernel_micro_popcount", "kernel_micro_extract", "kernel_micro_im2col"] {
+            let k = report.workloads.iter().find(|w| w.name == name).unwrap();
+            assert!(k.total_ops > 0, "{name} must report a deterministic kernel output");
+            assert!(k.wall_s > 0.0 && k.wall_norm > 0.0, "{name} must be timed");
+        }
+    }
+
+    #[test]
+    fn kernel_micro_total_ops_are_deterministic() {
+        // The gate treats kernel_micro `total_ops` as a full-strength
+        // deterministic metric, so two runs at the same scale must agree
+        // exactly (only the wall columns may differ).
+        let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
+        let a = kernel_micro(tiny);
+        let b = kernel_micro(tiny);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.total_ops, y.total_ops, "{} total_ops drifted across runs", x.name);
+        }
     }
 
     #[test]

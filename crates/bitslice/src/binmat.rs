@@ -4,6 +4,7 @@
 //! (Fig. 2). [`BinaryMatrix`] stores it packed 64 rows-bits per word with
 //! fast per-row chunk extraction — the operation that produces TransRows.
 
+use crate::kernels;
 use std::fmt;
 
 /// A dense 0/1 matrix, bit-packed row-major (`u64` words per row).
@@ -56,13 +57,44 @@ impl BinaryMatrix {
         let words = &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row];
         for (wi, word) in words.iter_mut().enumerate() {
             let c0 = wi * 64;
-            let bits = (self.cols - c0).min(64);
+            let lanes = (self.cols - c0).min(64);
             let mut w = 0u64;
-            for b in 0..bits {
+            for b in 0..lanes {
                 w |= u64::from(f(c0 + b)) << b;
             }
             *word = w;
         }
+    }
+
+    /// The packed `u64` words of row `r`: bit `c` of the row is bit
+    /// `c % 64` of word `c / 64`. Bits at positions `>= cols` in the last
+    /// word are always zero (the tail-zero invariant the word kernels in
+    /// [`crate::kernels`] rely on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Mutable packed words of row `r` — the raw store the write kernels
+    /// ([`crate::kernels::insert_bits`], [`crate::kernels::slice_rows`])
+    /// assemble rows through.
+    ///
+    /// **Caller obligation:** bits at positions `>= cols` in the last
+    /// word must be left zero. The read kernels and popcounts rely on
+    /// that tail-zero invariant instead of re-masking per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn words_mut(&mut self, r: usize) -> &mut [u64] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
     }
 
     /// Stacks blocks vertically (in order) into one matrix — the stitch
@@ -130,16 +162,14 @@ impl BinaryMatrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row_popcount(&self, r: usize) -> u32 {
-        assert!(r < self.rows, "row {r} out of bounds");
-        self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
-            .iter()
-            .map(|w| w.count_ones())
-            .sum()
+        kernels::popcount_words(self.words(r)) as u32
     }
 
     /// Total number of set bits.
     pub fn popcount(&self) -> u64 {
-        (0..self.rows).map(|r| self.row_popcount(r) as u64).sum()
+        // One pass over the whole packed store: tail bits are zero by
+        // invariant, so no per-row masking is needed.
+        kernels::popcount_words(&self.words)
     }
 
     /// Fraction of set bits (the *bit density* that bit-sparsity
@@ -163,21 +193,9 @@ impl BinaryMatrix {
     ///
     /// Panics if `r >= rows` or `width > 16` or `width == 0`.
     pub fn extract_pattern(&self, r: usize, c0: usize, width: u32) -> u16 {
-        assert!(r < self.rows, "row {r} out of bounds");
-        assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
-        if c0 >= self.cols {
-            return 0;
-        }
-        // Word-level: at most two packed words cover any ≤16-bit window.
-        // Bits past `cols` inside the last word are zero by invariant
-        // (no setter writes them), so masking to `width` suffices.
-        let row = &self.words[r * self.words_per_row..(r + 1) * self.words_per_row];
-        let (wi, off) = (c0 / 64, c0 % 64);
-        let mut bits = row[wi] >> off;
-        if off as u32 + width > 64 && wi + 1 < row.len() {
-            bits |= row[wi + 1] << (64 - off);
-        }
-        (bits & ((1u32 << width) - 1) as u64) as u16
+        // Word-level via the kernel facade: at most two packed words
+        // cover any ≤16-bit window, and tail bits are zero by invariant.
+        kernels::extract_bits(self.words(r), c0, width)
     }
 
     /// Writes `width` bits of `pattern` into row `r` starting at `c0`
@@ -187,14 +205,8 @@ impl BinaryMatrix {
     ///
     /// Panics if `r >= rows` or `width > 16` or `width == 0`.
     pub fn insert_pattern(&mut self, r: usize, c0: usize, width: u32, pattern: u16) {
-        assert!(r < self.rows, "row {r} out of bounds");
-        assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
-        for j in 0..width as usize {
-            let c = c0 + j;
-            if c < self.cols {
-                self.set(r, c, pattern & (1 << j) != 0);
-            }
-        }
+        let cols = self.cols;
+        kernels::insert_bits(self.words_mut(r), cols, c0, width, pattern);
     }
 
     /// Copies rows `[r0, r0+n)` into a new matrix, zero-padding past the

@@ -78,34 +78,10 @@ impl ConvShape {
 ///
 /// Panics if `input` has the wrong shape for `shape`.
 pub fn im2col(shape: &ConvShape, input: &MatI32) -> MatI32 {
-    assert_eq!(input.rows(), shape.in_c, "input channel count mismatch");
-    assert_eq!(input.cols(), shape.in_h * shape.in_w, "input spatial size mismatch");
-    let (oh, ow) = (shape.out_h(), shape.out_w());
-    let k = shape.in_c * shape.kh * shape.kw;
-    let m = oh * ow;
-    let mut out = MatI32::zeros(k, m);
-    for c in 0..shape.in_c {
-        for ky in 0..shape.kh {
-            for kx in 0..shape.kw {
-                let krow = (c * shape.kh + ky) * shape.kw + kx;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
-                        let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
-                        if iy >= 0
-                            && ix >= 0
-                            && (iy as usize) < shape.in_h
-                            && (ix as usize) < shape.in_w
-                        {
-                            let v = input.get(c, iy as usize * shape.in_w + ix as usize);
-                            out.set(krow, oy * ow + ox, v);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    out
+    // Run-granular lowering via the kernel facade: whole in-bounds output
+    // runs are copied per (channel, ky, kx) row instead of per-element
+    // bounds-checked stores.
+    crate::kernels::im2col_lower(shape, input)
 }
 
 /// Flattens convolution weights (`out_c` rows × `in_c·kh·kw` columns

@@ -1,0 +1,658 @@
+//! Word-parallel kernels — the single home of every bit-sliced hot loop.
+//!
+//! Every execution path that used to walk bits one at a time (pattern
+//! extraction, plane slicing, slab row-adds, im2col lowering, popcount
+//! traversal) now funnels through this facade. The kernels operate on
+//! `u64` row words (via [`BinaryMatrix::words`]) or on `chunks_exact`-
+//! unrolled `i64` rows, with masked-tail handling for widths that are not
+//! word multiples.
+//!
+//! ## Tail-masking contract
+//!
+//! [`BinaryMatrix`] guarantees that bits at column positions `>= cols` in
+//! the last word of every row are zero (no setter writes them). The read
+//! kernels ([`extract_bits`], [`popcount_words`]) *rely* on that
+//! invariant instead of re-masking per call; the write kernels
+//! ([`insert_bits`], [`slice_rows`]) *preserve* it. Callers of
+//! [`BinaryMatrix::words_mut`] inherit the same obligation.
+//!
+//! ## Scalar equivalence
+//!
+//! Each kernel has a scalar oracle in this module's tests proving
+//! bit-exact equivalence over random widths, non-word-multiple tails,
+//! and dirty reused buffers — the same `_into ≡ oracle` discipline the
+//! rest of the workspace uses.
+
+use crate::binmat::BinaryMatrix;
+use crate::im2col::ConvShape;
+use crate::rowmajor::TileView;
+use ta_quant::MatI32;
+
+// ---------------------------------------------------------------------------
+// u64 word kernels (packed binary rows)
+// ---------------------------------------------------------------------------
+
+/// Total set bits across `words`, four words per iteration.
+#[inline]
+pub fn popcount_words(words: &[u64]) -> u64 {
+    let mut chunks = words.chunks_exact(4);
+    let mut acc = 0u64;
+    for c in &mut chunks {
+        acc += u64::from(
+            c[0].count_ones() + c[1].count_ones() + c[2].count_ones() + c[3].count_ones(),
+        );
+    }
+    for &w in chunks.remainder() {
+        acc += u64::from(w.count_ones());
+    }
+    acc
+}
+
+/// Set bits of `a XOR b` (the Hamming distance between two packed rows),
+/// four words per iteration — the word form of the dispatcher's
+/// TranSparsity XOR (§4.3).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xor_popcount_words(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "xor_popcount_words: length mismatch");
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    let mut acc = 0u64;
+    for (x, y) in (&mut ac).zip(&mut bc) {
+        acc += u64::from(
+            (x[0] ^ y[0]).count_ones()
+                + (x[1] ^ y[1]).count_ones()
+                + (x[2] ^ y[2]).count_ones()
+                + (x[3] ^ y[3]).count_ones(),
+        );
+    }
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        acc += u64::from((x ^ y).count_ones());
+    }
+    acc
+}
+
+/// Extracts `width ≤ 16` bits starting at bit offset `c0` from a packed
+/// row (as produced by [`BinaryMatrix::words`]) — the TransRow extraction
+/// primitive. At most two words cover any ≤16-bit window; offsets past
+/// the row's words read as zero, and bits past the matrix edge inside
+/// the last word are zero by the tail invariant, so no column clipping
+/// is needed.
+///
+/// # Panics
+///
+/// Panics if `width` is outside `1..=16`.
+#[inline]
+pub fn extract_bits(row: &[u64], c0: usize, width: u32) -> u16 {
+    assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
+    let (wi, off) = (c0 / 64, c0 % 64);
+    if wi >= row.len() {
+        return 0;
+    }
+    let mut bits = row[wi] >> off;
+    if off as u32 + width > 64 && wi + 1 < row.len() {
+        bits |= row[wi + 1] << (64 - off);
+    }
+    (bits & ((1u32 << width) - 1) as u64) as u16
+}
+
+/// Writes `width ≤ 16` bits of `pattern` into a packed row at bit offset
+/// `c0`, via masked read-modify-writes on the (at most two) covering
+/// words. `cols` is the row's logical width: bits past it are dropped,
+/// preserving the tail-zero invariant.
+///
+/// # Panics
+///
+/// Panics if `width` is outside `1..=16`.
+#[inline]
+pub fn insert_bits(row: &mut [u64], cols: usize, c0: usize, width: u32, pattern: u16) {
+    assert!((1..=16).contains(&width), "pattern width must be in 1..=16");
+    if c0 >= cols {
+        return;
+    }
+    let keep = (width as usize).min(cols - c0);
+    let mask = (1u64 << keep) - 1;
+    let val = u64::from(pattern) & mask;
+    let (wi, off) = (c0 / 64, c0 % 64);
+    row[wi] = (row[wi] & !(mask << off)) | (val << off);
+    if off + keep > 64 {
+        // The window straddles into word wi+1, which exists because
+        // c0 + keep <= cols <= row.len() * 64.
+        let lo = 64 - off;
+        row[wi + 1] = (row[wi + 1] & !(mask >> lo)) | (val >> lo);
+    }
+}
+
+/// Fills `out` (cleared first) with the `rows` sub-tile patterns of
+/// binary rows `[row0, row0+rows)` of `planes` over bit window
+/// `[k0, k0+width)` — the allocation-free pattern-source primitive.
+/// Rows and columns past the matrix edge read as zero (tile padding).
+///
+/// This is the facade home of the former free function
+/// `ta_bitslice::extract_subtile_patterns_into` (now a deprecated shim).
+///
+/// # Panics
+///
+/// Panics if `width` is outside `1..=16`.
+pub fn extract_subtile_patterns_into(
+    planes: &BinaryMatrix,
+    row0: usize,
+    rows: usize,
+    k0: usize,
+    width: u32,
+    out: &mut Vec<u16>,
+) {
+    assert!((1..=16).contains(&width), "TransRow width must be in 1..=16");
+    out.clear();
+    out.reserve(rows);
+    let present = rows.min(planes.rows().saturating_sub(row0));
+    for r in 0..present {
+        out.push(extract_bits(planes.words(row0 + r), k0, width));
+    }
+    out.resize(rows, 0);
+}
+
+/// Slices source rows `[r0, r1)` of `m` into their `bits` binary planes
+/// (2's-complement; binary row `(r - r0)·bits + s` is bit level `s` of
+/// source row `r`) — the per-shard slicing kernel.
+///
+/// One pass per 64-column chunk: each value's set bit levels are
+/// scattered into per-level word accumulators (`cost ∝ popcount`), then
+/// the assembled words are stored through [`BinaryMatrix::words_mut`].
+/// The tail chunk writes only the columns that exist, preserving the
+/// tail-zero invariant.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `1..=16` or `r1 > m.rows()`.
+pub fn slice_rows(m: &MatI32, bits: u32, r0: usize, r1: usize) -> BinaryMatrix {
+    assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+    assert!(r1 <= m.rows(), "row range {r0}..{r1} out of bounds");
+    let k = m.cols();
+    let s = bits as usize;
+    let vmask = ((1u64 << bits) - 1) as u32;
+    let mut planes = BinaryMatrix::zeros((r1 - r0) * s, k);
+    for r in r0..r1 {
+        let row = m.row(r);
+        for (wi, chunk) in row.chunks(64).enumerate() {
+            let mut acc = [0u64; 16];
+            for (b, &v) in chunk.iter().enumerate() {
+                let mut rem = v as u32 & vmask;
+                while rem != 0 {
+                    let lvl = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    acc[lvl] |= 1u64 << b;
+                }
+            }
+            for (lvl, &word) in acc[..s].iter().enumerate() {
+                planes.words_mut((r - r0) * s + lvl)[wi] = word;
+            }
+        }
+    }
+    planes
+}
+
+/// Bit-slices one row of `values.len() ≤ 16` quantized values into
+/// `levels` patterns: bit `c` of `out[s]` is bit level `s` of
+/// `values[c]` — the on-the-fly counterpart of [`slice_rows`] for
+/// synthetic pattern sources. Cost is proportional to the popcount of
+/// the values, not `values.len() × levels`.
+///
+/// # Panics
+///
+/// Panics if `values.len() > 16`, `levels` is outside `1..=16`, or
+/// `out.len() != levels`.
+pub fn slice_patterns(values: &[i32], levels: u32, out: &mut [u16]) {
+    assert!(values.len() <= 16, "at most 16 values per pattern row");
+    assert!((1..=16).contains(&levels), "levels must be in 1..=16");
+    assert_eq!(out.len(), levels as usize, "out must hold one pattern per level");
+    out.fill(0);
+    let vmask = ((1u64 << levels) - 1) as u32;
+    for (c, &v) in values.iter().enumerate() {
+        let mut rem = v as u32 & vmask;
+        while rem != 0 {
+            let lvl = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            out[lvl] |= 1 << c;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// i64 row kernels (result-slab accumulation)
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i]`, four elements per iteration.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_row(dst: &mut [i64], src: &[i64]) {
+    assert_eq!(dst.len(), src.len(), "add_row: length mismatch");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] += sc[0];
+        dc[1] += sc[1];
+        dc[2] += sc[2];
+        dc[3] += sc[3];
+    }
+    for (a, &x) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += x;
+    }
+}
+
+/// `dst[i] += a[i] + b[i]` in one fused pass — halves the slab traffic of
+/// two separate [`add_row`] calls for multi-bit diff masks.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_two_rows(dst: &mut [i64], a: &[i64], b: &[i64]) {
+    assert_eq!(dst.len(), a.len(), "add_two_rows: length mismatch");
+    assert_eq!(dst.len(), b.len(), "add_two_rows: length mismatch");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for ((dc, xc), yc) in (&mut d).zip(&mut ac).zip(&mut bc) {
+        dc[0] += xc[0] + yc[0];
+        dc[1] += xc[1] + yc[1];
+        dc[2] += xc[2] + yc[2];
+        dc[3] += xc[3] + yc[3];
+    }
+    for ((v, &x), &y) in d.into_remainder().iter_mut().zip(ac.remainder()).zip(bc.remainder()) {
+        *v += x + y;
+    }
+}
+
+/// Adds every input row selected by the set bits of `bits` onto `dst` —
+/// the multi-word diff-bit row-add of the PPE slab model. Rows are
+/// consumed two at a time through [`add_two_rows`]; exact integer
+/// addition makes the pairing order-invariant.
+///
+/// # Panics
+///
+/// Panics if a selected row index is `>= inputs.rows()` or row lengths
+/// disagree with `dst`.
+pub fn add_selected_rows(dst: &mut [i64], inputs: TileView<'_>, mut bits: u16) {
+    while bits != 0 {
+        let j = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if bits != 0 {
+            let j2 = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            add_two_rows(dst, inputs.row(j), inputs.row(j2));
+        } else {
+            add_row(dst, inputs.row(j));
+        }
+    }
+}
+
+/// `dst[i] += w * src[i]`, four elements per iteration — the weighted
+/// bit-plane accumulation of the output stage (`w = ±2^level`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(dst: &mut [i64], w: i64, src: &[i64]) {
+    assert_eq!(dst.len(), src.len(), "axpy: length mismatch");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] += w * sc[0];
+        dc[1] += w * sc[1];
+        dc[2] += w * sc[2];
+        dc[3] += w * sc[3];
+    }
+    for (a, &x) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += w * x;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// im2col lowering
+// ---------------------------------------------------------------------------
+
+/// Lowers an input feature map to the im2col patch matrix at run
+/// granularity: for each `(channel, ky, kx)` patch row, whole in-bounds
+/// output runs are copied with `copy_from_slice` (stride 1) or a strided
+/// gather, and out-of-bounds taps are skipped wholesale (the output is
+/// pre-zeroed) — no per-element bounds checks. Semantics are identical
+/// to the per-element `im2col` definition (see the oracle test).
+///
+/// # Panics
+///
+/// Panics if `input` has the wrong shape for `shape`.
+pub fn im2col_lower(shape: &ConvShape, input: &MatI32) -> MatI32 {
+    assert_eq!(input.rows(), shape.in_c, "input channel count mismatch");
+    assert_eq!(input.cols(), shape.in_h * shape.in_w, "input spatial size mismatch");
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = MatI32::zeros(shape.in_c * shape.kh * shape.kw, oh * ow);
+    for c in 0..shape.in_c {
+        let src_row = input.row(c);
+        for ky in 0..shape.kh {
+            for kx in 0..shape.kw {
+                let krow = (c * shape.kh + ky) * shape.kw + kx;
+                // In-bounds output-column run for this kx:
+                // 0 <= ox·stride + kx − pad < in_w.
+                if shape.in_w + shape.pad <= kx {
+                    continue;
+                }
+                let ox_lo =
+                    if shape.pad > kx { (shape.pad - kx).div_ceil(shape.stride) } else { 0 };
+                let ox_hi = ((shape.in_w + shape.pad - kx - 1) / shape.stride + 1).min(ow);
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                let dst_row = out.row_mut(krow);
+                for oy in 0..oh {
+                    let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                    if iy < 0 || iy as usize >= shape.in_h {
+                        continue;
+                    }
+                    let src_base = iy as usize * shape.in_w + ox_lo * shape.stride + kx - shape.pad;
+                    let dst = &mut dst_row[oy * ow + ox_lo..oy * ow + ox_hi];
+                    if shape.stride == 1 {
+                        dst.copy_from_slice(&src_row[src_base..src_base + dst.len()]);
+                    } else {
+                        for (i, d) in dst.iter_mut().enumerate() {
+                            *d = src_row[src_base + i * shape.stride];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random bit predicate.
+    fn bit_at(r: usize, c: usize, seed: u64) -> bool {
+        (r as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((c as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add(seed)
+            .count_ones()
+            .is_multiple_of(2)
+    }
+
+    #[test]
+    fn popcount_words_matches_scalar() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13] {
+            let words: Vec<u64> =
+                (0..len).map(|i| (i as u64).wrapping_mul(0x2545F4914F6CDD1D)).collect();
+            let scalar: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+            assert_eq!(popcount_words(&words), scalar, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xor_popcount_words_matches_scalar() {
+        for len in [0usize, 1, 4, 7, 9] {
+            let a: Vec<u64> = (0..len).map(|i| (i as u64).wrapping_mul(40503)).collect();
+            let b: Vec<u64> =
+                (0..len).map(|i| (i as u64).wrapping_mul(2654435761).rotate_left(7)).collect();
+            let scalar: u64 =
+                a.iter().zip(&b).map(|(&x, &y)| u64::from((x ^ y).count_ones())).sum();
+            assert_eq!(xor_popcount_words(&a, &b), scalar, "len {len}");
+        }
+    }
+
+    proptest! {
+        /// extract_bits over packed rows equals the per-bit get loop, for
+        /// widths 1..=16 and non-word-multiple column tails.
+        #[test]
+        fn extract_bits_matches_scalar(
+            cols in 1usize..200,
+            c0 in 0usize..220,
+            width in 1u32..=16,
+            seed in 0u64..16,
+        ) {
+            let m = BinaryMatrix::from_fn(2, cols, |r, c| bit_at(r, c, seed));
+            for r in 0..2 {
+                let mut expect = 0u16;
+                for j in 0..width as usize {
+                    if c0 + j < cols && m.get(r, c0 + j) {
+                        expect |= 1 << j;
+                    }
+                }
+                prop_assert_eq!(extract_bits(m.words(r), c0, width), expect);
+            }
+        }
+
+        /// insert_bits equals the per-bit set loop and preserves both the
+        /// untouched columns and the tail-zero invariant.
+        #[test]
+        fn insert_bits_matches_scalar(
+            cols in 1usize..200,
+            c0 in 0usize..220,
+            width in 1u32..=16,
+            pattern in 0u16..=u16::MAX,
+            seed in 0u64..16,
+        ) {
+            // Dirty starting contents: both copies start identical.
+            let mut word = BinaryMatrix::from_fn(1, cols, |r, c| bit_at(r, c, seed));
+            let mut scalar = word.clone();
+            insert_bits(word.words_mut(0), cols, c0, width, pattern);
+            for j in 0..width as usize {
+                if c0 + j < cols {
+                    scalar.set(0, c0 + j, pattern & (1 << j) != 0);
+                }
+            }
+            prop_assert_eq!(&word, &scalar);
+            // Tail invariant: bits past `cols` in the last word stay zero.
+            let tail = cols % 64;
+            if tail != 0 {
+                let last = *word.words(0).last().unwrap();
+                prop_assert_eq!(last >> tail, 0, "tail bits must stay zero");
+            }
+        }
+
+        /// The facade sub-tile extraction equals the scalar oracle,
+        /// including row/column padding, with a dirty reused buffer.
+        #[test]
+        fn extract_subtile_patterns_into_matches_scalar(
+            rows in 1usize..12,
+            cols in 1usize..80,
+            row0 in 0usize..14,
+            take in 1usize..10,
+            k0 in 0usize..90,
+            width in 1u32..=16,
+            seed in 0u64..16,
+        ) {
+            let m = BinaryMatrix::from_fn(rows, cols, |r, c| bit_at(r, c, seed));
+            let mut out = vec![0xFFFFu16; 3]; // dirty, wrong-sized buffer
+            extract_subtile_patterns_into(&m, row0, take, k0, width, &mut out);
+            prop_assert_eq!(out.len(), take);
+            for (r, &got) in out.iter().enumerate() {
+                let mut expect = 0u16;
+                for j in 0..width as usize {
+                    let (rr, cc) = (row0 + r, k0 + j);
+                    if rr < rows && cc < cols && m.get(rr, cc) {
+                        expect |= 1 << j;
+                    }
+                }
+                prop_assert_eq!(got, expect, "row {}", r);
+            }
+        }
+
+        /// slice_rows equals the per-bit scalar slicer for arbitrary bit
+        /// widths, shard ranges, and non-word-multiple column counts.
+        #[test]
+        fn slice_rows_matches_scalar(
+            bits in 2u32..=12,
+            rows in 1usize..6,
+            cols in 1usize..70,
+            seed in 0u64..16,
+        ) {
+            let hi = (1i32 << (bits - 1)) - 1;
+            let lo = -(1i32 << (bits - 1));
+            let m = MatI32::from_fn(rows, cols, |r, c| {
+                let span = (hi - lo + 1) as u64;
+                let x = (r as u64)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((c as u64).wrapping_mul(40503))
+                    .wrapping_add(seed) % span;
+                x as i32 + lo
+            });
+            let r0 = 0;
+            let r1 = rows;
+            let got = slice_rows(&m, bits, r0, r1);
+            let s = bits as usize;
+            let want = BinaryMatrix::from_fn((r1 - r0) * s, cols, |br, c| {
+                let (r, lvl) = (r0 + br / s, br % s);
+                m.get(r, c) as u32 & (1 << lvl) != 0
+            });
+            prop_assert_eq!(got, want);
+        }
+
+        /// slice_patterns equals the per-bit loop, over a dirty output.
+        #[test]
+        fn slice_patterns_matches_scalar(
+            t in 1usize..=16,
+            levels in 1u32..=16,
+            seed in 0u64..64,
+        ) {
+            let hi = 1i64 << (levels - 1);
+            let values: Vec<i32> = (0..t)
+                .map(|c| {
+                    let x = (c as u64).wrapping_mul(0x9E3779B9).wrapping_add(seed * 7919);
+                    ((x % (2 * hi) as u64) as i64 - hi) as i32
+                })
+                .collect();
+            let mut out = vec![0xFFFFu16; levels as usize]; // dirty
+            slice_patterns(&values, levels, &mut out);
+            for (lvl, &got) in out.iter().enumerate() {
+                let mut expect = 0u16;
+                for (c, &v) in values.iter().enumerate() {
+                    if v as u32 & (1 << lvl) != 0 {
+                        expect |= 1 << c;
+                    }
+                }
+                prop_assert_eq!(got, expect, "level {}", lvl);
+            }
+        }
+
+        /// The i64 row kernels equal their scalar loops for lengths around
+        /// the unroll factor, onto dirty destinations.
+        #[test]
+        fn row_adds_match_scalar(
+            m in 0usize..20,
+            w in -64i64..=64,
+            seed in 0u64..32,
+        ) {
+            let gen = |salt: u64| -> Vec<i64> {
+                (0..m)
+                    .map(|i| {
+                        ((i as u64).wrapping_mul(0x2545F4914F6CDD1D)
+                            .wrapping_add(seed * 31 + salt) % 2001) as i64 - 1000
+                    })
+                    .collect()
+            };
+            let (dst0, a, b) = (gen(1), gen(2), gen(3));
+
+            let mut got = dst0.clone();
+            add_row(&mut got, &a);
+            let want: Vec<i64> = dst0.iter().zip(&a).map(|(&d, &x)| d + x).collect();
+            prop_assert_eq!(&got, &want);
+
+            let mut got = dst0.clone();
+            add_two_rows(&mut got, &a, &b);
+            let want: Vec<i64> =
+                dst0.iter().zip(&a).zip(&b).map(|((&d, &x), &y)| d + x + y).collect();
+            prop_assert_eq!(&got, &want);
+
+            let mut got = dst0.clone();
+            axpy(&mut got, w, &a);
+            let want: Vec<i64> = dst0.iter().zip(&a).map(|(&d, &x)| d + w * x).collect();
+            prop_assert_eq!(&got, &want);
+        }
+
+        /// add_selected_rows equals the per-bit add loop for every mask,
+        /// odd and even popcounts alike.
+        #[test]
+        fn add_selected_rows_matches_scalar(
+            t in 1usize..=16,
+            m in 1usize..10,
+            mask in 0u32..=u32::MAX,
+            seed in 0u64..16,
+        ) {
+            let bits = (mask & ((1u32 << t) - 1)) as u16;
+            let staged: Vec<i64> = (0..t * m)
+                .map(|i| {
+                    ((i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(seed) % 401) as i64 - 200
+                })
+                .collect();
+            let view = TileView::new(&staged, t, m, m);
+            let dst0: Vec<i64> = (0..m).map(|i| i as i64 * 13 - 7).collect(); // dirty
+            let mut got = dst0.clone();
+            add_selected_rows(&mut got, view, bits);
+            let mut want = dst0;
+            for j in 0..t {
+                if bits & (1 << j) != 0 {
+                    for (a, &x) in want.iter_mut().zip(view.row(j)) {
+                        *a += x;
+                    }
+                }
+            }
+            prop_assert_eq!(got, want);
+        }
+
+        /// im2col_lower equals the per-element scalar lowering on random
+        /// shapes (padding, stride, kernel size).
+        #[test]
+        fn im2col_lower_matches_scalar(
+            in_c in 1usize..3,
+            kh in 1usize..4,
+            kw in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..3,
+            extra_h in 0usize..4,
+            extra_w in 0usize..4,
+            seed in 0i32..100,
+        ) {
+            let in_h = kh + extra_h;
+            let in_w = kw + extra_w;
+            let shape = ConvShape { in_c, out_c: 1, kh, kw, stride, pad, in_h, in_w };
+            let x = MatI32::from_fn(in_c, in_h * in_w, |r, c| {
+                ((r as i32 * 5 + c as i32 * 13 + seed) % 11) - 5
+            });
+            let (oh, ow) = (shape.out_h(), shape.out_w());
+            let mut want = MatI32::zeros(in_c * kh * kw, oh * ow);
+            for c in 0..in_c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let krow = (c * kh + ky) * kw + kx;
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy >= 0
+                                    && ix >= 0
+                                    && (iy as usize) < in_h
+                                    && (ix as usize) < in_w
+                                {
+                                    let v = x.get(c, iy as usize * in_w + ix as usize);
+                                    want.set(krow, oy * ow + ox, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(im2col_lower(&shape, &x), want);
+        }
+    }
+}

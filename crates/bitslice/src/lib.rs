@@ -10,6 +10,8 @@
 //! * [`RowMajor`] / [`RowsMut`] / [`TileView`] — flat, contiguous
 //!   row-major buffers and views, the zero-copy substrate of the
 //!   functional execution engine;
+//! * [`kernels`] — the word-parallel kernel facade every bit-sliced hot
+//!   loop routes through (extraction, slicing, slab row-adds, im2col);
 //! * Hamming-order / prefix / suffix utilities the Scoreboard traversals
 //!   use ([`hamming_order`], [`prefixes`], [`suffixes`]);
 //! * a bitonic sorting network with a hardware cost report
@@ -35,6 +37,7 @@
 
 mod binmat;
 mod im2col;
+pub mod kernels;
 mod popcount;
 mod rowmajor;
 mod slicer;
@@ -47,9 +50,9 @@ pub use popcount::{binomial, hamming_order, level, prefixes, suffixes};
 pub use rowmajor::{RowMajor, RowsMut, TileView};
 pub use slicer::BitSlicedMatrix;
 pub use sorter::{bitonic_depth, bitonic_sort_by_key, SortReport};
-pub use transrow::{
-    extract_subtile_patterns_into, extract_subtile_transrows, extract_transrows, TransRow,
-};
+#[allow(deprecated)]
+pub use transrow::extract_subtile_patterns_into;
+pub use transrow::{extract_subtile_transrows, extract_transrows, TransRow};
 
 #[cfg(test)]
 mod proptests {

@@ -34,12 +34,14 @@ pub fn hamming_order(width: u32) -> Vec<u16> {
 /// Panics if `width` is outside `1..=16`.
 pub fn suffixes(pattern: u16, width: u32) -> Vec<u16> {
     assert!((1..=16).contains(&width), "width must be in 1..=16");
-    let mut out = Vec::new();
-    for j in 0..width {
-        let bit = 1u16 << j;
-        if pattern & bit == 0 {
-            out.push(pattern | bit);
-        }
+    // Iterate only the zero bits (cost ∝ their count), mirroring the
+    // set-bit walk in `prefixes`, instead of scanning all `width` lanes.
+    let mut zeros = !pattern & ((1u32 << width) - 1) as u16;
+    let mut out = Vec::with_capacity(zeros.count_ones() as usize);
+    while zeros != 0 {
+        let bit = zeros & zeros.wrapping_neg();
+        out.push(pattern | bit);
+        zeros &= zeros - 1;
     }
     out
 }

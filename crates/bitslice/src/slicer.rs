@@ -170,20 +170,10 @@ impl BitSlicedMatrix {
 
 /// Slices source rows `[r0, r1)` of `m` into their `bits` binary planes
 /// (the per-shard kernel shared by [`BitSlicedMatrix::slice`] and
-/// [`BitSlicedMatrix::slice_parallel`]).
+/// [`BitSlicedMatrix::slice_parallel`]) — one word-parallel pass via
+/// [`crate::kernels::slice_rows`] instead of one row sweep per bit level.
 fn slice_rows(m: &MatI32, bits: u32, r0: usize, r1: usize) -> BinaryMatrix {
-    let k = m.cols();
-    let mut planes = BinaryMatrix::zeros((r1 - r0) * bits as usize, k);
-    for r in r0..r1 {
-        let row = m.row(r);
-        for s in 0..bits {
-            // 2's-complement bit `s` of each value, assembled word-level.
-            planes.set_row_from_fn((r - r0) * bits as usize + s as usize, |c| {
-                row[c] as u32 & (1 << s) != 0
-            });
-        }
-    }
-    planes
+    crate::kernels::slice_rows(m, bits, r0, r1)
 }
 
 #[cfg(test)]

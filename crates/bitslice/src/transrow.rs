@@ -7,6 +7,7 @@
 //! Row Index").
 
 use crate::binmat::BinaryMatrix;
+use crate::kernels;
 use crate::slicer::BitSlicedMatrix;
 
 /// One TransRow: a `T`-bit pattern plus the tile-local binary row it came
@@ -103,35 +104,28 @@ pub fn extract_transrows(
 ) -> Vec<TransRow> {
     assert!((1..=16).contains(&width), "TransRow width must be in 1..=16");
     let mut out = Vec::with_capacity(rows);
-    for r in 0..rows {
-        out.push(TransRow::new(subtile_pattern(planes, row0 + r, k0, width), r as u32));
+    let present = rows.min(planes.rows().saturating_sub(row0));
+    for r in 0..present {
+        out.push(TransRow::new(kernels::extract_bits(planes.words(row0 + r), k0, width), r as u32));
+    }
+    for r in present..rows {
+        out.push(TransRow::new(0, r as u32));
     }
     out
 }
 
-/// One sub-tile pattern: binary row `src` of `planes` over bit window
-/// `[k0, k0+width)`, with rows/columns past the matrix edge reading as
-/// zero — the single definition of the tile-padding semantics shared by
-/// [`extract_transrows`] and [`extract_subtile_patterns_into`].
-#[inline]
-fn subtile_pattern(planes: &BinaryMatrix, src: usize, k0: usize, width: u32) -> u16 {
-    if src < planes.rows() {
-        planes.extract_pattern(src, k0, width)
-    } else {
-        0
-    }
-}
-
-/// Buffer-filling counterpart of [`extract_transrows`]: fills `out`
-/// (cleared first) with the `rows` sub-tile patterns of binary rows
-/// `[row0, row0+rows)` over bit window `[k0, k0+width)` — the
-/// allocation-free primitive the hot pattern-source path reuses one
-/// buffer across every sub-tile with. Same edge-padding semantics:
-/// rows/columns past the matrix read as zero.
+/// Deprecated shim for [`kernels::extract_subtile_patterns_into`] — the
+/// buffer-filling sub-tile extraction now lives on the kernel facade.
+/// Same semantics: `out` is cleared first, and rows/columns past the
+/// matrix edge read as zero.
 ///
 /// # Panics
 ///
 /// Panics if `width` is outside `1..=16`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ta_bitslice::kernels::extract_subtile_patterns_into` instead"
+)]
 pub fn extract_subtile_patterns_into(
     planes: &BinaryMatrix,
     row0: usize,
@@ -140,12 +134,7 @@ pub fn extract_subtile_patterns_into(
     width: u32,
     out: &mut Vec<u16>,
 ) {
-    assert!((1..=16).contains(&width), "TransRow width must be in 1..=16");
-    out.clear();
-    out.reserve(rows);
-    for r in 0..rows {
-        out.push(subtile_pattern(planes, row0 + r, k0, width));
-    }
+    kernels::extract_subtile_patterns_into(planes, row0, rows, k0, width, out);
 }
 
 /// Convenience wrapper over [`extract_transrows`] for a [`BitSlicedMatrix`]
@@ -223,5 +212,17 @@ mod tests {
     fn bad_width_rejected() {
         let m = BinaryMatrix::zeros(1, 4);
         let _ = extract_transrows(&m, 0, 1, 0, 17);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_kernel_facade() {
+        let m = BinaryMatrix::from_fn(5, 30, |r, c| (r * 7 + c * 3) % 4 == 0);
+        let (mut old, mut new) = (vec![0xAAAAu16; 2], Vec::new());
+        for (row0, rows, k0) in [(0usize, 4usize, 0usize), (3, 6, 24), (7, 3, 40)] {
+            extract_subtile_patterns_into(&m, row0, rows, k0, 8, &mut old);
+            kernels::extract_subtile_patterns_into(&m, row0, rows, k0, 8, &mut new);
+            assert_eq!(old, new, "({row0},{rows},{k0})");
+        }
     }
 }

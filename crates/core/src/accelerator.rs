@@ -538,9 +538,7 @@ impl TransitiveArray {
                         1i64 << level
                     };
                     let result = scratch.result(p).expect("pattern must be computed");
-                    for (a, &v) in acc_rows.row_mut(n_global - row_offset).iter_mut().zip(result) {
-                        *a += w * v;
-                    }
+                    ta_bitslice::kernels::axpy(acc_rows.row_mut(n_global - row_offset), w, result);
                 }
             }
         }

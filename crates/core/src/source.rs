@@ -81,7 +81,7 @@ impl PatternSource for SlicedSource<'_> {
 
     fn subtile_patterns_into(&mut self, n_tile: usize, k_chunk: usize, out: &mut Vec<u16>) {
         let s = self.sliced.bits() as usize;
-        ta_bitslice::extract_subtile_patterns_into(
+        ta_bitslice::kernels::extract_subtile_patterns_into(
             self.sliced.planes(),
             n_tile * self.n_tile_rows * s,
             self.n_tile_rows * s,

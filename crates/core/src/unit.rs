@@ -4,6 +4,13 @@
 //! lookup (static) → dispatch (XOR pruning + Benes/crossbar routing) →
 //! PPE (prefix adds) → APE (output accumulation). This module produces
 //! both the cycle/op report and, on demand, the functional node results.
+//!
+//! Functional evaluation is slab-resident: every diff-bit add lands in an
+//! [`ExecScratch`] whose row accumulation runs through the word-parallel
+//! `ta_bitslice::kernels` facade (fused multi-row adds), so no per-bit
+//! inner loop survives on the unit's execution path — the nested-`Vec`
+//! oracles ([`evaluate_subtile`], `ExecutionPlan::evaluate`) are the only
+//! remaining bit-at-a-time walkers, retained for equivalence testing.
 
 use crate::config::{ScoreboardMode, TransArrayConfig};
 use std::sync::Arc;

@@ -170,14 +170,13 @@ impl ExecScratch {
         self.slab.copy_within(s..s + self.m, d);
     }
 
-    /// Adds input row `j` of `inputs` onto `pattern`'s slot — the one add
-    /// per op of the PPE model.
+    /// Adds every input row selected by `bits` onto `pattern`'s slot —
+    /// the diff-bit accumulation of the PPE model, executed as fused
+    /// word-parallel row-adds ([`ta_bitslice::kernels::add_selected_rows`]).
     #[inline]
-    pub(crate) fn add_input(&mut self, pattern: u16, inputs: TileView<'_>, j: usize) {
+    pub(crate) fn add_inputs(&mut self, pattern: u16, inputs: TileView<'_>, bits: u16) {
         let off = pattern as usize * self.m;
-        for (a, &x) in self.slab[off..off + self.m].iter_mut().zip(inputs.row(j)) {
-            *a += x;
-        }
+        ta_bitslice::kernels::add_selected_rows(&mut self.slab[off..off + self.m], inputs, bits);
     }
 
     /// Emits `pattern`'s finalized slot to the sink.
@@ -370,24 +369,14 @@ impl ExecutionPlan {
                 // stale slot (the stamp compare is O(1)).
                 assert!(scratch.computed(op.prefix), "prefix must be computed before its suffix");
                 scratch.copy_slot(op.prefix, op.node);
-                let mut bits = op.diff;
-                while bits != 0 {
-                    let j = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    scratch.add_input(op.node, inputs, j);
-                }
+                scratch.add_inputs(op.node, inputs, op.diff);
                 scratch.mark(op.node);
                 scratch.emit(op.node, sink);
             }
         }
         for op in &self.outliers {
             scratch.slot_mut(op.node).fill(0);
-            let mut bits = op.node;
-            while bits != 0 {
-                let j = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                scratch.add_input(op.node, inputs, j);
-            }
+            scratch.add_inputs(op.node, inputs, op.node);
             scratch.mark(op.node);
             scratch.emit(op.node, sink);
         }

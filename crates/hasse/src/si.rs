@@ -311,12 +311,7 @@ impl StaticSi {
                     node ^ parent
                 }
             };
-            let mut bits = diff;
-            while bits != 0 {
-                let j = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                scratch.add_input(node, inputs, j);
-            }
+            scratch.add_inputs(node, inputs, diff);
             scratch.mark(node);
             scratch.emit(node, sink);
         }

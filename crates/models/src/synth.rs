@@ -112,18 +112,21 @@ impl PatternSource for QuantGaussianSource {
     }
 
     fn subtile_patterns(&mut self, n_tile: usize, k_chunk: usize) -> Vec<u16> {
-        let s = self.weight_bits;
+        let s = self.weight_bits as usize;
         let t = self.width as usize;
-        let mut patterns = vec![0u16; self.n_rows * s as usize];
+        let mut patterns = vec![0u16; self.n_rows * s];
+        let mut vals = [0i32; 16];
         for r in 0..self.n_rows {
-            for c in 0..t {
-                let v = self.value(n_tile, k_chunk, r, c) as u32 & ((1u64 << s) - 1) as u32;
-                for level in 0..s {
-                    if v & (1 << level) != 0 {
-                        patterns[r * s as usize + level as usize] |= 1 << c;
-                    }
-                }
+            for (c, v) in vals[..t].iter_mut().enumerate() {
+                *v = self.value(n_tile, k_chunk, r, c);
             }
+            // One set-bit-driven slicing pass per weight row instead of a
+            // per-(value, level) bit test.
+            ta_bitslice::kernels::slice_patterns(
+                &vals[..t],
+                self.weight_bits,
+                &mut patterns[r * s..(r + 1) * s],
+            );
         }
         patterns
     }

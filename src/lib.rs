@@ -42,9 +42,11 @@ pub use ta_sim as sim;
 
 /// The one-import surface for applications: the request API
 /// ([`Session`](prelude::Session) and friends), its error types, the
-/// serving frontend, and the handful of support types they mention.
+/// serving frontend, the word-parallel [`kernels`](prelude::kernels)
+/// facade, and the handful of support types they mention.
 pub mod prelude {
     pub use ta_bench::Scale;
+    pub use ta_bitslice::kernels;
     pub use ta_core::error::{ConfigError, TaError};
     pub use ta_core::{
         ConfigBuilder, GemmReport, GemmRequest, GemmResponse, GemmShape, ScoreboardMode, Session,

@@ -352,6 +352,37 @@ fn fused_engine_matches_oracle_and_stays_deterministic() {
     }
 }
 
+/// Word-parallel kernel contract: with every hot loop routed through
+/// `ta_bitslice::kernels` (word-granular extraction, slab row-adds,
+/// fused weighted accumulation), the pipeline must stay lossless and the
+/// full `GemmReport` bit-identical at threads 1/2/8 in both Scoreboard
+/// modes. K = 70 forces a non-word-multiple tail so the masked tail
+/// path of every kernel sits on the execution path, not just in unit
+/// tests.
+#[test]
+fn word_parallel_kernels_keep_reports_bit_identical() {
+    let mut rng = StreamRng::new(6464);
+    let w =
+        MatI32::from_fn(41, 70, |_, _| ((rng.next_gaussian() * 3.0).round() as i32).clamp(-8, 7));
+    let x = MatI32::from_fn(70, 13, |_, _| {
+        ((rng.next_gaussian() * 40.0).round() as i32).clamp(-128, 127)
+    });
+    let reference = gemm_i32(&w, &x);
+    for mode in [ScoreboardMode::Dynamic, ScoreboardMode::Static] {
+        let serial = TransitiveArray::new(small_cfg(4, mode)).execute_gemm(&w, &x);
+        assert_eq!(serial.0, reference, "{mode:?}: kernel path must be lossless");
+        for threads in [1usize, 2, 8] {
+            let cfg = TransArrayConfig { threads, ..small_cfg(4, mode) };
+            let (out, report) = TransitiveArray::new(cfg).execute_gemm(&w, &x);
+            assert_eq!(out, reference, "{mode:?} threads={threads}: output must be bit-exact");
+            assert_eq!(
+                report, serial.1,
+                "{mode:?} threads={threads}: GemmReport must be bit-identical"
+            );
+        }
+    }
+}
+
 #[test]
 fn eight_bit_weights_wide_activations() {
     let mut rng = StreamRng::new(77);
