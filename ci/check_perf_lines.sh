@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Size lint: crates/bench/src/perf.rs is the slim module root (record
+# types + re-exports); measurement lives in perf/suite.rs, gating in
+# perf/gate.rs, the codec in perf/json.rs. If the root creeps back
+# toward the former 1000+-line monolith, workload definitions are
+# probably leaking out of ta-workloads — move them back instead of
+# raising the limit.
+set -euo pipefail
+
+LIMIT=800
+FILE="crates/bench/src/perf.rs"
+
+cd "$(dirname "$0")/.."
+
+if [[ ! -f "$FILE" ]]; then
+  echo "error: $FILE not found (did the perf module move? update ci/check_perf_lines.sh)" >&2
+  exit 1
+fi
+
+lines=$(wc -l <"$FILE")
+if ((lines >= LIMIT)); then
+  echo "error: $FILE has $lines lines (limit $LIMIT)." >&2
+  echo "Keep the root slim: workload definitions belong in crates/workloads," >&2
+  echo "measurement in perf/suite.rs, gating in perf/gate.rs, JSON in perf/json.rs." >&2
+  exit 1
+fi
+echo "ok: $FILE is $lines lines (< $LIMIT)"

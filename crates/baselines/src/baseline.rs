@@ -147,6 +147,26 @@ impl Baseline {
         }
     }
 
+    /// STA-style 2:4 structured-sparsity baseline: a 16×32 dense 8-bit
+    /// systolic array whose PEs skip the zero half of 2:4-pruned weight
+    /// groups (2× ideal skip at full utilization — the weights are
+    /// pruned offline, so no imbalance penalty). The sweep's
+    /// structured-sparsity comparison column; deliberately **not** part
+    /// of [`Baseline::roster`], which stays the Fig. 10 five.
+    pub fn sta_2to4() -> Self {
+        Self {
+            name: "STA-2:4".into(),
+            pe_um2: table2::BITVERT_PE_UM2,
+            array: (16, 32),
+            compose_bits: 8,
+            subunits_per_pe: 1,
+            utilization: 1.0,
+            sparsity_speedup: 2.0,
+            buffer_kb: 512.0,
+            supports_attention: false,
+        }
+    }
+
     /// The full Fig. 10 roster in the paper's plotting order.
     pub fn roster() -> Vec<Baseline> {
         vec![Self::bitfusion(), Self::ant(), Self::olive(), Self::tender(), Self::bitvert()]
@@ -306,6 +326,15 @@ mod tests {
                 b.name()
             );
         }
+    }
+
+    #[test]
+    fn sta_2to4_doubles_dense_throughput_without_joining_the_roster() {
+        let sta = Baseline::sta_2to4();
+        // 512 PEs × 2 (structured skip) at full utilization.
+        assert_eq!(sta.macs_per_cycle(8, 8), 1024.0);
+        assert_eq!(Baseline::roster().len(), 5, "roster stays the Fig. 10 five");
+        assert!(Baseline::roster().iter().all(|b| b.name() != sta.name()));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 mod baseline;
 mod bit_sparsity;
+pub mod sparse24;
 
 pub use baseline::{Baseline, BaselineReport};
 pub use bit_sparsity::{

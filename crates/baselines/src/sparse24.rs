@@ -1,0 +1,128 @@
+//! Weight pruning for the structured-sparsity comparison: 2:4 (two
+//! survivors per group of four along k), unstructured magnitude pruning
+//! to an arbitrary density, and the density measurement both share.
+//!
+//! All routines are deterministic: magnitude ties break toward the
+//! lower column index, so the same tensor always prunes the same way.
+
+use ta_quant::MatF32;
+
+/// Fraction of nonzero elements in `m`.
+pub fn density(m: &MatF32) -> f64 {
+    let total = m.rows() * m.cols();
+    if total == 0 {
+        return 0.0;
+    }
+    let nonzero = (0..m.rows())
+        .flat_map(|r| (0..m.cols()).map(move |c| (r, c)))
+        .filter(|&(r, c)| m.get(r, c) != 0.0)
+        .count();
+    nonzero as f64 / total as f64
+}
+
+/// Structured 2:4 pruning along the k axis (columns): in every group of
+/// four consecutive columns of a row, the two largest-magnitude weights
+/// survive and the rest are zeroed. A tail group of fewer than four
+/// columns keeps its top half (rounded up).
+pub fn prune_2to4(w: &MatF32) -> MatF32 {
+    let mut out = w.clone();
+    for r in 0..w.rows() {
+        let mut c0 = 0;
+        while c0 < w.cols() {
+            let group: Vec<usize> = (c0..(c0 + 4).min(w.cols())).collect();
+            let keep = group.len().div_ceil(2);
+            let mut ranked = group.clone();
+            ranked.sort_by(|&a, &b| {
+                w.get(r, b).abs().partial_cmp(&w.get(r, a).abs()).unwrap().then(a.cmp(&b))
+            });
+            for &c in &ranked[keep..] {
+                out.set(r, c, 0.0);
+            }
+            c0 += 4;
+        }
+    }
+    out
+}
+
+/// Unstructured global magnitude pruning: keeps the `density`-fraction
+/// largest-magnitude elements of `w` and zeroes the rest.
+pub fn prune_to_density(w: &MatF32, density: f64) -> MatF32 {
+    let total = w.rows() * w.cols();
+    let keep = ((density.clamp(0.0, 1.0) * total as f64).round() as usize).min(total);
+    let mut ranked: Vec<(usize, usize)> =
+        (0..w.rows()).flat_map(|r| (0..w.cols()).map(move |c| (r, c))).collect();
+    ranked.sort_by(|&(ra, ca), &(rb, cb)| {
+        w.get(rb, cb).abs().partial_cmp(&w.get(ra, ca).abs()).unwrap().then((ra, ca).cmp(&(rb, cb)))
+    });
+    let mut out = w.clone();
+    for &(r, c) in &ranked[keep..] {
+        out.set(r, c, 0.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize) -> MatF32 {
+        // Distinct magnitudes everywhere; sign alternates to exercise abs().
+        MatF32::from_fn(rows, cols, |r, c| {
+            let v = (r * cols + c + 1) as f32;
+            if (r + c) % 2 == 0 {
+                v
+            } else {
+                -v
+            }
+        })
+    }
+
+    #[test]
+    fn two_survive_per_group_of_four() {
+        let w = ramp(3, 8);
+        let p = prune_2to4(&w);
+        for r in 0..3 {
+            for g in 0..2 {
+                let alive = (0..4).filter(|&i| p.get(r, g * 4 + i) != 0.0).count();
+                assert_eq!(alive, 2, "row {r} group {g}");
+            }
+        }
+        assert!((density(&p) - 0.5).abs() < 1e-9);
+        // On a rising ramp the two rightmost columns of each group win.
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(0, 1), 0.0);
+        assert_eq!(p.get(0, 2), w.get(0, 2));
+        assert_eq!(p.get(0, 3), w.get(0, 3));
+    }
+
+    #[test]
+    fn tail_group_keeps_top_half() {
+        // 6 columns: one full group (keep 2) + a 2-wide tail (keep 1).
+        let p = prune_2to4(&ramp(1, 6));
+        let alive = (0..6).filter(|&c| p.get(0, c) != 0.0).count();
+        assert_eq!(alive, 3);
+    }
+
+    #[test]
+    fn unstructured_hits_target_density() {
+        let w = ramp(4, 8);
+        let p = prune_to_density(&w, 0.75);
+        assert!((density(&p) - 0.75).abs() < 1e-9);
+        // Survivors are exactly the largest-magnitude quartile's complement.
+        assert_eq!(p.get(3, 7), w.get(3, 7), "largest element survives");
+        assert_eq!(p.get(0, 0), 0.0, "smallest element pruned");
+    }
+
+    #[test]
+    fn pruning_is_deterministic_under_ties() {
+        let w = MatF32::from_fn(2, 8, |_, _| 1.0);
+        let a = prune_2to4(&w);
+        let b = prune_2to4(&w);
+        assert!(a == b);
+        // Ties break toward the lower index: the first two of each group.
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(0, 3), 0.0);
+    }
+}

@@ -15,8 +15,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig11_breakdown", |b| b.iter(|| experiments::fig11::breakdown(scale)));
     g.bench_function("fig13_point_row256", |b| {
         b.iter(|| {
-            use ta_models::UniformBitSource;
-            let mut src = UniformBitSource::new(8, 256, 5);
+            let mut src = ta_workloads::sources::fig13_random_source();
             experiments::fig13::measure(&mut src, 256, 2, 2)
         })
     });

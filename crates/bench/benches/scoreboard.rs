@@ -4,10 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ta_core::PatternSource;
 use ta_hasse::{ExecutionPlan, Scoreboard, ScoreboardConfig, StaticSi, TileStats};
-use ta_models::UniformBitSource;
+use ta_workloads::sources::dse_source;
 
 fn patterns(rows: usize) -> Vec<u16> {
-    UniformBitSource::new(8, rows, 42).subtile_patterns(0, 0)
+    dse_source(8, rows, 42).subtile_patterns(0, 0)
 }
 
 fn bench_build(c: &mut Criterion) {
@@ -34,7 +34,7 @@ fn bench_stats_and_plan(c: &mut Criterion) {
 
 fn bench_static_si(c: &mut Criterion) {
     let calib: Vec<u16> =
-        (0..8).flat_map(|t| UniformBitSource::new(8, 256, 7).subtile_patterns(t, 0)).collect();
+        (0..8).flat_map(|t| dse_source(8, 256, 7).subtile_patterns(t, 0)).collect();
     let si = StaticSi::from_patterns(ScoreboardConfig::with_width(8), calib);
     let tile = patterns(256);
     c.bench_function("static_si_evaluate_256", |b| b.iter(|| si.evaluate_tile(black_box(&tile))));

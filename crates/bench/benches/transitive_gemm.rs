@@ -11,9 +11,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use ta_bench::perf::{PerfRecord, PerfReport};
 use ta_bench::{experiments_dir, Scale};
-use ta_core::{runtime, GemmShape, TransArrayConfig, TransitiveArray};
-use ta_models::QuantGaussianSource;
+use ta_core::{runtime, TransArrayConfig, TransitiveArray};
 use ta_quant::{gemm_i32, MatI32};
+use ta_workloads::l7b;
 
 fn mats() -> (MatI32, MatI32) {
     let w = MatI32::from_fn(64, 64, |r, c| (((r * 64 + c) as i64 * 40503 % 15) - 7) as i32);
@@ -54,7 +54,7 @@ fn bench_engines(c: &mut Criterion) {
 /// LLaMA-7B `q_proj` GEMM, timed directly so the speedups land in JSON.
 fn bench_l7b_layer(c: &mut Criterion) {
     let scale = Scale::quick();
-    let shape = GemmShape::new(4096, 4096, 2048);
+    let shape = l7b::qproj_shape();
     let make_ta = |threads: usize, plan_cache: usize| {
         TransitiveArray::new(TransArrayConfig {
             sample_limit: scale.sample_limit,
@@ -66,7 +66,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
     let run_on = |ta: &TransitiveArray| {
         let n_tile = ta.config().n_tile();
         let start = Instant::now();
-        let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
+        let mut src = l7b::pattern_source_seeded(n_tile, 1234);
         let rep = ta.simulate_layer(shape, &mut src);
         (rep, start.elapsed().as_secs_f64())
     };

@@ -8,10 +8,16 @@
 //! (this binary installs a counting global allocator to audit that).
 //!
 //! ```text
-//! bench_smoke [--smoke|--quick] [--baseline <path>] [--output <path>]
+//! bench_smoke [--smoke|--quick] [--list] [--only <workload>]...
+//!             [--baseline <path>] [--output <path>]
 //!             [--write-baseline <path>] [--require-baseline]
 //! ```
 //!
+//! * `--list` prints the workload registry (every `ta-workloads` entry,
+//!   gated or not) and exits;
+//! * `--only <workload>` (repeatable) restricts the run to the named
+//!   gated workloads; a filtered run skips the baseline gate — its
+//!   summary metrics are deliberately unmeasured;
 //! * scale: `--smoke`/`--quick` or `TA_SCALE=quick|full` (default full;
 //!   unknown values are rejected);
 //! * threads: `TA_THREADS` (default `0` = one worker per core);
@@ -88,6 +94,8 @@ fn fail(msg: &str) -> ! {
 
 struct Args {
     scale: Scale,
+    list: bool,
+    only: Vec<String>,
     baseline: Option<String>,
     output: Option<String>,
     write_baseline: Option<String>,
@@ -100,6 +108,8 @@ fn parse_args() -> Args {
             Err(_) => Scale::full(),
             Ok(v) => Scale::parse(&v).unwrap_or_else(|e| fail(&e)),
         },
+        list: false,
+        only: Vec::new(),
         baseline: None,
         output: None,
         write_baseline: None,
@@ -107,21 +117,49 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| fail(&format!("{name} requires a path argument")))
-        };
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires an argument")));
         match arg.as_str() {
             "--smoke" | "--quick" => args.scale = Scale::quick(),
+            "--list" => args.list = true,
+            "--only" => args.only.push(value("--only")),
             "--baseline" => args.baseline = Some(value("--baseline")),
             "--output" => args.output = Some(value("--output")),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")),
             "--require-baseline" => args.require_baseline = true,
             other => fail(&format!(
-                "unrecognized argument '{other}' (expected --smoke, --baseline, --output, --write-baseline, or --require-baseline)"
+                "unrecognized argument '{other}' (expected --smoke, --list, --only, --baseline, --output, --write-baseline, or --require-baseline)"
             )),
         }
     }
+    for name in &args.only {
+        match ta_workloads::find(name) {
+            None => fail(&format!(
+                "--only {name}: unknown workload (try --list; registered: {})",
+                ta_workloads::names().join(", ")
+            )),
+            Some(w) if !w.gated() => fail(&format!(
+                "--only {name}: not part of the gated bench roster (it runs via the registry conformance suite and the zoo drivers, not bench_smoke)"
+            )),
+            Some(_) => {}
+        }
+    }
     args
+}
+
+/// `--list`: the registry dump, one row per workload.
+fn list_workloads(scale: Scale) {
+    println!("{:<24} {:>5} {:>11} {:>6}  description", "workload", "gated", "cycle_model", "gemms");
+    for w in ta_workloads::registry() {
+        println!(
+            "{:<24} {:>5} {:>11} {:>6}  {}",
+            w.name(),
+            if w.gated() { "yes" } else { "no" },
+            if w.has_cycle_model() { "yes" } else { "no" },
+            w.shapes(scale).len(),
+            w.description()
+        );
+    }
 }
 
 fn main() {
@@ -129,6 +167,10 @@ fn main() {
     // allocation audit self-disables in processes without one).
     ta_bench::alloc_count::mark_installed();
     let args = parse_args();
+    if args.list {
+        list_workloads(args.scale);
+        return;
+    }
     let threads = match runtime::threads_from_env() {
         Ok(t) => t.unwrap_or(0),
         Err(e) => fail(&e),
@@ -155,7 +197,12 @@ fn main() {
         plan_cache,
         plan_cache_shards
     );
-    let mut report = perf::run_suite(args.scale, threads, plan_cache, plan_cache_shards);
+    let only = if args.only.is_empty() { None } else { Some(args.only.as_slice()) };
+    if let Some(filter) = only {
+        println!("  running only: {}", filter.join(", "));
+    }
+    let mut report =
+        perf::run_suite_filtered(args.scale, threads, plan_cache, plan_cache_shards, only);
     report.sha = resolve_sha();
 
     // Gate self-test hook: scale the measured wall times so a reviewer
@@ -241,7 +288,11 @@ fn main() {
     // any baseline refresh — a broken-cache run must never become the
     // baseline (a zero-hit-rate baseline would disable this gate's
     // compare() arm forever).
-    if report.plan_cache_hit_rate <= 0.0 {
+    let selected = |name: &str| match only {
+        None => true,
+        Some(filter) => filter.iter().any(|n| n == name),
+    };
+    if selected("l7b_qproj_cached") && report.plan_cache_hit_rate <= 0.0 {
         eprintln!(
             "gate FAILURE: plan-cache warm-replay hit rate collapsed to {} on l7b_qproj_cached",
             report.plan_cache_hit_rate
@@ -254,23 +305,38 @@ fn main() {
     // and any nonzero per-sub-tile rate is a design regression regardless
     // of the baseline. (±0 exactly is the healthy value; the audit warms
     // every buffer before measuring.)
-    if report.exec_allocs_per_subtile < 0.0 {
-        eprintln!("gate FAILURE: exec allocation audit did not run despite the counting allocator");
-        std::process::exit(1);
-    }
-    if report.exec_allocs_per_subtile > 0.0 {
-        eprintln!(
-            "gate FAILURE: flat exec engine allocates {:.4} times per sub-tile in steady state (must be 0)",
-            report.exec_allocs_per_subtile
-        );
-        std::process::exit(1);
+    if selected("l7b_qproj_exec") {
+        if report.exec_allocs_per_subtile < 0.0 {
+            eprintln!(
+                "gate FAILURE: exec allocation audit did not run despite the counting allocator"
+            );
+            std::process::exit(1);
+        }
+        if report.exec_allocs_per_subtile > 0.0 {
+            eprintln!(
+                "gate FAILURE: flat exec engine allocates {:.4} times per sub-tile in steady state (must be 0)",
+                report.exec_allocs_per_subtile
+            );
+            std::process::exit(1);
+        }
     }
 
     if let Some(path) = &args.write_baseline {
+        if only.is_some() {
+            fail("refusing --write-baseline with --only: a filtered run's summary metrics are unmeasured and must not become the baseline");
+        }
         if let Err(e) = std::fs::write(path, report.to_json()) {
             fail(&format!("failed to write {path}: {e}"));
         }
         println!("[json] {path} (baseline refreshed)");
+    }
+
+    if let Some(filter) = only {
+        println!(
+            "gate: skipped — --only restricted the run to {} of the gated roster; the baseline compares whole suites only",
+            filter.join(", ")
+        );
+        return;
     }
 
     let baseline_path = args.baseline.unwrap_or_else(|| "BENCH_baseline.json".to_string());
@@ -289,6 +355,11 @@ fn main() {
     let outcome = perf::compare(&baseline, &report, GATE_TOLERANCE);
     for note in &outcome.notes {
         println!("note: {note}");
+    }
+    // One-line honesty summary: which gates quietly disarmed themselves
+    // this run, and why (stale baseline schema, host shape, …).
+    if let Some(summary) = perf::disabled_summary(&outcome) {
+        println!("{summary}");
     }
     if outcome.passed() {
         println!(

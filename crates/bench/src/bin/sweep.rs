@@ -1,0 +1,76 @@
+//! The quantization × sparsity sweep: the eight ta-quant methods ×
+//! three TransArray precisions (W4A4/W4A8/W8A8) × three weight
+//! densities (dense, 0.75 unstructured, 0.5 structured 2:4), every row
+//! carrying the STA-style 2:4 structured-sparsity baseline column.
+//! Emits one figure-style table (stdout + CSV + JSON under
+//! `target/experiments/`).
+//!
+//! `--quick`/`--smoke` (or `TA_SCALE=quick`) shrink the tensors;
+//! `--reduced` additionally cuts the grid for CI smoke runs (four
+//! methods, dense + 2:4 densities only).
+
+use ta_bench::{emit, fmt3, Scale, Table};
+use ta_workloads::sweep;
+
+fn main() {
+    let mut reduced = false;
+    let scale_args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--reduced" {
+                reduced = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let scale = Scale::resolve(scale_args, std::env::var("TA_SCALE")).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}; `sweep` additionally accepts --reduced");
+        std::process::exit(2);
+    });
+    let rows = sweep::grid(scale, reduced);
+
+    let mut table = Table::new(
+        "Quant x sparsity sweep",
+        &[
+            "method",
+            "precision",
+            "weight_bits",
+            "act_bits",
+            "density_target",
+            "structure",
+            "weight_density",
+            "output_nmse",
+            "output_sqnr_db",
+            "ta_cycles",
+            "ta_density",
+            "sta24_cycles",
+            "ta_speedup_vs_sta24",
+        ],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.method.clone(),
+            r.precision.to_string(),
+            r.weight_bits.to_string(),
+            r.act_bits.to_string(),
+            fmt3(r.density_target),
+            r.structure.to_string(),
+            fmt3(r.weight_density),
+            format!("{:.3e}", r.output_nmse),
+            fmt3(r.output_sqnr_db),
+            r.ta_cycles.to_string(),
+            fmt3(r.ta_density),
+            r.sta24_cycles.to_string(),
+            fmt3(r.ta_speedup_vs_sta24),
+        ]);
+    }
+    println!(
+        "sweep: {} rows at scale {}{}",
+        rows.len(),
+        scale.name(),
+        if reduced { " (reduced grid)" } else { "" }
+    );
+    emit(&[table]);
+}

@@ -6,12 +6,12 @@ use crate::report::{fmt3, Table};
 use crate::scale::Scale;
 use ta_core::PatternSource;
 use ta_hasse::{BalancePolicy, Scoreboard, ScoreboardConfig, TileStats};
-use ta_models::UniformBitSource;
 use ta_sim::{table2, transarray_area};
+use ta_workloads::sources::dse_source;
 
 /// Aggregated Scoreboard stats for one config over `tiles` random tiles.
 fn sweep(cfg: ScoreboardConfig, rows: usize, tiles: usize, seed: u64) -> TileStats {
-    let mut src = UniformBitSource::new(cfg.width, rows, seed);
+    let mut src = dse_source(cfg.width, rows, seed);
     let mut total: Option<TileStats> = None;
     for t in 0..tiles.max(1) {
         let sb = Scoreboard::build(cfg, src.subtile_patterns(t, 0));

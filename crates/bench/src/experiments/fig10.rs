@@ -6,8 +6,9 @@ use crate::report::{fmt3, geomean, Table};
 use crate::scale::Scale;
 use ta_baselines::Baseline;
 use ta_core::{GemmShape, TransArrayConfig, TransitiveArray};
-use ta_models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use ta_models::{LlamaConfig, PAPER_SEQ_LEN};
 use ta_sim::EnergyModel;
+use ta_workloads::sources::fig10_fc_source;
 
 /// One accelerator's totals over a model's FC layers.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +66,7 @@ pub fn simulate(scale: Scale) -> Vec<FcResult> {
             let mut cycles = 0u64;
             let mut energy = 0.0f64;
             for (i, l) in layers.iter().enumerate() {
-                let mut src = QuantGaussianSource::new(8, wbits, n_tile, 1000 + i as u64);
+                let mut src = fig10_fc_source(wbits, n_tile, i);
                 let rep =
                     ta.simulate_layer(GemmShape::new(l.shape.n, l.shape.k, l.shape.m), &mut src);
                 cycles += rep.cycles;

@@ -4,8 +4,9 @@
 use crate::report::{fmt3, Table};
 use crate::scale::Scale;
 use ta_core::{GemmShape, TransArrayConfig, TransitiveArray};
-use ta_models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use ta_models::{LlamaConfig, PAPER_SEQ_LEN};
 use ta_sim::EnergyBreakdown;
+use ta_workloads::sources::fig11_source;
 
 /// Simulates the first FC layer and returns the breakdown.
 pub fn breakdown(scale: Scale) -> EnergyBreakdown {
@@ -14,7 +15,7 @@ pub fn breakdown(scale: Scale) -> EnergyBreakdown {
         ..TransArrayConfig::paper_w8()
     });
     let layer = LlamaConfig::l1_7b().fc_layers(PAPER_SEQ_LEN)[0];
-    let mut src = QuantGaussianSource::new(8, 8, ta.config().n_tile(), 11);
+    let mut src = fig11_source(ta.config().n_tile());
     let rep =
         ta.simulate_layer(GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m), &mut src);
     rep.energy

@@ -12,8 +12,9 @@ use crate::report::{fmt3, geomean, Table};
 use crate::scale::Scale;
 use ta_baselines::Baseline;
 use ta_core::{GemmShape, TransArrayConfig, TransitiveArray};
-use ta_models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use ta_models::{LlamaConfig, PAPER_SEQ_LEN};
 use ta_sim::{EnergyModel, VpuModel};
+use ta_workloads::sources::fig12_attention_source;
 
 /// One attention-stack simulation result.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +73,7 @@ pub fn simulate(scale: Scale) -> Vec<AttnResult> {
         let n_tile = ta.config().n_tile();
         let mut c = heads * softmax_per_head_8;
         for (i, (g, count)) in gemms.iter().enumerate() {
-            let mut src = QuantGaussianSource::new(8, 8, n_tile, 300 + i as u64);
+            let mut src = fig12_attention_source(n_tile, i);
             let rep = ta.simulate_layer(GemmShape::new(g.shape.n, g.shape.k, g.shape.m), &mut src);
             c += rep.cycles * *count as u64;
         }

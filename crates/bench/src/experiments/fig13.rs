@@ -7,7 +7,7 @@ use crate::scale::Scale;
 use ta_baselines::bit_sparsity_density;
 use ta_core::PatternSource;
 use ta_hasse::{Scoreboard, ScoreboardConfig, StaticSi, TileStats};
-use ta_models::{QuantGaussianSource, UniformBitSource};
+use ta_workloads::sources::{fig13_random_source, fig13_real_source};
 
 /// The paper's row-size sweep for this figure.
 pub const ROW_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
@@ -92,10 +92,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let mut real_src;
             let mut rand_src;
             let src: &mut dyn PatternSource = if real {
-                real_src = QuantGaussianSource::new(8, 8, 32, 5);
+                real_src = fig13_real_source();
                 &mut real_src
             } else {
-                rand_src = UniformBitSource::new(8, 256, 5);
+                rand_src = fig13_random_source();
                 &mut rand_src
             };
             let p = measure(src, rows, scale.tiles.max(2), scale.tiles.max(2));
@@ -115,12 +115,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ta_workloads::sources::dse_source;
 
     #[test]
     fn dynamic_beats_static_at_small_tiles() {
         // §5.8: dynamic achieves significantly lower density than static
         // for small row sizes…
-        let mut src = UniformBitSource::new(8, 256, 3);
+        let mut src = dse_source(8, 256, 3);
         let p64 = measure(&mut src, 64, 6, 6);
         assert!(
             p64.static_ > p64.dynamic * 1.1,
@@ -134,7 +135,7 @@ mod tests {
 
     #[test]
     fn static_converges_to_dynamic_at_large_tiles() {
-        let mut src = UniformBitSource::new(8, 256, 3);
+        let mut src = dse_source(8, 256, 3);
         let p1024 = measure(&mut src, 1024, 4, 4);
         assert!(
             (p1024.static_ - p1024.dynamic).abs() / p1024.dynamic < 0.10,
@@ -148,7 +149,7 @@ mod tests {
     fn both_beat_bit_sparsity() {
         // "the static Scoreboard remains significantly more efficient
         // than bit sparsity" (§5.8).
-        let mut src = UniformBitSource::new(8, 256, 9);
+        let mut src = dse_source(8, 256, 9);
         for rows in [64usize, 256, 1024] {
             let p = measure(&mut src, rows, 4, 4);
             assert!(p.dynamic < p.bit * 0.8, "rows {rows}: dyn {} bit {}", p.dynamic, p.bit);
@@ -159,8 +160,8 @@ mod tests {
     #[test]
     fn real_data_slightly_better_than_random() {
         // §5.9: slightly better performance on real data.
-        let mut real = QuantGaussianSource::new(8, 8, 32, 5);
-        let mut rand = UniformBitSource::new(8, 256, 5);
+        let mut real = fig13_real_source();
+        let mut rand = fig13_random_source();
         let pr = measure(&mut real, 256, 6, 6);
         let pu = measure(&mut rand, 256, 6, 6);
         assert!(

@@ -6,8 +6,9 @@ use crate::report::{fmt3, Table};
 use crate::scale::Scale;
 use ta_baselines::Baseline;
 use ta_core::{GemmShape, TransArrayConfig, TransitiveArray};
-use ta_models::{resnet18_layers, QuantGaussianSource};
+use ta_models::resnet18_layers;
 use ta_sim::EnergyModel;
+use ta_workloads::sources::fig14_layer_source;
 
 /// Per-layer cycles for the three accelerators.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,12 +44,7 @@ pub fn simulate(scale: Scale) -> Vec<LayerCycles> {
             TransArrayConfig::paper_w8()
         };
         let ta = TransitiveArray::new(TransArrayConfig { sample_limit: scale.sample_limit, ..cfg });
-        let mut src = QuantGaussianSource::new(
-            8,
-            layer.weight_bits,
-            ta.config().n_tile(),
-            900 + layer.index as u64,
-        );
+        let mut src = fig14_layer_source(layer.weight_bits, ta.config().n_tile(), layer.index);
         let ta_cycles =
             ta.simulate_layer(GemmShape::new(shape.n, shape.k, shape.m), &mut src).cycles;
         out.push(LayerCycles {

@@ -6,34 +6,11 @@
 
 use crate::report::{fmt3, Table};
 use crate::scale::Scale;
-use ta_core::PatternSource;
-use ta_hasse::{Scoreboard, ScoreboardConfig, TileStats};
-use ta_models::UniformBitSource;
-
-/// The paper's bit-width sweep.
-pub const BIT_WIDTHS: [u32; 7] = [2, 4, 6, 8, 10, 12, 16];
-
-/// The paper's tiling-row-size sweep.
-pub const ROW_SIZES: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
-
-/// Aggregated stats for one (width, row size) design point on uniform
-/// random data. The DSE runs the Scoreboard *uncapped* (the figure's own
-/// Dis-5 bars show chains past the hardware cap).
-pub fn design_point(width: u32, row_size: usize, tiles: usize, seed: u64) -> TileStats {
-    let mut src = UniformBitSource::new(width, row_size, seed);
-    let cfg = ScoreboardConfig::unbounded(width);
-    let mut total: Option<TileStats> = None;
-    for tile in 0..tiles.max(1) {
-        let patterns = src.subtile_patterns(tile, 0);
-        let sb = Scoreboard::build(cfg, patterns);
-        let s = TileStats::from_scoreboard(&sb);
-        match &mut total {
-            None => total = Some(s),
-            Some(t) => t.merge(&s),
-        }
-    }
-    total.expect("at least one tile")
-}
+// The design point itself (sweep axes + Scoreboard aggregation) is a
+// workload definition and lives in `ta-workloads`; these re-exports
+// keep `crate::experiments::fig9::design_point` and the figure benches
+// resolving while this module owns only the table rendering.
+pub use ta_workloads::fig9::{design_point, BIT_WIDTHS, ROW_SIZES};
 
 /// Runs all four panels.
 pub fn run(scale: Scale) -> Vec<Table> {

@@ -5,9 +5,10 @@ use crate::report::{fmt3, Table};
 use crate::scale::Scale;
 use ta_baselines::Baseline;
 use ta_core::TransArrayConfig;
-use ta_models::{llm_activation_matrix, llm_weight_matrix, LlamaConfig};
+use ta_models::LlamaConfig;
 use ta_quant::{evaluate_method, pseudo_perplexity, table3_roster};
 use ta_sim::transarray_area;
+use ta_workloads::sources::table3_tensors;
 
 /// Table 1 — specifications of one TransArray unit.
 pub fn table1() -> Vec<Table> {
@@ -107,9 +108,7 @@ pub fn table3(scale: Scale) -> Vec<Table> {
         // Model size scales the feature dimension mildly so bigger models
         // are measured on bigger tensors (and different seeds).
         let hidden = LlamaConfig::roster()[i].hidden;
-        let k = dim + (hidden / 1024) * 8;
-        let w = llm_weight_matrix(dim, k, 100 + i as u64);
-        let a = llm_activation_matrix(k, dim / 2, 200 + i as u64);
+        let (w, a) = table3_tensors(dim, hidden, i);
         let mut ppl_row = vec![model.to_string(), "pseudo-PPL".to_string()];
         let mut sqnr_row = vec![model.to_string(), "SQNR dB".to_string()];
         for m in &methods {

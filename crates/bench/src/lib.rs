@@ -32,10 +32,13 @@ pub mod alloc_count;
 pub mod experiments;
 pub mod perf;
 mod report;
-mod scale;
 
 pub use report::{experiments_dir, fmt3, geomean, Table};
-pub use scale::Scale;
+// The run-size policy moved to `ta-workloads` with the rest of the
+// workload definitions; re-export it so `ta_bench::Scale` and
+// `crate::scale::Scale` keep resolving.
+pub use ta_workloads::scale;
+pub use ta_workloads::Scale;
 
 /// Prints a set of tables and writes each as CSV **and** JSON under
 /// `target/experiments/`, reporting any I/O problem to stderr without

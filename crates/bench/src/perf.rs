@@ -18,29 +18,33 @@
 //!   is a behavior change, not noise, and the serial/parallel pair is
 //!   additionally checked for bit-equality on every run.
 //!
-//! JSON is emitted and parsed by a purpose-built micro-codec below
-//! (serde is unavailable offline); it round-trips exactly the subset
-//! this module writes.
+//! The module splits three ways: `suite` measures (timing machinery
+//! and roster assembly — the workload *definitions* live in
+//! `ta-workloads`), `gate` compares runs against baselines, and
+//! `json` is the purpose-built micro-codec (serde is unavailable
+//! offline) that round-trips exactly the subset this module writes.
+//! This root file keeps only the record types and the shared constants.
 
-use crate::alloc_count;
-use crate::scale::Scale;
-use std::fmt::Write as _;
-use std::hint::black_box;
-use std::time::Instant;
-use ta_bitslice::{kernels, BinaryMatrix, BitSlicedMatrix, ConvShape, RowMajor, TileView};
-use ta_core::{
-    runtime, GemmReport, GemmShape, PatternSource, Session, SlicedSource, TransArrayConfig,
-    TransitiveArray,
-};
-use ta_hasse::{
-    CachedPlan, ExecScratch, ExecutionPlan, NullSink, PlanKey, Scoreboard, ScoreboardConfig,
-    SharedPlanCache, StaticSi,
-};
-use ta_models::{llm_activation_matrix_int, llm_weight_matrix_int, QuantGaussianSource};
-use ta_quant::{gemm_i32, MatI32};
-use ta_serve::loadgen::{poisson_trace, request_for};
-use ta_serve::{BatchPolicy, Server, ServerConfig};
-use ta_sim::DramModel;
+mod gate;
+mod json;
+mod suite;
+
+pub use gate::{compare, disabled_summary, GateOutcome};
+pub(crate) use json::json_str;
+pub use suite::{cached_replay, contention_workload, run_suite, run_suite_filtered};
+
+/// Default plan-cache capacity for the cached LLaMA-7B workload (see
+/// [`ta_workloads::l7b`]).
+pub use ta_workloads::l7b::DEFAULT_PLAN_CACHE_ENTRIES;
+
+/// The full-scale LLaMA-7B `q_proj` GEMM (hidden 4096, prefill 2048).
+pub use ta_workloads::l7b::qproj_shape as l7b_qproj_shape;
+
+/// Thread counts the `plan_cache_contention` workload sweeps.
+pub use ta_workloads::contention::THREADS as CONTENTION_THREADS;
+
+/// Relative regression tolerance of the CI gate (>20% fails).
+pub const GATE_TOLERANCE: f64 = 0.20;
 
 /// One measured workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,7 +147,7 @@ pub struct PerfReport {
     pub dram_bursts: u64,
     /// Steady-state heap allocations per sub-tile evaluation on the flat
     /// execution engine (`evaluate_into` + fused row accumulation over a
-    /// warm [`ExecScratch`]). Healthy value: exactly `0.0`. `-1.0` marks
+    /// warm `ExecScratch`). Healthy value: exactly `0.0`. `-1.0` marks
     /// "unmeasured" — no counting global allocator was installed (the
     /// `bench_smoke` binary installs one; library tests don't).
     pub exec_allocs_per_subtile: f64,
@@ -159,1437 +163,12 @@ pub struct PerfReport {
     pub workloads: Vec<PerfRecord>,
 }
 
-/// Relative regression tolerance of the CI gate (>20% fails).
-pub const GATE_TOLERANCE: f64 = 0.20;
-
-/// Default plan-cache capacity for the cached LLaMA-7B workload — must
-/// exceed the layer's sampled sub-tile count at every scale, or LRU
-/// thrashing would zero the warm-replay hit rate.
-pub const DEFAULT_PLAN_CACHE_ENTRIES: usize = 4096;
-
-// ---------------------------------------------------------------------------
-// Suite
-// ---------------------------------------------------------------------------
-
-/// The full-scale LLaMA-7B `q_proj` GEMM (hidden 4096, prefill 2048).
-pub fn l7b_qproj_shape() -> GemmShape {
-    GemmShape::new(4096, 4096, 2048)
-}
-
-/// Minimum wall time one timing sample must span. Sub-millisecond
-/// workloads are repeated until a sample reaches this floor — a single
-/// 100 µs run carries far more than the gate's 20% tolerance in timer
-/// and scheduler noise.
-const MIN_SAMPLE_S: f64 = 0.05;
-
-/// Timing samples per workload (the minimum is reported). Shared CI
-/// hosts show contention windows longer than one batch; best-of-7 keeps
-/// a slow outlier batch from ever being the reported time.
-const SAMPLES: usize = 7;
-
-/// Times `f`: a pilot run sizes an iteration batch spanning at least
-/// [`MIN_SAMPLE_S`], then the best per-iteration time over [`SAMPLES`]
-/// batches is returned along with `f`'s (deterministic) result.
-fn measure<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let mut out = f();
-    let pilot = start.elapsed().as_secs_f64();
-    let iters = if pilot >= MIN_SAMPLE_S {
-        1
-    } else {
-        ((MIN_SAMPLE_S / pilot.max(1e-9)).ceil() as usize).min(100_000)
-    };
-    // A single run cannot measure faster than the true cost, so the
-    // pilot participates in the minimum.
-    let mut best = pilot;
-    for _ in 0..SAMPLES.saturating_sub(1) {
-        let start = Instant::now();
-        for _ in 0..iters {
-            out = f();
-        }
-        let per_iter = start.elapsed().as_secs_f64() / iters as f64;
-        if per_iter < best {
-            best = per_iter;
-        }
-    }
-    (out, best)
-}
-
-/// One simulation of `shape` on `ta` (plan cache required), returning
-/// the report, the run's wall seconds, and the run's cache hit rate
-/// from counter deltas — the single definition of the warm-replay
-/// protocol shared by [`run_suite`] and the criterion benches. Call it
-/// once to warm the cache, then again for the warm-replay numbers (1.0
-/// hit rate when healthy).
-///
-/// # Panics
-///
-/// Panics if `ta` has no plan cache.
-pub fn cached_replay(ta: &TransitiveArray, shape: GemmShape, seed: u64) -> (GemmReport, f64, f64) {
-    let before = ta.plan_cache_stats().expect("cached_replay requires an enabled plan cache");
-    let n_tile = ta.config().n_tile();
-    let start = Instant::now();
-    let mut src = QuantGaussianSource::new(8, 8, n_tile, seed);
-    let rep = ta.simulate_layer(shape, &mut src);
-    let wall = start.elapsed().as_secs_f64();
-    let after = ta.plan_cache_stats().expect("cached_replay requires an enabled plan cache");
-    (rep, wall, after.delta(&before).hit_rate())
-}
-
-/// Times the dense integer reference GEMM the suite normalizes against.
-fn calibration_loop() -> f64 {
-    let w = MatI32::from_fn(96, 96, |r, c| (((r * 96 + c) as i64 * 40503 % 255) - 127) as i32);
-    let x = MatI32::from_fn(96, 96, |r, c| (((r * 96 + c) as i64 * 9973 % 255) - 127) as i32);
-    let (_, wall) = measure(|| gemm_i32(&w, &x));
-    wall
-}
-
-/// Thread counts the `plan_cache_contention` workload sweeps.
-pub const CONTENTION_THREADS: [usize; 4] = [1, 2, 8, 16];
-
-/// Lookups each contention thread performs per sweep point.
-const CONTENTION_LOOKUPS_PER_THREAD: u64 = 20_000;
-
-/// Distinct keys the contention workload pre-warms. The cache below is
-/// sized so **every shard** can hold all of them, so residency never
-/// depends on how the hash spreads keys across shards.
-const CONTENTION_KEYS: usize = 64;
-
-/// Hammers a pre-warmed [`SharedPlanCache`] from 1/2/8/16 threads at a
-/// forced 1.0 hit rate and reports per-point throughput — the pure
-/// hit-path cost (key hash + shard read lock + referenced-bit store +
-/// `Arc` clone), with key construction hoisted out of the loop. On a
-/// multi-core host the sharded cache's throughput scales with threads;
-/// the old global-mutex design flatlined here.
-///
-/// `shards` is the `plan_cache_shards` knob (`0` = auto). The cache
-/// capacity is `shard count × CONTENTION_KEYS`, giving each shard
-/// exactly `CONTENTION_KEYS` slots: even if the hash routed every key
-/// to one shard, nothing can evict, so the forced 1.0 hit rate holds on
-/// any host shape (per-shard capacity is what matters — a fixed total
-/// capacity divided by an auto shard count of ~4× cores left 1-slot
-/// shards on big hosts, where pre-warm collisions evicted warm keys).
-///
-/// # Panics
-///
-/// Panics if pre-warm evicts (capacity sizing broke) or if any sweep
-/// point records a miss — the workload exists to measure the hit path,
-/// and a miss means the cache or routing broke.
-pub fn contention_workload(shards: usize) -> Vec<ContentionPoint> {
-    let cfg = ScoreboardConfig::with_width(8);
-    // Mirror `with_shards`'s rounding so capacity is sized for the
-    // shard count the cache will actually use.
-    let shard_count = match shards {
-        0 => SharedPlanCache::default_shard_count(),
-        n => n.next_power_of_two(),
-    };
-    let cache = SharedPlanCache::with_shards(shard_count * CONTENTION_KEYS, shard_count);
-    let keys: Vec<PlanKey> = (0..CONTENTION_KEYS as u16)
-        .map(|i| {
-            let patterns = [i, i.wrapping_mul(37) % 256, 255 - i, (i * 3) % 256];
-            let key = PlanKey::new(&cfg, None, &patterns);
-            cache.insert(
-                key.clone(),
-                std::sync::Arc::new(CachedPlan::build_dynamic(&cfg, &patterns, false)),
-            );
-            key
-        })
-        .collect();
-    let warm = cache.stats();
-    assert_eq!(warm.evictions, 0, "pre-warm must not evict: {warm}");
-    assert_eq!(cache.len(), CONTENTION_KEYS, "every pre-warmed key must be resident");
-    CONTENTION_THREADS
-        .iter()
-        .map(|&threads| {
-            let before = cache.stats();
-            let start = Instant::now();
-            std::thread::scope(|scope| {
-                for t in 0..threads {
-                    let (cache, keys) = (&cache, &keys);
-                    scope.spawn(move || {
-                        for i in 0..CONTENTION_LOOKUPS_PER_THREAD {
-                            let k = &keys[(i as usize + t) % keys.len()];
-                            assert!(cache.get(k).is_some(), "contention workload must never miss");
-                        }
-                    });
-                }
-            });
-            let wall_s = start.elapsed().as_secs_f64();
-            let delta = cache.stats().delta(&before);
-            let lookups = threads as u64 * CONTENTION_LOOKUPS_PER_THREAD;
-            assert_eq!(delta.misses, 0, "forced hit-rate 1.0 violated: {delta}");
-            assert_eq!(delta.lookups(), lookups, "lookup counter conservation violated");
-            ContentionPoint {
-                threads,
-                lookups,
-                wall_s,
-                ns_per_lookup: if lookups > 0 {
-                    wall_s * 1e9 * threads as f64 / lookups as f64
-                } else {
-                    0.0
-                },
-                mlookups_per_s: if wall_s > 0.0 { lookups as f64 / wall_s / 1e6 } else { 0.0 },
-            }
-        })
-        .collect()
-}
-
-/// Weight precision of the serving workload's requests.
-const SERVE_WEIGHT_BITS: u32 = 4;
-/// Activation precision of the serving workload's requests.
-const SERVE_ACT_BITS: u32 = 8;
-/// Worker threads behind the serving workload's frontend.
-const SERVE_WORKERS: usize = 2;
-
-/// The small design point the serving workload runs on — sized so one
-/// request is cheap enough to serve hundreds per pass at every scale.
-fn serve_session() -> Session {
-    let cfg = TransArrayConfig::builder()
-        .width(4)
-        .max_transrows(16)
-        .weight_bits(SERVE_WEIGHT_BITS)
-        .units(2)
-        .m_tile(4)
-        .sample_limit(0)
-        .build()
-        .expect("serve workload config is valid");
-    Session::new(cfg).expect("serve workload session opens")
-}
-
-/// The `serve_open_loop` workload: replays a seeded Poisson arrival
-/// trace through a full `ta-serve` frontend (2 workers, width-quantized
-/// buckets so padding is actually exercised), then checks every served
-/// output bit-for-bit against a direct serial run. The PerfRecord's
-/// `cycles`/`total_ops` are the deterministic sums over all served
-/// responses — any drift is a behavior change in the serving stack or
-/// the simulator, and gates at full strength; the wall-clock
-/// throughput/latency figures ride in [`ServeStats`] under the widened
-/// wall tolerance.
-///
-/// # Panics
-///
-/// Panics if any served output differs from the direct run — the
-/// serving determinism contract is part of what this workload guards.
-fn serve_open_loop(scale: Scale) -> (PerfRecord, ServeStats) {
-    let shapes = [
-        GemmShape::new(8, 16, 3),
-        GemmShape::new(8, 16, 4),
-        GemmShape::new(12, 16, 5),
-        GemmShape::new(16, 32, 2),
-    ];
-    // Scale the trace off the existing tile knob: 32 requests at the
-    // tiny test scale, 48 at quick, 256 at full.
-    let count = scale.tiles.max(2) * 16;
-    let trace = poisson_trace(0x5E_12_7E, count, 200, 4, &shapes);
-    let policy = BatchPolicy { max_batch: 8, max_delay_ns: 50_000, quantum_m: 4 };
-    let ((responses, stats), wall) = measure(|| {
-        let server =
-            Server::start(serve_session(), ServerConfig { workers: SERVE_WORKERS, policy });
-        let tickets: Vec<_> = trace
-            .iter()
-            .map(|a| {
-                server
-                    .submit(a.tenant, request_for(a, SERVE_WEIGHT_BITS, SERVE_ACT_BITS))
-                    .expect("trace requests are valid")
-            })
-            .collect();
-        let responses: Vec<_> =
-            tickets.into_iter().map(|t| t.wait().expect("server answers every request")).collect();
-        let stats = server.shutdown();
-        (responses, stats)
-    });
-    assert_eq!(stats.completed as usize, count, "open loop must serve the whole trace");
-
-    // Bit-equality through the whole stack, outside the timed region.
-    // Outputs must match exactly; the *report* of a padded request
-    // legitimately differs (the modelled GEMM is wider), so the
-    // deterministic cycle/op sums below are taken from the served
-    // responses themselves.
-    let direct = serve_session();
-    let (mut served_cycles, mut served_ops) = (0u64, 0u64);
-    let mut latencies: Vec<u64> = Vec::with_capacity(responses.len());
-    for (resp, arrival) in responses.iter().zip(&trace) {
-        let want = direct
-            .run_serial(request_for(arrival, SERVE_WEIGHT_BITS, SERVE_ACT_BITS))
-            .expect("direct run succeeds");
-        assert_eq!(
-            resp.response.output, want.output,
-            "serving determinism violation: served output differs from direct at {arrival:?}"
-        );
-        served_cycles += resp.response.report.cycles;
-        served_ops += resp.response.report.total_ops;
-        latencies.push(resp.latency_ns());
-    }
-    latencies.sort_unstable();
-    let record = PerfRecord {
-        name: "serve_open_loop".into(),
-        cycles: served_cycles,
-        total_ops: served_ops,
-        density: 0.0,
-        macs_per_cycle: 0.0,
-        wall_s: wall,
-        wall_norm: 0.0, // assigned after the final calibration
-    };
-    let serve = ServeStats {
-        requests: stats.completed,
-        batches: stats.batches,
-        padded: stats.padded,
-        workers: SERVE_WORKERS,
-        throughput_rps: if wall > 0.0 { count as f64 / wall } else { 0.0 },
-        p50_latency_ns: latencies[latencies.len() / 2] as f64,
-        p99_latency_ns: latencies[latencies.len() * 99 / 100] as f64,
-    };
-    (record, serve)
-}
-
-/// The `kernel_micro_*` workloads (schema 6): the three word-parallel
-/// primitive families the `ta_bitslice::kernels` facade owns — row-word
-/// popcount/XOR-popcount sweeps, sub-tile TransRow pattern extraction,
-/// and im2col lowering — measured in isolation, so a per-bit loop
-/// creeping back into any of them shows up as a standalone wall
-/// regression instead of being diluted into a full-layer run. Every
-/// matrix has a non-word-multiple column count, keeping the kernels'
-/// masked-tail paths inside the timed region.
-///
-/// `total_ops` is a deterministic kernel *output* (set bits counted /
-/// extracted-pattern bits / nonzero lowered elements), not a wall
-/// metric — so the full-strength 20% gate arms on kernel correctness
-/// drift while `wall_norm` rides the widened wall gate like every other
-/// workload.
-fn kernel_micro(scale: Scale) -> Vec<PerfRecord> {
-    let n = 16 * scale.tiles.max(2);
-    let record = |name: &str, total_ops: u64, wall: f64| PerfRecord {
-        name: name.into(),
-        cycles: 0,
-        total_ops,
-        density: 0.0,
-        macs_per_cycle: 0.0,
-        wall_s: wall,
-        wall_norm: 0.0, // assigned after the final calibration
-    };
-
-    // Popcount sweep: per-row counts plus adjacent-row XOR distances
-    // (the diff-bit metric the Scoreboard orders rows by).
-    let rows = 4 * n;
-    let cols = 8 * n + 37;
-    let planes =
-        BinaryMatrix::from_fn(rows, cols, |r, c| (r.wrapping_mul(31) ^ c.wrapping_mul(7)) % 5 == 0);
-    let (pop_bits, pop_wall) = measure(|| {
-        let mut total = 0u64;
-        for r in 0..rows {
-            total += kernels::popcount_words(planes.words(r));
-        }
-        for r in 1..rows {
-            total += kernels::xor_popcount_words(planes.words(r - 1), planes.words(r));
-        }
-        black_box(total)
-    });
-
-    // TransRow extraction: every width-8 sub-tile of the plane matrix
-    // through `extract_subtile_patterns_into` over one reused buffer,
-    // including the ragged final column window.
-    let width = 8usize;
-    let mut patterns: Vec<u16> = Vec::new();
-    let (ext_bits, ext_wall) = measure(|| {
-        let mut total = 0u64;
-        for row0 in (0..rows).step_by(width) {
-            for k0 in (0..cols).step_by(width) {
-                kernels::extract_subtile_patterns_into(
-                    &planes,
-                    row0,
-                    width,
-                    k0,
-                    width.min(cols - k0) as u32,
-                    &mut patterns,
-                );
-                total += patterns.iter().map(|p| p.count_ones() as u64).sum::<u64>();
-            }
-        }
-        black_box(total)
-    });
-
-    // im2col lowering: a ResNet-style 3×3 stride-1 pad-1 layer whose
-    // feature map width is not a multiple of anything convenient.
-    let shape = ConvShape {
-        in_c: 8,
-        out_c: 8,
-        kh: 3,
-        kw: 3,
-        stride: 1,
-        pad: 1,
-        in_h: n / 4,
-        in_w: n / 4 + 3,
-    };
-    let input = MatI32::from_fn(shape.in_c, shape.in_h * shape.in_w, |r, c| {
-        ((r * 131 + c * 17) % 19) as i32 - 9
-    });
-    let (im_nonzero, im_wall) = measure(|| {
-        let patches = kernels::im2col_lower(&shape, &input);
-        black_box(patches.as_slice().iter().filter(|&&v| v != 0).count() as u64)
-    });
-
-    vec![
-        record("kernel_micro_popcount", pop_bits, pop_wall),
-        record("kernel_micro_extract", ext_bits, ext_wall),
-        record("kernel_micro_im2col", im_nonzero, im_wall),
-    ]
-}
-
-/// Runs the bench-smoke workload roster at `scale` with `threads`
-/// parallel workers (`0` = one per core), a plan cache of `plan_cache`
-/// entries for the cached LLaMA-7B workload, and `plan_cache_shards`
-/// shards (`0` = auto) for the cache and the contention sweep, and
-/// returns the report (`sha` is left empty for the caller to fill in).
-///
-/// # Panics
-///
-/// Panics if the parallel **or plan-cached** LLaMA-7B run is not
-/// bit-identical to the serial run — that is a determinism-contract
-/// violation, which the CI gate must surface loudly. Also panics if
-/// `plan_cache` is zero (the suite exists to keep the cache measured; a
-/// run without it cannot produce the gated hit rate).
-pub fn run_suite(
-    scale: Scale,
-    threads: usize,
-    plan_cache: usize,
-    plan_cache_shards: usize,
-) -> PerfReport {
-    assert!(plan_cache > 0, "run_suite requires a non-zero plan-cache capacity");
-    let host_cores = runtime::available_cores();
-    let resolved_threads = runtime::Runtime::new(threads).threads();
-    // Calibrate at suite start AND end, taking the min: host load drifts
-    // at minute scale, and a calibration sample that caught a slow window
-    // deflates every norm, so the best (fastest) estimate of machine
-    // speed is the stable denominator. Norms are filled in at the end.
-    let calibration_start = calibration_loop();
-    let mut workloads = Vec::new();
-
-    // Fig. 9 design point: Scoreboard-only, the DSE hot path.
-    let (stats, wall) =
-        measure(|| crate::experiments::fig9::design_point(8, 256, scale.tiles.max(2), 42));
-    workloads.push(PerfRecord {
-        name: "fig9_dse_t8_r256".into(),
-        cycles: 0,
-        total_ops: stats.total_ops,
-        density: stats.density(),
-        macs_per_cycle: 0.0,
-        wall_s: wall,
-        wall_norm: 0.0, // assigned after the final calibration below
-    });
-
-    // Full-scale LLaMA-7B q_proj, serial then parallel (same config
-    // except the threads knob); the pair must agree bit-exactly.
-    let shape = l7b_qproj_shape();
-    let layer_cfg = |threads: usize| TransArrayConfig {
-        sample_limit: scale.sample_limit,
-        threads,
-        ..TransArrayConfig::paper_w8()
-    };
-    let run_layer = |threads: usize| {
-        let ta = TransitiveArray::new(layer_cfg(threads));
-        let n_tile = ta.config().n_tile();
-        measure(move || {
-            let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
-            ta.simulate_layer(shape, &mut src)
-        })
-    };
-    let (serial_rep, serial_wall) = run_layer(1);
-    let (parallel_rep, parallel_wall) = run_layer(resolved_threads);
-    assert_eq!(
-        serial_rep, parallel_rep,
-        "determinism violation: parallel LLaMA-7B q_proj report differs from serial"
-    );
-
-    // Plan-cached run: one accelerator constructed outside the timing
-    // loop, so its shared cache persists across the measurement repeats
-    // — modeling repeated inference over the same static weights, which
-    // is exactly the cross-call reuse the cache exists for. The best
-    // sample is therefore a warm-cache time; the uncached serial wall is
-    // the denominator of `speedup_cached`.
-    let cached_ta =
-        TransitiveArray::new(TransArrayConfig { plan_cache, plan_cache_shards, ..layer_cfg(1) });
-    let n_tile = cached_ta.config().n_tile();
-    let (cached_rep, cached_wall) = measure(|| {
-        let mut src = QuantGaussianSource::new(8, 8, n_tile, 1234);
-        cached_ta.simulate_layer(shape, &mut src)
-    });
-    assert_eq!(
-        serial_rep, cached_rep,
-        "determinism violation: plan-cached LLaMA-7B q_proj report differs from uncached"
-    );
-    // Deterministic warm-replay hit rate: one more simulation of the
-    // same layer, measured by counter deltas ([`cached_replay`]). (The
-    // timing loop's aggregate rate would depend on how many iterations
-    // the pilot sized — a machine-speed artifact the gate must not see.)
-    let (replay_rep, _, plan_cache_hit_rate) = cached_replay(&cached_ta, shape, 1234);
-    assert_eq!(serial_rep, replay_rep, "warm plan-cached replay must stay bit-identical");
-
-    // Functional-path workload: the exact bit-level execution engine on
-    // an LLM-like integer GEMM (scaled `q_proj` shape). Guards both the
-    // engine's wall time and its losslessness.
-    let (en, ek, em) = scale.exec_shape();
-    let exec_w = llm_weight_matrix_int(en, ek, 8, 2024);
-    let exec_x = llm_activation_matrix_int(ek, em, 8, 2025);
-    let exec_reference = gemm_i32(&exec_w, &exec_x);
-    let exec_ta = TransitiveArray::new(layer_cfg(1));
-    let ((exec_out, exec_rep), exec_wall) = measure(|| exec_ta.execute_gemm(&exec_w, &exec_x));
-    assert_eq!(exec_out, exec_reference, "functional execution engine must stay bit-exact");
-
-    for (name, rep, wall) in [
-        ("l7b_qproj_serial", &serial_rep, serial_wall),
-        ("l7b_qproj_parallel", &parallel_rep, parallel_wall),
-        ("l7b_qproj_cached", &cached_rep, cached_wall),
-        ("l7b_qproj_exec", &exec_rep, exec_wall),
-    ] {
-        workloads.push(PerfRecord {
-            name: name.into(),
-            cycles: rep.cycles,
-            total_ops: rep.total_ops,
-            density: rep.density,
-            macs_per_cycle: rep.macs_per_cycle(),
-            wall_s: wall,
-            wall_norm: 0.0, // assigned after the final calibration below
-        });
-    }
-
-    // Serving frontend: the full ta-serve stack under a seeded
-    // open-loop trace, bit-checked against direct execution.
-    let (serve_record, serve_stats) = serve_open_loop(scale);
-    workloads.push(serve_record);
-
-    // Word-parallel kernel microbenchmarks (schema-6 workloads).
-    workloads.extend(kernel_micro(scale));
-
-    // Surface the layer's DRAM traffic as requests vs bursts (one
-    // request per weight/input/output stream of the shared tiling
-    // policy, 64 B bursts).
-    let mut dram = DramModel::paper_default();
-    dram.transfer(serial_rep.traffic.weight_bytes);
-    dram.transfer(serial_rep.traffic.input_bytes);
-    dram.transfer(serial_rep.traffic.output_bytes);
-
-    let calibration = calibration_start.min(calibration_loop());
-    for w in &mut workloads {
-        w.wall_norm = if calibration > 0.0 { w.wall_s / calibration } else { 0.0 };
-    }
-
-    let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 0.0 };
-    PerfReport {
-        schema: 6,
-        sha: String::new(),
-        scale: scale.name().to_string(),
-        threads: resolved_threads,
-        host_cores,
-        calibration_wall_s: calibration,
-        speedup_parallel: speedup,
-        plan_cache_hit_rate,
-        speedup_cached: if cached_wall > 0.0 { serial_wall / cached_wall } else { 0.0 },
-        dram_requests: dram.requests(),
-        dram_bursts: dram.bursts(),
-        exec_allocs_per_subtile: measure_exec_allocs(),
-        contention: contention_workload(plan_cache_shards),
-        serve: Some(serve_stats),
-        workloads,
-    }
-}
-
-/// Steady-state allocation audit of the flat execution engine: builds the
-/// plans, staged inputs, arena, and accumulator for a batch of
-/// representative sub-tiles **outside** the measured region, warms every
-/// buffer with one full pass, then counts heap allocations across many
-/// replay passes of the engine's per-sub-tile work: pattern staging
-/// (`subtile_patterns_into` into a reused buffer, as `execute_gemm`'s
-/// worker loop does) + `evaluate_into` (dynamic) +
-/// `evaluate_tile_functional_into` (static) + the fused per-row
-/// accumulation. A healthy engine measures exactly `0.0` allocations per
-/// sub-tile evaluation.
-///
-/// Deliberately **excluded**: Scoreboard/plan construction and plan-cache
-/// key building — those allocate by design (a fresh plan is built once
-/// per distinct pattern multiset and amortized by the plan cache); the
-/// zero-allocation contract this audit enforces is scoped to the
-/// *execution* path that runs for every sub-tile.
-///
-/// Returns `-1.0` when no counting global allocator is installed (see
-/// [`crate::alloc_count`]) — the figure binaries and library tests run on
-/// the plain system allocator.
-fn measure_exec_allocs() -> f64 {
-    if !alloc_count::counting_enabled() {
-        return -1.0;
-    }
-    const M: usize = 32;
-    const REPLAYS: u64 = 8;
-    let cfg = TransArrayConfig { sample_limit: 0, ..TransArrayConfig::paper_w8() };
-    let t = cfg.width as usize;
-    let w = llm_weight_matrix_int(2 * cfg.n_tile(), 8 * t, 8, 99);
-    let sliced = BitSlicedMatrix::slice(&w, 8);
-    let mut src = SlicedSource::new(&sliced, cfg.n_tile(), cfg.width);
-    let (n_tiles, k_chunks) = (2usize, 8usize);
-
-    // Pre-built dynamic plans (the post-Scoreboard product the plan
-    // cache would hand a warm worker), one per (n_tile, k_chunk).
-    let mut plans: Vec<ExecutionPlan> = Vec::new();
-    let mut all_patterns: Vec<u16> = Vec::new();
-    for nt in 0..n_tiles {
-        for kc in 0..k_chunks {
-            let patterns = src.subtile_patterns(nt, kc);
-            let sb = Scoreboard::build(cfg.scoreboard_config(), patterns.iter().copied());
-            all_patterns.extend_from_slice(&patterns);
-            plans.push(ExecutionPlan::from_scoreboard(&sb));
-        }
-    }
-    let rows_per_tile = src.rows_per_subtile();
-    let si = StaticSi::from_patterns(cfg.scoreboard_config(), all_patterns);
-
-    let mut staged = RowMajor::<i64>::zeros(k_chunks * t, M);
-    for r in 0..k_chunks * t {
-        for (c, v) in staged.row_mut(r).iter_mut().enumerate() {
-            *v = (r as i64 * 31 + c as i64 * 7) % 41 - 20;
-        }
-    }
-    let mut acc = RowMajor::<i64>::zeros(rows_per_tile, M);
-    let mut scratch = ExecScratch::new();
-    let mut patterns: Vec<u16> = Vec::new();
-
-    // One pass = execute_gemm's per-worker steady state: re-stage each
-    // sub-tile's patterns through the production source path, then run
-    // both engines with the fused accumulation.
-    let mut pass = |scratch: &mut ExecScratch, acc: &mut RowMajor<i64>, patterns: &mut Vec<u16>| {
-        for (i, plan) in plans.iter().enumerate() {
-            let (nt, kc) = (i / k_chunks, i % k_chunks);
-            src.subtile_patterns_into(nt, kc, patterns);
-            let inputs: TileView<'_> = staged.view_rows(kc * t, t);
-            // Dynamic engine + fused accumulate.
-            plan.evaluate_into(inputs, scratch, &mut NullSink);
-            for (r, &p) in patterns.iter().enumerate() {
-                if p == 0 {
-                    continue;
-                }
-                let result = scratch.result(p).expect("pattern computed");
-                for (a, &v) in acc.row_mut(r).iter_mut().zip(result) {
-                    *a += v;
-                }
-            }
-            // Static engine (chain materialization path).
-            si.evaluate_tile_functional_into(patterns, inputs, scratch, &mut NullSink);
-        }
-    };
-    // Warm the arena, sort buffer, pattern buffer, and accumulator.
-    pass(&mut scratch, &mut acc, &mut patterns);
-    let before = alloc_count::allocations();
-    for _ in 0..REPLAYS {
-        pass(&mut scratch, &mut acc, &mut patterns);
-    }
-    let delta = alloc_count::allocations() - before;
-    // Two engine evaluations (dynamic + static) per tile per replay.
-    delta as f64 / (REPLAYS * 2 * plans.len() as u64) as f64
-}
-
-// ---------------------------------------------------------------------------
-// Gate
-// ---------------------------------------------------------------------------
-
-/// Result of comparing a run against a baseline.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct GateOutcome {
-    /// Hard failures (CI exits non-zero when non-empty).
-    pub failures: Vec<String>,
-    /// Informational notes (improvements, skipped checks).
-    pub notes: Vec<String>,
-}
-
-impl GateOutcome {
-    /// Whether the gate passes.
-    pub fn passed(&self) -> bool {
-        self.failures.is_empty()
-    }
-}
-
-fn check_ratio(
-    out: &mut GateOutcome,
-    workload: &str,
-    metric: &str,
-    baseline: f64,
-    current: f64,
-    higher_is_worse: bool,
-    tolerance: f64,
-) {
-    if baseline <= 0.0 {
-        // The baseline marks this metric not-applicable for the workload
-        // (e.g. the Fig. 9 design point has no cycle model).
-        return;
-    }
-    if current <= 0.0 {
-        // A metric the baseline measured cannot legitimately collapse to
-        // zero — that is a broken simulator, not an improvement.
-        out.failures
-            .push(format!("{workload}/{metric} collapsed to zero (baseline {baseline:.4e})"));
-        return;
-    }
-    let ratio = current / baseline;
-    // Thresholds are reciprocal-symmetric: "worse" is past 1+tolerance
-    // in the bad direction, "better" past 1/(1+tolerance) in the good
-    // one. (A subtractive `1 - tolerance` bound would stop working the
-    // moment a widened tolerance reaches 100% — the check could never
-    // trip for lower-is-worse metrics.)
-    let upper = 1.0 + tolerance;
-    let (regressed, improved) = if higher_is_worse {
-        (ratio > upper, ratio * upper < 1.0)
-    } else {
-        (ratio * upper < 1.0, ratio > upper)
-    };
-    if regressed {
-        out.failures.push(format!(
-            "{workload}/{metric} regressed {:.1}% past the {:.0}% gate ({baseline:.4e} -> {current:.4e})",
-            (ratio - 1.0).abs() * 100.0,
-            tolerance * 100.0,
-        ));
-    } else if improved {
-        out.notes.push(format!(
-            "{workload}/{metric} improved ({baseline:.4e} -> {current:.4e}) — consider refreshing the baseline"
-        ));
-    }
-}
-
-/// Extra slack for wall-clock metrics: `wall_norm` gates at
-/// `tolerance × WALL_TOLERANCE_FACTOR` (20% × 5 = double-or-worse
-/// fails). Shared CI hosts show minute-scale contention swings of
-/// 30–60% that survive even best-of-[`SAMPLES`] batching and the
-/// start/end calibration min, while the regressions this arm exists to
-/// catch (an allocator creeping back onto the execute path, an
-/// accidentally quadratic loop) cost 2–3× — past the widened gate.
-/// Deterministic model metrics keep the full-strength tolerance; they,
-/// not wall clocks, carry the gate's precision.
-const WALL_TOLERANCE_FACTOR: f64 = 5.0;
-
-/// Compares `current` against `baseline` at `tolerance` (relative).
-///
-/// Deterministic model metrics (`cycles`, `total_ops`, `density`,
-/// `macs_per_cycle`) always gate hard. `wall_norm` gates only when the
-/// two runs saw the same core count — the calibration loop cancels
-/// clock-speed differences but not microarchitectural ones, so a
-/// baseline from a different machine shape would flake — and at the
-/// widened `WALL_TOLERANCE_FACTOR` (5×) tolerance. The parallel speedup
-/// additionally requires ≥4 cores on both sides (a 1-core runner cannot
-/// show a speedup, only overhead).
-pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> GateOutcome {
-    let mut out = GateOutcome::default();
-    if baseline.scale != current.scale {
-        out.failures.push(format!(
-            "scale mismatch: baseline '{}' vs current '{}' — regenerate the baseline at the gate's scale",
-            baseline.scale, current.scale
-        ));
-        return out;
-    }
-    for base in &baseline.workloads {
-        let Some(cur) = current.workloads.iter().find(|w| w.name == base.name) else {
-            out.failures.push(format!("workload '{}' missing from current run", base.name));
-            continue;
-        };
-        check_ratio(
-            &mut out,
-            &base.name,
-            "cycles",
-            base.cycles as f64,
-            cur.cycles as f64,
-            true,
-            tolerance,
-        );
-        check_ratio(
-            &mut out,
-            &base.name,
-            "total_ops",
-            base.total_ops as f64,
-            cur.total_ops as f64,
-            true,
-            tolerance,
-        );
-        check_ratio(&mut out, &base.name, "density", base.density, cur.density, true, tolerance);
-        check_ratio(
-            &mut out,
-            &base.name,
-            "macs_per_cycle",
-            base.macs_per_cycle,
-            cur.macs_per_cycle,
-            false,
-            tolerance,
-        );
-        if baseline.host_cores == current.host_cores {
-            check_ratio(
-                &mut out,
-                &base.name,
-                "wall_norm",
-                base.wall_norm,
-                cur.wall_norm,
-                true,
-                tolerance * WALL_TOLERANCE_FACTOR,
-            );
-        }
-    }
-    if baseline.host_cores != current.host_cores {
-        out.notes.push(format!(
-            "wall_norm gate skipped (baseline host_cores {}, current host_cores {}; refresh the baseline from a machine of the runner's shape to arm it)",
-            baseline.host_cores, current.host_cores
-        ));
-    }
-    // The per-workload loop above joins on baseline names, so a schema
-    // ≤ 5 baseline (no `kernel_micro_*` records) silently ignores the
-    // current run's kernel microbenchmarks — make the self-disable
-    // explicit so the CI log says why the new arm is dark.
-    let has_kernel_micro =
-        |r: &PerfReport| r.workloads.iter().any(|w| w.name.starts_with("kernel_micro_"));
-    if !has_kernel_micro(baseline) && has_kernel_micro(current) {
-        out.notes.push(
-            "kernel_micro gate skipped (baseline predates the kernel_micro workloads; refresh it)"
-                .to_string(),
-        );
-    }
-    // Deterministic by construction (warm-replay counter deltas), so it
-    // gates on every run: a drop past tolerance — and in particular a
-    // collapse to zero — means the plan cache disengaged or thrashes.
-    if baseline.plan_cache_hit_rate > 0.0 {
-        check_ratio(
-            &mut out,
-            "l7b_qproj_cached",
-            "plan_cache_hit_rate",
-            baseline.plan_cache_hit_rate,
-            current.plan_cache_hit_rate,
-            false,
-            tolerance,
-        );
-    } else {
-        out.notes.push(
-            "plan_cache_hit_rate gate skipped (baseline predates the plan cache; refresh it)"
-                .to_string(),
-        );
-    }
-    // Allocation-count gate (absolute, not ratio — the healthy value is
-    // exactly zero): a run that starts allocating per sub-tile on the
-    // steady-state exec path regressed the arena design, whatever the
-    // wall clock says. Unmeasured runs/baselines (-1.0 sentinel,
-    // schema ≤ 2 or no counting allocator) self-disable the check.
-    if baseline.exec_allocs_per_subtile >= 0.0 {
-        if current.exec_allocs_per_subtile < 0.0 {
-            out.notes.push(
-                "exec_allocs_per_subtile gate skipped (current run has no counting allocator)"
-                    .to_string(),
-            );
-        } else if current.exec_allocs_per_subtile > baseline.exec_allocs_per_subtile + 0.5 {
-            out.failures.push(format!(
-                "exec_allocs_per_subtile regressed: {} -> {} (steady-state exec must not allocate)",
-                baseline.exec_allocs_per_subtile, current.exec_allocs_per_subtile
-            ));
-        }
-    } else {
-        out.notes.push(
-            "exec_allocs_per_subtile gate skipped (baseline predates the allocation audit; refresh it)"
-                .to_string(),
-        );
-    }
-    // Parallel speedup is a machine-shape fact: it only gates when the
-    // two runs saw the *same* core count (never silently comparing
-    // across shapes) and the shape is big enough to show a speedup.
-    if baseline.host_cores != current.host_cores {
-        out.notes.push(format!(
-            "speedup gate skipped (host core count changed: baseline {}, current {} — parallel speedups are not comparable across machine shapes)",
-            baseline.host_cores, current.host_cores
-        ));
-    } else if baseline.host_cores < 4 {
-        out.notes.push(format!(
-            "speedup gate skipped (baseline cores {}, current cores {}; needs >= 4 on both)",
-            baseline.host_cores, current.host_cores
-        ));
-    } else {
-        check_ratio(
-            &mut out,
-            "l7b_qproj",
-            "speedup_parallel",
-            baseline.speedup_parallel,
-            current.speedup_parallel,
-            false,
-            tolerance,
-        );
-    }
-    // Hit-path contention gate: per-thread-count throughput plus the
-    // max-threads/1-thread scaling ratio, both at the widened wall
-    // tolerance (they are wall-clock metrics). Same self-disable rules
-    // as the speedup gate — core-count mismatch or a small host logs an
-    // explicit note instead of silently comparing 1-core numbers.
-    if baseline.contention.is_empty() {
-        out.notes.push(
-            "contention gate skipped (baseline predates the plan_cache_contention workload; refresh it)"
-                .to_string(),
-        );
-    } else if current.contention.is_empty() {
-        out.failures.push("plan_cache_contention workload missing from current run".to_string());
-    } else if baseline.host_cores != current.host_cores {
-        out.notes.push(format!(
-            "contention gate skipped (host core count changed: baseline {}, current {} — hit-path scaling is not comparable across machine shapes)",
-            baseline.host_cores, current.host_cores
-        ));
-    } else if baseline.host_cores < 4 {
-        out.notes.push(format!(
-            "contention gate skipped ({}-core host cannot demonstrate hit-path scaling; needs >= 4 cores)",
-            baseline.host_cores
-        ));
-    } else {
-        for base_pt in &baseline.contention {
-            let Some(cur_pt) = current.contention.iter().find(|p| p.threads == base_pt.threads)
-            else {
-                out.failures.push(format!(
-                    "plan_cache_contention point for {} threads missing from current run",
-                    base_pt.threads
-                ));
-                continue;
-            };
-            check_ratio(
-                &mut out,
-                &format!("plan_cache_contention_t{}", base_pt.threads),
-                "mlookups_per_s",
-                base_pt.mlookups_per_s,
-                cur_pt.mlookups_per_s,
-                false,
-                tolerance * WALL_TOLERANCE_FACTOR,
-            );
-        }
-        let scaling = |pts: &[ContentionPoint]| -> Option<f64> {
-            let t1 = pts.iter().find(|p| p.threads == 1)?;
-            let tmax = pts.iter().max_by_key(|p| p.threads)?;
-            (t1.mlookups_per_s > 0.0 && tmax.threads > 1)
-                .then(|| tmax.mlookups_per_s / t1.mlookups_per_s)
-        };
-        if let (Some(base_scaling), Some(cur_scaling)) =
-            (scaling(&baseline.contention), scaling(&current.contention))
-        {
-            check_ratio(
-                &mut out,
-                "plan_cache_contention",
-                "hit_path_scaling",
-                base_scaling,
-                cur_scaling,
-                false,
-                tolerance * WALL_TOLERANCE_FACTOR,
-            );
-        }
-    }
-    // Serving-frontend gate. The trace is seeded, so the request count
-    // must match exactly and the padded count gates at full strength;
-    // throughput/latency are wall-clock metrics — widened tolerance,
-    // same-shape hosts only (batch count is timing-dependent and is
-    // recorded but never gated). The `serve_open_loop` PerfRecord's
-    // deterministic cycle/op sums already gate through the per-workload
-    // loop above.
-    match (&baseline.serve, &current.serve) {
-        (None, _) => out.notes.push(
-            "serve gate skipped (baseline predates the serve_open_loop workload; refresh it)"
-                .to_string(),
-        ),
-        (Some(_), None) => {
-            out.failures.push("serve_open_loop stats missing from current run".to_string());
-        }
-        (Some(base), Some(cur)) => {
-            if base.requests != cur.requests {
-                out.failures.push(format!(
-                    "serve_open_loop/requests changed: {} -> {} (the trace is seeded; the count is exact)",
-                    base.requests, cur.requests
-                ));
-            }
-            if base.padded != cur.padded {
-                out.failures.push(format!(
-                    "serve_open_loop/padded changed: {} -> {} (padding depends only on shape and quantum)",
-                    base.padded, cur.padded
-                ));
-            }
-            if baseline.host_cores == current.host_cores {
-                let wall_tol = tolerance * WALL_TOLERANCE_FACTOR;
-                check_ratio(
-                    &mut out,
-                    "serve_open_loop",
-                    "throughput_rps",
-                    base.throughput_rps,
-                    cur.throughput_rps,
-                    false,
-                    wall_tol,
-                );
-                check_ratio(
-                    &mut out,
-                    "serve_open_loop",
-                    "p50_latency_ns",
-                    base.p50_latency_ns,
-                    cur.p50_latency_ns,
-                    true,
-                    wall_tol,
-                );
-                check_ratio(
-                    &mut out,
-                    "serve_open_loop",
-                    "p99_latency_ns",
-                    base.p99_latency_ns,
-                    cur.p99_latency_ns,
-                    true,
-                    wall_tol,
-                );
-            } else {
-                out.notes.push(format!(
-                    "serve throughput/latency gate skipped (baseline host_cores {}, current host_cores {})",
-                    baseline.host_cores, current.host_cores
-                ));
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// JSON micro-codec
-// ---------------------------------------------------------------------------
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:?}")
-    } else {
-        "0.0".to_string()
-    }
-}
-
-/// Quotes and escapes a string for JSON output (shared with the figure
-/// tables' JSON writer).
-pub(crate) fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-impl ContentionPoint {
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"threads\": {}, \"lookups\": {}, \"wall_s\": {}, \"ns_per_lookup\": {}, \"mlookups_per_s\": {}}}",
-            self.threads,
-            self.lookups,
-            json_f64(self.wall_s),
-            json_f64(self.ns_per_lookup),
-            json_f64(self.mlookups_per_s),
-        )
-    }
-}
-
-impl ServeStats {
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"requests\": {}, \"batches\": {}, \"padded\": {}, \"workers\": {}, \"throughput_rps\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
-            self.requests,
-            self.batches,
-            self.padded,
-            self.workers,
-            json_f64(self.throughput_rps),
-            json_f64(self.p50_latency_ns),
-            json_f64(self.p99_latency_ns),
-        )
-    }
-}
-
-impl PerfRecord {
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"name\": {}, \"cycles\": {}, \"total_ops\": {}, \"density\": {}, \"macs_per_cycle\": {}, \"wall_s\": {}, \"wall_norm\": {}}}",
-            json_str(&self.name),
-            self.cycles,
-            self.total_ops,
-            json_f64(self.density),
-            json_f64(self.macs_per_cycle),
-            json_f64(self.wall_s),
-            json_f64(self.wall_norm),
-        )
-    }
-}
-
-impl PerfReport {
-    /// Serializes the report as pretty-ish JSON.
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": {},", self.schema);
-        let _ = writeln!(out, "  \"sha\": {},", json_str(&self.sha));
-        let _ = writeln!(out, "  \"scale\": {},", json_str(&self.scale));
-        let _ = writeln!(out, "  \"threads\": {},", self.threads);
-        let _ = writeln!(out, "  \"host_cores\": {},", self.host_cores);
-        let _ = writeln!(out, "  \"calibration_wall_s\": {},", json_f64(self.calibration_wall_s));
-        let _ = writeln!(out, "  \"speedup_parallel\": {},", json_f64(self.speedup_parallel));
-        let _ = writeln!(out, "  \"plan_cache_hit_rate\": {},", json_f64(self.plan_cache_hit_rate));
-        let _ = writeln!(out, "  \"speedup_cached\": {},", json_f64(self.speedup_cached));
-        let _ = writeln!(out, "  \"dram_requests\": {},", self.dram_requests);
-        let _ = writeln!(out, "  \"dram_bursts\": {},", self.dram_bursts);
-        let _ = writeln!(
-            out,
-            "  \"exec_allocs_per_subtile\": {},",
-            json_f64(self.exec_allocs_per_subtile)
-        );
-        // Schema-5 field, one line so older tooling can strip it; omitted
-        // entirely when absent (the parser defaults to `None`).
-        if let Some(serve) = &self.serve {
-            let _ = writeln!(out, "  \"serve\": {},", serve.to_json());
-        }
-        let _ = writeln!(out, "  \"plan_cache_contention\": [");
-        for (i, c) in self.contention.iter().enumerate() {
-            let comma = if i + 1 < self.contention.len() { "," } else { "" };
-            let _ = writeln!(out, "    {}{comma}", c.to_json());
-        }
-        let _ = writeln!(out, "  ],");
-        let _ = writeln!(out, "  \"workloads\": [");
-        for (i, w) in self.workloads.iter().enumerate() {
-            let comma = if i + 1 < self.workloads.len() { "," } else { "" };
-            let _ = writeln!(out, "    {}{comma}", w.to_json());
-        }
-        let _ = writeln!(out, "  ]");
-        let _ = writeln!(out, "}}");
-        out
-    }
-
-    /// Parses a report emitted by [`Self::to_json`].
-    ///
-    /// # Errors
-    ///
-    /// Returns a descriptive message on malformed input or missing
-    /// fields.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        let value = JsonParser::new(text).parse()?;
-        let obj = value.as_obj("top level")?;
-        let workloads = obj
-            .get("workloads")?
-            .as_arr("workloads")?
-            .iter()
-            .map(|w| {
-                let o = w.as_obj("workload")?;
-                Ok(PerfRecord {
-                    name: o.get("name")?.as_str("name")?.to_string(),
-                    cycles: o.get("cycles")?.as_u64("cycles")?,
-                    total_ops: o.get("total_ops")?.as_u64("total_ops")?,
-                    density: o.get("density")?.as_f64("density")?,
-                    macs_per_cycle: o.get("macs_per_cycle")?.as_f64("macs_per_cycle")?,
-                    wall_s: o.get("wall_s")?.as_f64("wall_s")?,
-                    wall_norm: o.get("wall_norm")?.as_f64("wall_norm")?,
-                })
-            })
-            .collect::<Result<Vec<_>, String>>()?;
-        Ok(Self {
-            schema: obj.get("schema")?.as_u64("schema")?,
-            sha: obj.get("sha")?.as_str("sha")?.to_string(),
-            scale: obj.get("scale")?.as_str("scale")?.to_string(),
-            threads: obj.get("threads")?.as_u64("threads")? as usize,
-            // Schema-4 renamed `cores` to `host_cores` (the satellite
-            // gate fix); either key parses.
-            host_cores: match obj.get_opt("host_cores") {
-                Some(v) => v.as_u64("host_cores")? as usize,
-                None => obj.get("cores")?.as_u64("cores")? as usize,
-            },
-            calibration_wall_s: obj.get("calibration_wall_s")?.as_f64("calibration_wall_s")?,
-            speedup_parallel: obj.get("speedup_parallel")?.as_f64("speedup_parallel")?,
-            // Schema-1 reports predate the plan cache; default the new
-            // fields so an old baseline still parses (the hit-rate gate
-            // then self-disables via the `baseline <= 0` rule).
-            plan_cache_hit_rate: match obj.get_opt("plan_cache_hit_rate") {
-                Some(v) => v.as_f64("plan_cache_hit_rate")?,
-                None => 0.0,
-            },
-            speedup_cached: match obj.get_opt("speedup_cached") {
-                Some(v) => v.as_f64("speedup_cached")?,
-                None => 0.0,
-            },
-            dram_requests: match obj.get_opt("dram_requests") {
-                Some(v) => v.as_u64("dram_requests")?,
-                None => 0,
-            },
-            dram_bursts: match obj.get_opt("dram_bursts") {
-                Some(v) => v.as_u64("dram_bursts")?,
-                None => 0,
-            },
-            // Schema-2 reports predate the allocation audit; the -1.0
-            // sentinel marks it unmeasured and self-disables the gate.
-            exec_allocs_per_subtile: match obj.get_opt("exec_allocs_per_subtile") {
-                Some(v) => v.as_f64("exec_allocs_per_subtile")?,
-                None => -1.0,
-            },
-            // Schema ≤ 3 reports predate the contention sweep; an empty
-            // vec self-disables the contention gate with a note.
-            contention: match obj.get_opt("plan_cache_contention") {
-                Some(v) => v
-                    .as_arr("plan_cache_contention")?
-                    .iter()
-                    .map(|c| {
-                        let o = c.as_obj("contention point")?;
-                        Ok(ContentionPoint {
-                            threads: o.get("threads")?.as_u64("threads")? as usize,
-                            lookups: o.get("lookups")?.as_u64("lookups")?,
-                            wall_s: o.get("wall_s")?.as_f64("wall_s")?,
-                            ns_per_lookup: o.get("ns_per_lookup")?.as_f64("ns_per_lookup")?,
-                            mlookups_per_s: o.get("mlookups_per_s")?.as_f64("mlookups_per_s")?,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, String>>()?,
-                None => Vec::new(),
-            },
-            // Schema ≤ 4 reports predate the serving frontend; `None`
-            // self-disables the serve gate with a note.
-            serve: match obj.get_opt("serve") {
-                Some(v) => {
-                    let o = v.as_obj("serve")?;
-                    Some(ServeStats {
-                        requests: o.get("requests")?.as_u64("requests")?,
-                        batches: o.get("batches")?.as_u64("batches")?,
-                        padded: o.get("padded")?.as_u64("padded")?,
-                        workers: o.get("workers")?.as_u64("workers")? as usize,
-                        throughput_rps: o.get("throughput_rps")?.as_f64("throughput_rps")?,
-                        p50_latency_ns: o.get("p50_latency_ns")?.as_f64("p50_latency_ns")?,
-                        p99_latency_ns: o.get("p99_latency_ns")?.as_f64("p99_latency_ns")?,
-                    })
-                }
-                None => None,
-            },
-            workloads,
-        })
-    }
-}
-
-/// Minimal JSON value (the subset [`PerfReport::to_json`] emits).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct JsonObj<'a>(&'a [(String, Json)]);
-
-impl<'a> JsonObj<'a> {
-    fn get(&self, key: &str) -> Result<&'a Json, String> {
-        self.get_opt(key).ok_or_else(|| format!("missing field '{key}'"))
-    }
-
-    fn get_opt(&self, key: &str) -> Option<&'a Json> {
-        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-}
-
-impl Json {
-    fn as_obj(&self, ctx: &str) -> Result<JsonObj<'_>, String> {
-        match self {
-            Json::Obj(fields) => Ok(JsonObj(fields)),
-            other => Err(format!("{ctx}: expected object, got {other:?}")),
-        }
-    }
-
-    fn as_arr(&self, ctx: &str) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            other => Err(format!("{ctx}: expected array, got {other:?}")),
-        }
-    }
-
-    fn as_str(&self, ctx: &str) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("{ctx}: expected string, got {other:?}")),
-        }
-    }
-
-    fn as_f64(&self, ctx: &str) -> Result<f64, String> {
-        match self {
-            Json::Num(v) => Ok(*v),
-            other => Err(format!("{ctx}: expected number, got {other:?}")),
-        }
-    }
-
-    fn as_u64(&self, ctx: &str) -> Result<u64, String> {
-        let v = self.as_f64(ctx)?;
-        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
-            return Err(format!("{ctx}: expected non-negative integer, got {v}"));
-        }
-        Ok(v as u64)
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn parse(mut self) -> Result<Json, String> {
-        let v = self.value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", self.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        let got = self.peek()?;
-        if got != b {
-            return Err(format!(
-                "expected '{}' at byte {}, got '{}'",
-                b as char, self.pos, got as char
-            ));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            _ => self.number(),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            let v = self.value()?;
-            fields.push((key, v));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', got '{}'", other as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', got '{}'", other as char)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or_else(|| "unterminated string".to_string())?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?,
-                            );
-                        }
-                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                    }
-                }
-                b => {
-                    // Multi-byte UTF-8 continuation: copy the raw bytes.
-                    let start = self.pos - 1;
-                    let mut end = self.pos;
-                    if b >= 0x80 {
-                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
-                            end += 1;
-                        }
-                        self.pos = end;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..end.max(start + 1)])
-                            .map_err(|e| e.to_string())?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number '{text}'"))
-    }
-}
-
+/// Shared report fixture of the gate and codec tests.
 #[cfg(test)]
-mod tests {
+pub(crate) mod test_fixture {
     use super::*;
 
-    fn sample_report() -> PerfReport {
+    pub(crate) fn sample_report() -> PerfReport {
         PerfReport {
             schema: 6,
             sha: "abc123".into(),
@@ -1658,586 +237,5 @@ mod tests {
                 },
             ],
         }
-    }
-
-    #[test]
-    fn json_roundtrip_is_exact() {
-        let report = sample_report();
-        let parsed = PerfReport::from_json(&report.to_json()).expect("roundtrip");
-        assert_eq!(parsed, report);
-    }
-
-    #[test]
-    fn parser_rejects_garbage() {
-        assert!(PerfReport::from_json("not json").is_err());
-        assert!(PerfReport::from_json("{}").is_err(), "missing fields must error");
-        assert!(PerfReport::from_json("{\"schema\": 1} trailing").is_err());
-    }
-
-    #[test]
-    fn gate_passes_identical_reports() {
-        let r = sample_report();
-        let outcome = compare(&r, &r, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-    }
-
-    #[test]
-    fn gate_trips_on_injected_slowdown() {
-        let base = sample_report();
-        let mut slow = base.clone();
-        for w in &mut slow.workloads {
-            w.wall_s *= 3.0;
-            w.wall_norm *= 3.0;
-        }
-        let outcome = compare(&base, &slow, GATE_TOLERANCE);
-        assert!(!outcome.passed());
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("wall_norm")),
-            "failures: {:?}",
-            outcome.failures
-        );
-    }
-
-    #[test]
-    fn gate_trips_on_cycle_regression_and_missing_workload() {
-        let base = sample_report();
-        let mut worse = base.clone();
-        worse.workloads[0].cycles = (base.workloads[0].cycles as f64 * 1.3) as u64;
-        worse.workloads.pop();
-        let outcome = compare(&base, &worse, GATE_TOLERANCE);
-        assert!(outcome.failures.iter().any(|f| f.contains("cycles")));
-        assert!(outcome.failures.iter().any(|f| f.contains("missing")));
-    }
-
-    #[test]
-    fn gate_ignores_small_jitter_and_notes_improvements() {
-        let base = sample_report();
-        let mut jitter = base.clone();
-        jitter.workloads[0].wall_norm *= 1.1; // within 20%
-        jitter.workloads[0].macs_per_cycle *= 1.5; // improvement
-        let outcome = compare(&base, &jitter, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(outcome.notes.iter().any(|n| n.contains("improved")));
-    }
-
-    #[test]
-    fn wall_norm_gates_at_widened_tolerance_only() {
-        let base = sample_report();
-        // +60% wall: a shared-host contention swing, inside the widened
-        // wall gate (20% × 5 = 100%) — must pass.
-        let mut burst = base.clone();
-        for w in &mut burst.workloads {
-            w.wall_norm *= 1.6;
-        }
-        let outcome = compare(&base, &burst, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        // +150% wall (e.g. the 3× inject-slowdown self-test): past even
-        // the widened gate — must fail.
-        let mut slow = base.clone();
-        for w in &mut slow.workloads {
-            w.wall_norm *= 2.5;
-        }
-        let outcome = compare(&base, &slow, GATE_TOLERANCE);
-        assert!(outcome.failures.iter().any(|f| f.contains("wall_norm")));
-        // Deterministic metrics keep the full-strength 20%: +60% cycles
-        // fails even though the same ratio passed for wall_norm.
-        let mut cyc = base.clone();
-        cyc.workloads[0].cycles = (base.workloads[0].cycles as f64 * 1.6) as u64;
-        let outcome = compare(&base, &cyc, GATE_TOLERANCE);
-        assert!(outcome.failures.iter().any(|f| f.contains("cycles")));
-    }
-
-    #[test]
-    fn gate_skips_speedup_on_small_hosts() {
-        let mut base = sample_report();
-        base.host_cores = 1;
-        let mut cur = base.clone();
-        cur.speedup_parallel = 0.5; // would fail on a >= 4-core pair
-        let outcome = compare(&base, &cur, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(outcome.notes.iter().any(|n| n.contains("speedup gate skipped")));
-        // The contention gate self-disables on a small host too, with
-        // its own logged reason.
-        assert!(
-            outcome.notes.iter().any(|n| n.contains("contention gate skipped")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn gate_skips_speedup_and_contention_on_core_count_mismatch() {
-        let base = sample_report();
-        let mut cur = base.clone();
-        cur.host_cores = 64; // both ≥ 4, but shapes differ
-        cur.speedup_parallel = 0.1; // would fail on matching shapes
-        cur.contention[1].mlookups_per_s = 0.1; // would fail on matching shapes
-        let outcome = compare(&base, &cur, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(
-            outcome.notes.iter().any(
-                |n| n.contains("speedup gate skipped") && n.contains("host core count changed")
-            ),
-            "notes: {:?}",
-            outcome.notes
-        );
-        assert!(
-            outcome
-                .notes
-                .iter()
-                .any(|n| n.contains("contention gate skipped")
-                    && n.contains("host core count changed")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn gate_fails_when_measured_metric_collapses_to_zero() {
-        let base = sample_report();
-        let mut cur = base.clone();
-        cur.workloads[0].cycles = 0;
-        let outcome = compare(&base, &cur, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("collapsed to zero")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // But a metric the *baseline* marks not-applicable stays skipped
-        // (the fig9 record has cycles 0 on both sides).
-        assert!(!outcome.failures.iter().any(|f| f.contains("fig9")));
-    }
-
-    #[test]
-    fn gate_skips_wall_norm_across_machine_shapes() {
-        let base = sample_report();
-        let mut cur = base.clone();
-        cur.host_cores = 4; // baseline recorded 8 cores
-        cur.workloads[0].wall_norm *= 10.0; // would trip on matching shapes
-        let outcome = compare(&base, &cur, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(outcome.notes.iter().any(|n| n.contains("wall_norm gate skipped")));
-    }
-
-    #[test]
-    fn gate_trips_when_hit_rate_collapses() {
-        let base = sample_report();
-        let mut cur = base.clone();
-        cur.plan_cache_hit_rate = 0.0;
-        let outcome = compare(&base, &cur, GATE_TOLERANCE);
-        assert!(
-            outcome
-                .failures
-                .iter()
-                .any(|f| f.contains("plan_cache_hit_rate") && f.contains("collapsed to zero")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // A mild dip inside tolerance passes.
-        let mut dip = base.clone();
-        dip.plan_cache_hit_rate = 0.9;
-        assert!(compare(&base, &dip, GATE_TOLERANCE).passed());
-        // A drop past tolerance fails.
-        let mut drop = base.clone();
-        drop.plan_cache_hit_rate = 0.5;
-        assert!(!compare(&base, &drop, GATE_TOLERANCE).passed());
-    }
-
-    #[test]
-    fn contention_gate_trips_on_throughput_collapse() {
-        let base = sample_report();
-        // The 8-thread point flattens back to mutex-like throughput:
-        // past even the widened (5×20% = 100%) gate — both the absolute
-        // point and the scaling ratio must fail.
-        let mut flat = base.clone();
-        flat.contention[1].mlookups_per_s = 8.0;
-        let outcome = compare(&base, &flat, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("plan_cache_contention_t8")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("hit_path_scaling")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // Jitter inside the widened gate passes.
-        let mut jitter = base.clone();
-        jitter.contention[1].mlookups_per_s = 30.0;
-        assert!(compare(&base, &jitter, GATE_TOLERANCE).passed());
-        // A current run that dropped the workload entirely fails.
-        let mut missing = base.clone();
-        missing.contention.clear();
-        let outcome = compare(&base, &missing, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("missing from current run")),
-            "failures: {:?}",
-            outcome.failures
-        );
-    }
-
-    #[test]
-    fn contention_workload_forces_full_hit_rate() {
-        // Small direct run of the sweep itself: every point must record
-        // the exact lookup count and a positive throughput.
-        let points = contention_workload(4);
-        assert_eq!(points.len(), CONTENTION_THREADS.len());
-        for (p, &threads) in points.iter().zip(CONTENTION_THREADS.iter()) {
-            assert_eq!(p.threads, threads);
-            assert_eq!(p.lookups, threads as u64 * 20_000);
-            assert!(p.wall_s > 0.0 && p.mlookups_per_s > 0.0 && p.ns_per_lookup > 0.0);
-        }
-    }
-
-    #[test]
-    fn contention_workload_survives_many_shards() {
-        // Regression test for the shard-count/capacity interaction: 256
-        // shards is the auto count of a 64-core host. With a fixed total
-        // capacity that meant 1-entry shards, where pre-warm hash
-        // collisions evicted warm keys and the sweep's never-miss assert
-        // panicked — nondeterministically by host shape. Capacity now
-        // scales with the shard count, so this must hold on any host.
-        for p in contention_workload(256) {
-            assert!(p.mlookups_per_s > 0.0);
-        }
-    }
-
-    #[test]
-    fn schema3_baseline_parses_with_legacy_cores_and_skips_contention_gate() {
-        // A schema-3 baseline has `cores` (not `host_cores`) and no
-        // `plan_cache_contention` array.
-        let mut old = sample_report();
-        old.schema = 3;
-        old.contention.clear();
-        old.serve = None;
-        let text = old
-            .to_json()
-            .lines()
-            .filter(|l| *l != "  \"plan_cache_contention\": [" && *l != "  ],")
-            .map(|l| {
-                if l.starts_with("  \"host_cores\"") {
-                    format!("  \"cores\": {},", old.host_cores)
-                } else {
-                    l.to_string()
-                }
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        let parsed = PerfReport::from_json(&text).expect("schema-3 baseline must parse");
-        assert_eq!(parsed.host_cores, old.host_cores, "legacy `cores` key must map over");
-        assert!(parsed.contention.is_empty());
-        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(
-            outcome
-                .notes
-                .iter()
-                .any(|n| n.contains("contention gate skipped") && n.contains("predates")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn schema1_baseline_parses_and_skips_hit_rate_gate() {
-        // A pre-plan-cache baseline lacks the schema-2 fields entirely.
-        let mut old = sample_report();
-        old.schema = 1;
-        old.serve = None;
-        let mut text = old.to_json();
-        for field in [
-            "plan_cache_hit_rate",
-            "speedup_cached",
-            "dram_requests",
-            "dram_bursts",
-            "exec_allocs_per_subtile",
-        ] {
-            let needle = format!("  \"{field}\"");
-            text = text.lines().filter(|l| !l.starts_with(&needle)).collect::<Vec<_>>().join("\n");
-        }
-        let parsed = PerfReport::from_json(&text).expect("schema-1 baseline must parse");
-        assert_eq!(parsed.plan_cache_hit_rate, 0.0);
-        assert_eq!(parsed.speedup_cached, 0.0);
-        assert_eq!(parsed.dram_requests, 0);
-        assert_eq!(parsed.exec_allocs_per_subtile, -1.0);
-        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(
-            outcome.notes.iter().any(|n| n.contains("plan_cache_hit_rate gate skipped")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn schema2_baseline_parses_and_skips_alloc_gate() {
-        // A schema-2 baseline (pre flat-buffer engine) lacks the
-        // allocation-audit field but keeps everything else.
-        let mut old = sample_report();
-        old.schema = 2;
-        old.serve = None;
-        let needle = "  \"exec_allocs_per_subtile\"";
-        let text =
-            old.to_json().lines().filter(|l| !l.starts_with(needle)).collect::<Vec<_>>().join("\n");
-        let parsed = PerfReport::from_json(&text).expect("schema-2 baseline must parse");
-        assert_eq!(parsed.exec_allocs_per_subtile, -1.0);
-        assert_eq!(parsed.plan_cache_hit_rate, 1.0, "schema-2 fields still parse");
-        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(
-            outcome.notes.iter().any(|n| n.contains("exec_allocs_per_subtile gate skipped")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn gate_trips_on_alloc_regression_only_past_slack() {
-        let base = sample_report();
-        // Within the ±0.5 absolute slack: passes (occasional one-off
-        // growth of a warm buffer is not a design regression).
-        let mut mild = base.clone();
-        mild.exec_allocs_per_subtile = 0.3;
-        assert!(compare(&base, &mild, GATE_TOLERANCE).passed());
-        // A real per-sub-tile allocation rate fails.
-        let mut bad = base.clone();
-        bad.exec_allocs_per_subtile = 2.0;
-        let outcome = compare(&base, &bad, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("exec_allocs_per_subtile")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // Current run without a counting allocator: note, not failure.
-        let mut unmeasured = base.clone();
-        unmeasured.exec_allocs_per_subtile = -1.0;
-        let outcome = compare(&base, &unmeasured, GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(outcome.notes.iter().any(|n| n.contains("no counting allocator")));
-    }
-
-    #[test]
-    fn schema4_baseline_parses_and_skips_serve_gate() {
-        // A schema-4 baseline predates the serving frontend: no `serve`
-        // object (and no `serve_open_loop` workload). It must parse,
-        // and the serve gate must self-disable with a note instead of
-        // failing on the missing stats.
-        let mut old = sample_report();
-        old.schema = 4;
-        old.serve = None;
-        let text = old.to_json();
-        assert!(!text.contains("\"serve\""), "None must omit the serve line entirely");
-        let parsed = PerfReport::from_json(&text).expect("schema-4 baseline must parse");
-        assert_eq!(parsed, old);
-        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(
-            outcome
-                .notes
-                .iter()
-                .any(|n| n.contains("serve gate skipped") && n.contains("predates")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn schema5_baseline_parses_and_skips_kernel_micro_gate() {
-        // A schema-5 baseline predates the kernel_micro workloads: same
-        // report shape, just no `kernel_micro_*` records. It must parse,
-        // gate everything it does carry, and log that the kernel arm is
-        // dark instead of failing (the gate only joins on baseline
-        // workload names).
-        let mut old = sample_report();
-        old.schema = 5;
-        old.workloads.retain(|w| !w.name.starts_with("kernel_micro_"));
-        let parsed = PerfReport::from_json(&old.to_json()).expect("schema-5 baseline must parse");
-        assert_eq!(parsed, old);
-        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
-        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
-        assert!(
-            outcome
-                .notes
-                .iter()
-                .any(|n| n.contains("kernel_micro gate skipped") && n.contains("predates")),
-            "notes: {:?}",
-            outcome.notes
-        );
-        // With kernel_micro on both sides the note disappears and the
-        // deterministic column gates at full strength.
-        let base = sample_report();
-        let mut drift = base.clone();
-        drift.workloads.last_mut().unwrap().total_ops *= 2;
-        let outcome = compare(&base, &drift, GATE_TOLERANCE);
-        assert!(
-            outcome
-                .failures
-                .iter()
-                .any(|f| f.contains("kernel_micro_popcount") && f.contains("total_ops")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        assert!(!compare(&base, &base, GATE_TOLERANCE)
-            .notes
-            .iter()
-            .any(|n| n.contains("kernel_micro gate skipped")));
-    }
-
-    #[test]
-    fn serve_gate_requires_exact_deterministic_counts() {
-        let base = sample_report();
-        // A current run that dropped the serving stats entirely fails.
-        let mut missing = base.clone();
-        missing.serve = None;
-        let outcome = compare(&base, &missing, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("serve_open_loop stats missing")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // The trace is seeded: a changed request count is a hard fail.
-        let mut drifted = base.clone();
-        drifted.serve.as_mut().unwrap().requests = 47;
-        let outcome = compare(&base, &drifted, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("serve_open_loop/requests changed")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // Padding depends only on shape and quantum: also exact.
-        let mut padded = base.clone();
-        padded.serve.as_mut().unwrap().padded = 31;
-        let outcome = compare(&base, &padded, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("serve_open_loop/padded changed")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // Batch count is timing-dependent — never gated.
-        let mut batches = base.clone();
-        batches.serve.as_mut().unwrap().batches = 48;
-        assert!(compare(&base, &batches, GATE_TOLERANCE).passed());
-    }
-
-    #[test]
-    fn serve_wall_metrics_gate_at_widened_tolerance_and_matching_shape_only() {
-        let base = sample_report();
-        // -40% throughput: inside the widened (100%) wall gate — passes.
-        let mut jitter = base.clone();
-        jitter.serve.as_mut().unwrap().throughput_rps *= 0.6;
-        assert!(compare(&base, &jitter, GATE_TOLERANCE).passed());
-        // Throughput halved-and-worse plus p99 tripled: both fail.
-        let mut slow = base.clone();
-        {
-            let s = slow.serve.as_mut().unwrap();
-            s.throughput_rps /= 2.5;
-            s.p99_latency_ns *= 3.0;
-        }
-        let outcome = compare(&base, &slow, GATE_TOLERANCE);
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("serve_open_loop/throughput_rps")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        assert!(
-            outcome.failures.iter().any(|f| f.contains("serve_open_loop/p99_latency_ns")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        // Across machine shapes the wall metrics skip with a note; the
-        // deterministic counts still gate.
-        let mut other_host = slow.clone();
-        other_host.host_cores = 64;
-        let outcome = compare(&base, &other_host, GATE_TOLERANCE);
-        assert!(
-            !outcome.failures.iter().any(|f| f.contains("throughput_rps")),
-            "failures: {:?}",
-            outcome.failures
-        );
-        assert!(
-            outcome.notes.iter().any(|n| n.contains("serve throughput/latency gate skipped")),
-            "notes: {:?}",
-            outcome.notes
-        );
-    }
-
-    #[test]
-    fn gate_rejects_scale_mismatch() {
-        let base = sample_report();
-        let mut cur = base.clone();
-        cur.scale = "full".into();
-        assert!(!compare(&base, &cur, GATE_TOLERANCE).passed());
-    }
-
-    #[test]
-    fn suite_runs_at_tiny_scale_and_is_deterministic() {
-        let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
-        let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES, 0);
-        assert_eq!(report.workloads.len(), 9);
-        assert_eq!(report.schema, 6);
-        assert_eq!(report.contention.len(), CONTENTION_THREADS.len());
-        for p in &report.contention {
-            assert!(p.mlookups_per_s > 0.0, "contention sweep must measure real throughput");
-        }
-        assert!(report.host_cores >= 1);
-        let serial = report.workloads.iter().find(|w| w.name == "l7b_qproj_serial").unwrap();
-        let parallel = report.workloads.iter().find(|w| w.name == "l7b_qproj_parallel").unwrap();
-        let cached = report.workloads.iter().find(|w| w.name == "l7b_qproj_cached").unwrap();
-        let exec = report.workloads.iter().find(|w| w.name == "l7b_qproj_exec").unwrap();
-        assert_eq!(serial.cycles, parallel.cycles, "parallel must be bit-exact");
-        assert_eq!(serial.total_ops, parallel.total_ops);
-        assert_eq!(serial.cycles, cached.cycles, "plan cache must be bit-exact");
-        assert_eq!(serial.total_ops, cached.total_ops);
-        assert!(serial.cycles > 0);
-        assert!(exec.cycles > 0 && exec.total_ops > 0, "exec workload reports a real run");
-        assert!(exec.density > 0.0 && exec.density < 1.0);
-        assert!(report.speedup_parallel > 0.0);
-        assert_eq!(
-            report.plan_cache_hit_rate, 1.0,
-            "a warm replay under an adequate capacity must hit every sub-tile"
-        );
-        assert!(report.speedup_cached > 0.0);
-        assert_eq!(report.dram_requests, 3, "one request per W/I/O stream");
-        assert!(report.dram_bursts > report.dram_requests, "bursts decompose requests");
-        assert_eq!(
-            report.exec_allocs_per_subtile, -1.0,
-            "library tests run without the counting allocator"
-        );
-        let served = report.workloads.iter().find(|w| w.name == "serve_open_loop").unwrap();
-        assert!(served.cycles > 0 && served.total_ops > 0, "serve workload sums real runs");
-        let serve = report.serve.as_ref().expect("schema-5 suite always measures serving");
-        assert_eq!(serve.requests, 32, "tiny scale serves tiles.max(2) * 16 requests");
-        assert!(serve.padded > 0, "width-quantized buckets must pad the off-quantum shapes");
-        assert!(serve.batches > 0 && serve.batches <= serve.requests);
-        assert!(serve.throughput_rps > 0.0);
-        assert!(serve.p50_latency_ns > 0.0 && serve.p99_latency_ns >= serve.p50_latency_ns);
-        for name in ["kernel_micro_popcount", "kernel_micro_extract", "kernel_micro_im2col"] {
-            let k = report.workloads.iter().find(|w| w.name == name).unwrap();
-            assert!(k.total_ops > 0, "{name} must report a deterministic kernel output");
-            assert!(k.wall_s > 0.0 && k.wall_norm > 0.0, "{name} must be timed");
-        }
-    }
-
-    #[test]
-    fn kernel_micro_total_ops_are_deterministic() {
-        // The gate treats kernel_micro `total_ops` as a full-strength
-        // deterministic metric, so two runs at the same scale must agree
-        // exactly (only the wall columns may differ).
-        let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
-        let a = kernel_micro(tiny);
-        let b = kernel_micro(tiny);
-        assert_eq!(a.len(), 3);
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.name, y.name);
-            assert_eq!(x.total_ops, y.total_ops, "{} total_ops drifted across runs", x.name);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "non-zero plan-cache capacity")]
-    fn suite_rejects_zero_plan_cache() {
-        let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
-        let _ = run_suite(tiny, 1, 0, 0);
     }
 }

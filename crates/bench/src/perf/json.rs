@@ -1,0 +1,623 @@
+//! The perf report's JSON micro-codec (serde is unavailable offline):
+//! emission and parsing of exactly the subset [`PerfReport::to_json`]
+//! writes, plus back-compat parsing of every older baseline schema.
+
+use crate::perf::{ContentionPoint, PerfRecord, PerfReport, ServeStats};
+use std::fmt::Write as _;
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Quotes and escapes a string for JSON output (shared with the figure
+/// tables' JSON writer).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ContentionPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"lookups\": {}, \"wall_s\": {}, \"ns_per_lookup\": {}, \"mlookups_per_s\": {}}}",
+            self.threads,
+            self.lookups,
+            json_f64(self.wall_s),
+            json_f64(self.ns_per_lookup),
+            json_f64(self.mlookups_per_s),
+        )
+    }
+}
+
+impl ServeStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"batches\": {}, \"padded\": {}, \"workers\": {}, \"throughput_rps\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
+            self.requests,
+            self.batches,
+            self.padded,
+            self.workers,
+            json_f64(self.throughput_rps),
+            json_f64(self.p50_latency_ns),
+            json_f64(self.p99_latency_ns),
+        )
+    }
+}
+
+impl PerfRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": {}, \"cycles\": {}, \"total_ops\": {}, \"density\": {}, \"macs_per_cycle\": {}, \"wall_s\": {}, \"wall_norm\": {}}}",
+            json_str(&self.name),
+            self.cycles,
+            self.total_ops,
+            json_f64(self.density),
+            json_f64(self.macs_per_cycle),
+            json_f64(self.wall_s),
+            json_f64(self.wall_norm),
+        )
+    }
+}
+
+impl PerfReport {
+    /// Serializes the report as pretty-ish JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"sha\": {},", json_str(&self.sha));
+        let _ = writeln!(out, "  \"scale\": {},", json_str(&self.scale));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(out, "  \"calibration_wall_s\": {},", json_f64(self.calibration_wall_s));
+        let _ = writeln!(out, "  \"speedup_parallel\": {},", json_f64(self.speedup_parallel));
+        let _ = writeln!(out, "  \"plan_cache_hit_rate\": {},", json_f64(self.plan_cache_hit_rate));
+        let _ = writeln!(out, "  \"speedup_cached\": {},", json_f64(self.speedup_cached));
+        let _ = writeln!(out, "  \"dram_requests\": {},", self.dram_requests);
+        let _ = writeln!(out, "  \"dram_bursts\": {},", self.dram_bursts);
+        let _ = writeln!(
+            out,
+            "  \"exec_allocs_per_subtile\": {},",
+            json_f64(self.exec_allocs_per_subtile)
+        );
+        // Schema-5 field, one line so older tooling can strip it; omitted
+        // entirely when absent (the parser defaults to `None`).
+        if let Some(serve) = &self.serve {
+            let _ = writeln!(out, "  \"serve\": {},", serve.to_json());
+        }
+        let _ = writeln!(out, "  \"plan_cache_contention\": [");
+        for (i, c) in self.contention.iter().enumerate() {
+            let comma = if i + 1 < self.contention.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", c.to_json());
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let comma = if i + 1 < self.workloads.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", w.to_json());
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a report emitted by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on malformed input or missing
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonParser::new(text).parse()?;
+        let obj = value.as_obj("top level")?;
+        let workloads = obj
+            .get("workloads")?
+            .as_arr("workloads")?
+            .iter()
+            .map(|w| {
+                let o = w.as_obj("workload")?;
+                Ok(PerfRecord {
+                    name: o.get("name")?.as_str("name")?.to_string(),
+                    cycles: o.get("cycles")?.as_u64("cycles")?,
+                    total_ops: o.get("total_ops")?.as_u64("total_ops")?,
+                    density: o.get("density")?.as_f64("density")?,
+                    macs_per_cycle: o.get("macs_per_cycle")?.as_f64("macs_per_cycle")?,
+                    wall_s: o.get("wall_s")?.as_f64("wall_s")?,
+                    wall_norm: o.get("wall_norm")?.as_f64("wall_norm")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            schema: obj.get("schema")?.as_u64("schema")?,
+            sha: obj.get("sha")?.as_str("sha")?.to_string(),
+            scale: obj.get("scale")?.as_str("scale")?.to_string(),
+            threads: obj.get("threads")?.as_u64("threads")? as usize,
+            // Schema-4 renamed `cores` to `host_cores` (the satellite
+            // gate fix); either key parses.
+            host_cores: match obj.get_opt("host_cores") {
+                Some(v) => v.as_u64("host_cores")? as usize,
+                None => obj.get("cores")?.as_u64("cores")? as usize,
+            },
+            calibration_wall_s: obj.get("calibration_wall_s")?.as_f64("calibration_wall_s")?,
+            speedup_parallel: obj.get("speedup_parallel")?.as_f64("speedup_parallel")?,
+            // Schema-1 reports predate the plan cache; default the new
+            // fields so an old baseline still parses (the hit-rate gate
+            // then self-disables via the `baseline <= 0` rule).
+            plan_cache_hit_rate: match obj.get_opt("plan_cache_hit_rate") {
+                Some(v) => v.as_f64("plan_cache_hit_rate")?,
+                None => 0.0,
+            },
+            speedup_cached: match obj.get_opt("speedup_cached") {
+                Some(v) => v.as_f64("speedup_cached")?,
+                None => 0.0,
+            },
+            dram_requests: match obj.get_opt("dram_requests") {
+                Some(v) => v.as_u64("dram_requests")?,
+                None => 0,
+            },
+            dram_bursts: match obj.get_opt("dram_bursts") {
+                Some(v) => v.as_u64("dram_bursts")?,
+                None => 0,
+            },
+            // Schema-2 reports predate the allocation audit; the -1.0
+            // sentinel marks it unmeasured and self-disables the gate.
+            exec_allocs_per_subtile: match obj.get_opt("exec_allocs_per_subtile") {
+                Some(v) => v.as_f64("exec_allocs_per_subtile")?,
+                None => -1.0,
+            },
+            // Schema ≤ 3 reports predate the contention sweep; an empty
+            // vec self-disables the contention gate with a note.
+            contention: match obj.get_opt("plan_cache_contention") {
+                Some(v) => v
+                    .as_arr("plan_cache_contention")?
+                    .iter()
+                    .map(|c| {
+                        let o = c.as_obj("contention point")?;
+                        Ok(ContentionPoint {
+                            threads: o.get("threads")?.as_u64("threads")? as usize,
+                            lookups: o.get("lookups")?.as_u64("lookups")?,
+                            wall_s: o.get("wall_s")?.as_f64("wall_s")?,
+                            ns_per_lookup: o.get("ns_per_lookup")?.as_f64("ns_per_lookup")?,
+                            mlookups_per_s: o.get("mlookups_per_s")?.as_f64("mlookups_per_s")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                None => Vec::new(),
+            },
+            // Schema ≤ 4 reports predate the serving frontend; `None`
+            // self-disables the serve gate with a note.
+            serve: match obj.get_opt("serve") {
+                Some(v) => {
+                    let o = v.as_obj("serve")?;
+                    Some(ServeStats {
+                        requests: o.get("requests")?.as_u64("requests")?,
+                        batches: o.get("batches")?.as_u64("batches")?,
+                        padded: o.get("padded")?.as_u64("padded")?,
+                        workers: o.get("workers")?.as_u64("workers")? as usize,
+                        throughput_rps: o.get("throughput_rps")?.as_f64("throughput_rps")?,
+                        p50_latency_ns: o.get("p50_latency_ns")?.as_f64("p50_latency_ns")?,
+                        p99_latency_ns: o.get("p99_latency_ns")?.as_f64("p99_latency_ns")?,
+                    })
+                }
+                None => None,
+            },
+            workloads,
+        })
+    }
+}
+
+/// Minimal JSON value (the subset [`PerfReport::to_json`] emits).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonObj<'a>(&'a [(String, Json)]);
+
+impl<'a> JsonObj<'a> {
+    fn get(&self, key: &str) -> Result<&'a Json, String> {
+        self.get_opt(key).ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    fn get_opt(&self, key: &str) -> Option<&'a Json> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+impl Json {
+    fn as_obj(&self, ctx: &str) -> Result<JsonObj<'_>, String> {
+        match self {
+            Json::Obj(fields) => Ok(JsonObj(fields)),
+            other => Err(format!("{ctx}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, ctx: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("{ctx}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, ctx: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{ctx}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, ctx: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            other => Err(format!("{ctx}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, ctx: &str) -> Result<u64, String> {
+        let v = self.as_f64(ctx)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(format!("{ctx}: expected non-negative integer, got {v}"));
+        }
+        Ok(v as u64)
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got '{}'", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got '{}'", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                b => {
+                    // Multi-byte UTF-8 continuation: copy the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    if b >= 0x80 {
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        self.pos = end;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end.max(start + 1)])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number '{text}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::perf::test_fixture::sample_report;
+    use crate::perf::{compare, PerfReport, GATE_TOLERANCE};
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample_report();
+        let parsed = PerfReport::from_json(&report.to_json()).expect("roundtrip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(PerfReport::from_json("not json").is_err());
+        assert!(PerfReport::from_json("{}").is_err(), "missing fields must error");
+        assert!(PerfReport::from_json("{\"schema\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn schema3_baseline_parses_with_legacy_cores_and_skips_contention_gate() {
+        // A schema-3 baseline has `cores` (not `host_cores`) and no
+        // `plan_cache_contention` array.
+        let mut old = sample_report();
+        old.schema = 3;
+        old.contention.clear();
+        old.serve = None;
+        let text = old
+            .to_json()
+            .lines()
+            .filter(|l| *l != "  \"plan_cache_contention\": [" && *l != "  ],")
+            .map(|l| {
+                if l.starts_with("  \"host_cores\"") {
+                    format!("  \"cores\": {},", old.host_cores)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfReport::from_json(&text).expect("schema-3 baseline must parse");
+        assert_eq!(parsed.host_cores, old.host_cores, "legacy `cores` key must map over");
+        assert!(parsed.contention.is_empty());
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("contention gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn schema1_baseline_parses_and_skips_hit_rate_gate() {
+        // A pre-plan-cache baseline lacks the schema-2 fields entirely.
+        let mut old = sample_report();
+        old.schema = 1;
+        old.serve = None;
+        let mut text = old.to_json();
+        for field in [
+            "plan_cache_hit_rate",
+            "speedup_cached",
+            "dram_requests",
+            "dram_bursts",
+            "exec_allocs_per_subtile",
+        ] {
+            let needle = format!("  \"{field}\"");
+            text = text.lines().filter(|l| !l.starts_with(&needle)).collect::<Vec<_>>().join("\n");
+        }
+        let parsed = PerfReport::from_json(&text).expect("schema-1 baseline must parse");
+        assert_eq!(parsed.plan_cache_hit_rate, 0.0);
+        assert_eq!(parsed.speedup_cached, 0.0);
+        assert_eq!(parsed.dram_requests, 0);
+        assert_eq!(parsed.exec_allocs_per_subtile, -1.0);
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("plan_cache_hit_rate gate skipped")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn schema2_baseline_parses_and_skips_alloc_gate() {
+        // A schema-2 baseline (pre flat-buffer engine) lacks the
+        // allocation-audit field but keeps everything else.
+        let mut old = sample_report();
+        old.schema = 2;
+        old.serve = None;
+        let needle = "  \"exec_allocs_per_subtile\"";
+        let text =
+            old.to_json().lines().filter(|l| !l.starts_with(needle)).collect::<Vec<_>>().join("\n");
+        let parsed = PerfReport::from_json(&text).expect("schema-2 baseline must parse");
+        assert_eq!(parsed.exec_allocs_per_subtile, -1.0);
+        assert_eq!(parsed.plan_cache_hit_rate, 1.0, "schema-2 fields still parse");
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("exec_allocs_per_subtile gate skipped")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn schema4_baseline_parses_and_skips_serve_gate() {
+        // A schema-4 baseline predates the serving frontend: no `serve`
+        // object (and no `serve_open_loop` workload). It must parse,
+        // and the serve gate must self-disable with a note instead of
+        // failing on the missing stats.
+        let mut old = sample_report();
+        old.schema = 4;
+        old.serve = None;
+        let text = old.to_json();
+        assert!(!text.contains("\"serve\""), "None must omit the serve line entirely");
+        let parsed = PerfReport::from_json(&text).expect("schema-4 baseline must parse");
+        assert_eq!(parsed, old);
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("serve gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn schema5_baseline_parses_and_skips_kernel_micro_gate() {
+        // A schema-5 baseline predates the kernel_micro workloads: same
+        // report shape, just no `kernel_micro_*` records. It must parse,
+        // gate everything it does carry, and log that the kernel arm is
+        // dark instead of failing (the gate only joins on baseline
+        // workload names).
+        let mut old = sample_report();
+        old.schema = 5;
+        old.workloads.retain(|w| !w.name.starts_with("kernel_micro_"));
+        let parsed = PerfReport::from_json(&old.to_json()).expect("schema-5 baseline must parse");
+        assert_eq!(parsed, old);
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("kernel_micro gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+        // With kernel_micro on both sides the note disappears and the
+        // deterministic column gates at full strength.
+        let base = sample_report();
+        let mut drift = base.clone();
+        drift.workloads.last_mut().unwrap().total_ops *= 2;
+        let outcome = compare(&base, &drift, GATE_TOLERANCE);
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.contains("kernel_micro_popcount") && f.contains("total_ops")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        assert!(!compare(&base, &base, GATE_TOLERANCE)
+            .notes
+            .iter()
+            .any(|n| n.contains("kernel_micro gate skipped")));
+    }
+}

@@ -38,7 +38,7 @@ pub use resnet::{resnet18_layers, resnet18_total_macs, ResnetLayer};
 pub use rng::{mix, splitmix64, StreamRng};
 pub use synth::{
     llm_activation_matrix, llm_activation_matrix_int, llm_weight_matrix, llm_weight_matrix_int,
-    QuantGaussianSource, UniformBitSource,
+    seeded_span_matrix, QuantGaussianSource, UniformBitSource,
 };
 
 #[cfg(test)]

@@ -207,6 +207,19 @@ pub fn llm_activation_matrix_int(k: usize, mcols: usize, bits: u32, seed: u64) -
     })
 }
 
+/// A deterministic integer matrix with entries spanning the signed
+/// `bits` range — counter-mode splitmix64 keyed on `(seed, r, c)`, so a
+/// `(seed, shape)` pair maps to byte-identical operands on every replay.
+/// Backs `ta-serve`'s load-generated requests.
+pub fn seeded_span_matrix(rows: usize, cols: usize, bits: u32, seed: u64) -> MatI32 {
+    let span = 1u64 << bits;
+    let half = (1i64 << (bits - 1)) as i32;
+    MatI32::from_fn(rows, cols, |r, c| {
+        let x = crate::splitmix64(seed ^ (((r as u64) << 32) | c as u64));
+        (x % span) as i32 - half
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,8 +8,7 @@
 //! submits, closing the loop only at measurement time.
 
 use ta_core::{GemmRequest, GemmShape};
-use ta_models::splitmix64;
-use ta_quant::MatI32;
+use ta_models::{seeded_span_matrix, splitmix64};
 
 use crate::request::TenantId;
 
@@ -108,19 +107,9 @@ pub fn bursty_trace(
 /// every replay.
 pub fn request_for(arrival: &Arrival, weight_bits: u32, act_bits: u32) -> GemmRequest {
     let GemmShape { n, k, m } = arrival.shape;
-    let weights = seeded_mat(n, k, weight_bits, arrival.seed ^ 0x5E1F_17E5);
-    let input = seeded_mat(k, m, act_bits, arrival.seed ^ 0xAC71_AC71);
+    let weights = seeded_span_matrix(n, k, weight_bits, arrival.seed ^ 0x5E1F_17E5);
+    let input = seeded_span_matrix(k, m, act_bits, arrival.seed ^ 0xAC71_AC71);
     GemmRequest::execute(weights, input)
-}
-
-/// A deterministic matrix with entries spanning the signed `bits` range.
-fn seeded_mat(rows: usize, cols: usize, bits: u32, seed: u64) -> MatI32 {
-    let span = 1u64 << bits;
-    let half = (1i64 << (bits - 1)) as i32;
-    MatI32::from_fn(rows, cols, |r, c| {
-        let x = splitmix64(seed ^ (((r as u64) << 32) | c as u64));
-        (x % span) as i32 - half
-    })
 }
 
 #[cfg(test)]

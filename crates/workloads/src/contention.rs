@@ -1,0 +1,60 @@
+//! The `plan_cache_contention` workload definition: a pre-warmed sharded
+//! plan cache sized so every shard can hold every key, hammered from
+//! several threads at a forced 1.0 hit rate. The measurement loop lives
+//! in `ta-bench`; the cache/key construction and the residency contract
+//! live here.
+
+use std::sync::Arc;
+use ta_hasse::{CachedPlan, PlanKey, ScoreboardConfig, SharedPlanCache};
+
+/// Thread counts the contention workload sweeps.
+pub const THREADS: [usize; 4] = [1, 2, 8, 16];
+
+/// Lookups each contention thread performs per sweep point.
+pub const LOOKUPS_PER_THREAD: u64 = 20_000;
+
+/// Distinct keys the contention workload pre-warms. The cache is sized
+/// so **every shard** can hold all of them, so residency never depends
+/// on how the hash spreads keys across shards.
+pub const KEYS: usize = 64;
+
+/// The Scoreboard config the contention keys are built against.
+pub fn scoreboard_config() -> ScoreboardConfig {
+    ScoreboardConfig::with_width(8)
+}
+
+/// Mirrors `SharedPlanCache::with_shards`'s rounding so capacity is
+/// sized for the shard count the cache will actually use (`0` = auto).
+pub fn shard_count(shards: usize) -> usize {
+    match shards {
+        0 => SharedPlanCache::default_shard_count(),
+        n => n.next_power_of_two(),
+    }
+}
+
+/// Builds and pre-warms the contention cache: [`KEYS`] distinct plan
+/// keys, capacity `shard count × KEYS` so even a degenerate hash cannot
+/// evict. Returns the cache and the keys in insertion order.
+///
+/// # Panics
+///
+/// Panics if pre-warm evicts or leaves a key non-resident — capacity
+/// sizing broke, and the forced 1.0 hit rate the workload measures
+/// would silently turn into a miss-path benchmark.
+pub fn prewarmed_cache(shards: usize) -> (SharedPlanCache, Vec<PlanKey>) {
+    let cfg = scoreboard_config();
+    let shard_count = shard_count(shards);
+    let cache = SharedPlanCache::with_shards(shard_count * KEYS, shard_count);
+    let keys: Vec<PlanKey> = (0..KEYS as u16)
+        .map(|i| {
+            let patterns = [i, i.wrapping_mul(37) % 256, 255 - i, (i * 3) % 256];
+            let key = PlanKey::new(&cfg, None, &patterns);
+            cache.insert(key.clone(), Arc::new(CachedPlan::build_dynamic(&cfg, &patterns, false)));
+            key
+        })
+        .collect();
+    let warm = cache.stats();
+    assert_eq!(warm.evictions, 0, "pre-warm must not evict: {warm}");
+    assert_eq!(cache.len(), KEYS, "every pre-warmed key must be resident");
+    (cache, keys)
+}

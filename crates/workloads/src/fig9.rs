@@ -1,0 +1,39 @@
+//! Fig. 9 design-space exploration points: TranSparsity density of a
+//! uniform random 0-1 matrix across bit widths and tiling row sizes. The
+//! figure driver in `ta-bench` renders the four panels; the registry's
+//! `fig9_dse_t8_r256` entry and the perf suite measure the 8-bit /
+//! row-256 point.
+
+use ta_core::PatternSource;
+use ta_hasse::{Scoreboard, ScoreboardConfig, TileStats};
+use ta_models::UniformBitSource;
+
+/// The paper's bit-width sweep.
+pub const BIT_WIDTHS: [u32; 7] = [2, 4, 6, 8, 10, 12, 16];
+
+/// The paper's tiling-row-size sweep.
+pub const ROW_SIZES: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// Aggregated stats for one (width, row size) design point on uniform
+/// random data. The DSE runs the Scoreboard *uncapped* (the figure's own
+/// Dis-5 bars show chains past the hardware cap).
+pub fn design_point(width: u32, row_size: usize, tiles: usize, seed: u64) -> TileStats {
+    let mut src = UniformBitSource::new(width, row_size, seed);
+    let cfg = ScoreboardConfig::unbounded(width);
+    let mut total: Option<TileStats> = None;
+    for tile in 0..tiles.max(1) {
+        let patterns = src.subtile_patterns(tile, 0);
+        let sb = Scoreboard::build(cfg, patterns);
+        let s = TileStats::from_scoreboard(&sb);
+        match &mut total {
+            None => total = Some(s),
+            Some(t) => t.merge(&s),
+        }
+    }
+    total.expect("at least one tile")
+}
+
+/// The suite's gated design point: 8-bit, row size 256, seed 42.
+pub fn suite_point(tiles: usize) -> TileStats {
+    design_point(8, 256, tiles.max(2), 42)
+}

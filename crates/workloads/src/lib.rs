@@ -1,0 +1,31 @@
+//! # ta-workloads — the workload registry and model zoo
+//!
+//! Every GEMM scenario the repo evaluates is defined **once** here: the
+//! bench-smoke roster (the LLaMA-7B `q_proj` family, the Fig. 9 DSE
+//! point, the kernel micros, the plan-cache contention sweep, the
+//! serving trace), the figure/table/example source constructions, and
+//! the grown model zoo (LLaMA block prefill/decode, ResNet conv via
+//! im2col, mixture-of-experts batch). `ta-bench` keeps measurement,
+//! gating, and JSON; the figure binaries keep rendering; the examples
+//! keep narration — none of them construct shapes or pattern sources
+//! themselves.
+//!
+//! The [`Workload`] trait gives each entry a stable name, its shapes at
+//! a given [`Scale`], cheap construction ([`Workload::prepare`]), and a
+//! bit-exact reference oracle whose fingerprint must not depend on the
+//! thread count — the determinism contract the conformance suite
+//! enforces across threads 1/2/8.
+
+pub mod contention;
+pub mod fig9;
+pub mod kernel;
+pub mod l7b;
+mod registry;
+pub mod scale;
+pub mod serve;
+pub mod sources;
+pub mod sweep;
+pub mod zoo;
+
+pub use registry::{find, names, registry, Digest, Workload};
+pub use scale::Scale;

@@ -1,0 +1,69 @@
+//! The `serve_open_loop` workload definition: the design point, shape
+//! mix, batching policy, and seeded Poisson trace the serving-frontend
+//! workload replays. The timed serving loop lives in `ta-bench`; the
+//! request synthesis also backs `ta-serve`'s own loadgen.
+
+use crate::Scale;
+use ta_core::{GemmRequest, GemmShape, Session, TransArrayConfig};
+use ta_serve::loadgen::{poisson_trace, request_for, Arrival};
+use ta_serve::BatchPolicy;
+
+/// Weight precision of the serving workload's requests.
+pub const WEIGHT_BITS: u32 = 4;
+
+/// Activation precision of the serving workload's requests.
+pub const ACT_BITS: u32 = 8;
+
+/// Worker threads behind the serving workload's frontend.
+pub const WORKERS: usize = 2;
+
+/// Seed of the open-loop Poisson arrival trace.
+pub const TRACE_SEED: u64 = 0x5E_12_7E;
+
+/// The trace's shape mix — small enough to serve hundreds per pass,
+/// varied enough to exercise the batcher's shape buckets and padding.
+pub fn shapes() -> [GemmShape; 4] {
+    [
+        GemmShape::new(8, 16, 3),
+        GemmShape::new(8, 16, 4),
+        GemmShape::new(12, 16, 5),
+        GemmShape::new(16, 32, 2),
+    ]
+}
+
+/// Requests in the trace: 32 at the tiny test scale, 48 at quick, 256
+/// at full (scaled off the existing tile knob).
+pub fn request_count(scale: Scale) -> usize {
+    scale.tiles.max(2) * 16
+}
+
+/// The seeded open-loop Poisson arrival trace.
+pub fn trace(scale: Scale) -> Vec<Arrival> {
+    poisson_trace(TRACE_SEED, request_count(scale), 200, 4, &shapes())
+}
+
+/// The batcher policy (width-quantized buckets so padding is exercised).
+pub fn policy() -> BatchPolicy {
+    BatchPolicy { max_batch: 8, max_delay_ns: 50_000, quantum_m: 4 }
+}
+
+/// The small design point the serving workload runs on — sized so one
+/// request is cheap enough to serve hundreds per pass at every scale.
+pub fn session() -> Session {
+    let cfg = TransArrayConfig::builder()
+        .width(4)
+        .max_transrows(16)
+        .weight_bits(WEIGHT_BITS)
+        .units(2)
+        .m_tile(4)
+        .sample_limit(0)
+        .build()
+        .expect("serve workload config is valid");
+    Session::new(cfg).expect("serve workload session opens")
+}
+
+/// The executable request for one trace arrival at the workload's
+/// precisions.
+pub fn request(arrival: &Arrival) -> GemmRequest {
+    request_for(arrival, WEIGHT_BITS, ACT_BITS)
+}

@@ -1,0 +1,73 @@
+//! Pattern-source and tensor constructions for the figure drivers, the
+//! accuracy tables, and the examples — every seed the evaluation uses,
+//! in one place, so `ta-bench` and `examples/*` construct nothing
+//! themselves.
+
+use ta_models::{llm_activation_matrix, llm_weight_matrix, QuantGaussianSource, UniformBitSource};
+use ta_quant::MatF32;
+
+/// Fig. 10's per-FC-layer weight stream (`weight_bits` ∈ {4, 8}).
+pub fn fig10_fc_source(weight_bits: u32, n_tile: usize, layer: usize) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, weight_bits, n_tile, 1000 + layer as u64)
+}
+
+/// Fig. 11's energy-breakdown layer stream (8-bit `q_proj`).
+pub fn fig11_source(n_tile: usize) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, 8, n_tile, 11)
+}
+
+/// Fig. 12's per-model attention stream (W8A8 QKᵀ / PV).
+pub fn fig12_attention_source(n_tile: usize, model: usize) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, 8, n_tile, 300 + model as u64)
+}
+
+/// Fig. 13's "real-distribution" stream: quantized Gaussian weights.
+pub fn fig13_real_source() -> QuantGaussianSource {
+    QuantGaussianSource::new(8, 8, 32, 5)
+}
+
+/// Fig. 13's uniform-random stream (the DSE's null model).
+pub fn fig13_random_source() -> UniformBitSource {
+    UniformBitSource::new(8, 256, 5)
+}
+
+/// Fig. 14's per-ResNet-layer weight stream at the layer's precision.
+pub fn fig14_layer_source(
+    weight_bits: u32,
+    n_tile: usize,
+    layer_index: usize,
+) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, weight_bits, n_tile, 900 + layer_index as u64)
+}
+
+/// Uniform-random stream for the ablation sweeps (`width`/`rows` from
+/// the config under test; each sweep fixes its own seed).
+pub fn dse_source(width: u32, rows: usize, seed: u64) -> UniformBitSource {
+    UniformBitSource::new(width, rows, seed)
+}
+
+/// Table 3's synthetic LLM tensor pair for model `i`: the feature
+/// dimension scales mildly with the model's hidden size (bigger models
+/// are measured on bigger tensors, different seeds).
+pub fn table3_tensors(dim: usize, hidden: usize, model: usize) -> (MatF32, MatF32) {
+    let k = dim + (hidden / 1024) * 8;
+    let w = llm_weight_matrix(dim, k, 100 + model as u64);
+    let a = llm_activation_matrix(k, dim / 2, 200 + model as u64);
+    (w, a)
+}
+
+/// The `llama_layer` example's weight stream (one layer, both
+/// precisions off one seed).
+pub fn example_llama_source(weight_bits: u32, n_tile: usize) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, weight_bits, n_tile, 7)
+}
+
+/// The `transformer_block` example's per-FC-layer W4A8 stream.
+pub fn block_fc_source(n_tile: usize, layer: usize) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, 4, n_tile, 500 + layer as u64)
+}
+
+/// The `transformer_block` example's per-attention-GEMM W8A8 stream.
+pub fn block_attention_source(n_tile: usize, gemm: usize) -> QuantGaussianSource {
+    QuantGaussianSource::new(8, 8, n_tile, 700 + gemm as u64)
+}

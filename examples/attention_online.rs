@@ -11,45 +11,14 @@
 //!
 //! Run with: `cargo run --release --example attention_online`
 
-use transitive_array::models::StreamRng;
 use transitive_array::prelude::*;
-
-const HEAD_DIM: usize = 32;
-const PREFILL: usize = 16;
-const DECODE_STEPS: usize = 24;
-
-/// One tenant's runtime-generated attention stream: the full Key cache
-/// (prefill + every decoded token) and one query vector per step.
-struct DecodeStream {
-    k_cache: MatI32,
-    queries: Vec<MatI32>,
-}
-
-impl DecodeStream {
-    fn new(seed: u64) -> Self {
-        let mut rng = StreamRng::new(seed);
-        let mut int8 =
-            move || -> i32 { ((rng.next_gaussian() * 39.0).round() as i32).clamp(-127, 127) };
-        let k_cache = MatI32::from_fn(PREFILL + DECODE_STEPS, HEAD_DIM, |_, _| int8());
-        let queries =
-            (0..DECODE_STEPS).map(|_| MatI32::from_fn(HEAD_DIM, 1, |_, _| int8())).collect();
-        Self { k_cache, queries }
-    }
-
-    /// The QKᵀ request for decode step `t`: the Key rows seen so far
-    /// (`PREFILL + t + 1` of them) against this step's query.
-    fn step_request(&self, t: usize) -> GemmRequest {
-        let rows = PREFILL + t + 1;
-        let k = MatI32::from_fn(rows, HEAD_DIM, |r, c| self.k_cache.get(r, c));
-        GemmRequest::execute(k, self.queries[t].clone())
-    }
-}
+use transitive_array::workloads::{zoo, Scale};
 
 fn main() -> Result<(), TaError> {
-    // The dynamic-Scoreboard design point, sub-tile knobs scaled for a
-    // single head.
-    let cfg = TransArrayConfig::builder().units(2).m_tile(16).sample_limit(0).build()?;
-    let session = Session::new(cfg)?;
+    // The zoo's decode entry at full scale: the dynamic-Scoreboard design
+    // point, sub-tile knobs scaled for a single head.
+    let decode_steps = zoo::decode_steps(Scale::full());
+    let session = Session::new(zoo::decode_config())?;
 
     // Two tenants decode concurrently behind one server. Every shape in
     // a decode trace is unique (the KV cache grows each step), so this
@@ -62,11 +31,14 @@ fn main() -> Result<(), TaError> {
             policy: BatchPolicy { max_batch: 4, max_delay_ns: 200_000, quantum_m: 1 },
         },
     );
-    let streams = [DecodeStream::new(0xA77E), DecodeStream::new(0xBEEF)];
+    let streams = [
+        zoo::DecodeStream::new(0xA77E, decode_steps),
+        zoo::DecodeStream::new(0xBEEF, decode_steps),
+    ];
 
     let mut tickets = Vec::new();
     for (tenant, stream) in streams.iter().enumerate() {
-        for t in 0..DECODE_STEPS {
+        for t in 0..decode_steps {
             let ticket = server.submit(tenant as u32, stream.step_request(t))?;
             tickets.push((tenant, t, ticket));
         }
@@ -89,11 +61,11 @@ fn main() -> Result<(), TaError> {
     latencies.sort_unstable();
     let stats = server.shutdown();
 
-    println!("served 2 tenants x {DECODE_STEPS} decode steps — all bit-exact ✓");
+    println!("served 2 tenants x {decode_steps} decode steps — all bit-exact ✓");
     println!(
         "KV cache grew {}→{} rows; every step its own shape bucket",
-        PREFILL + 1,
-        PREFILL + DECODE_STEPS
+        zoo::PREFILL_KV + 1,
+        zoo::PREFILL_KV + decode_steps
     );
     println!("\n--- serving stats ---");
     println!("requests:          {}", stats.completed);

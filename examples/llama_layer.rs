@@ -8,13 +8,14 @@
 //! Run with: `cargo run --release --example llama_layer`
 
 use transitive_array::baselines::Baseline;
-use transitive_array::models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use transitive_array::models::{LlamaConfig, PAPER_SEQ_LEN};
 use transitive_array::prelude::*;
 use transitive_array::sim::EnergyModel;
+use transitive_array::workloads::sources::example_llama_source;
 
 fn main() -> Result<(), TaError> {
     let layer = LlamaConfig::l1_7b().fc_layers(PAPER_SEQ_LEN)[0];
-    let shape = GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m);
+    let shape = layer.shape;
     println!(
         "LLaMA-1-7B {}: GEMM {}x{}x{} ({:.1} GMACs)\n",
         layer.name,
@@ -49,7 +50,7 @@ fn main() -> Result<(), TaError> {
         ("TA-4bit", TransArrayConfig::paper_w4(), 4),
     ] {
         let session = Session::new(base.to_builder().sample_limit(1024).build()?)?;
-        let src = QuantGaussianSource::new(8, wbits, session.config().n_tile(), 7);
+        let src = example_llama_source(wbits, session.config().n_tile());
         let rep = session.run(GemmRequest::simulate(shape, src))?.report;
         println!(
             "{:<16} {:>14} {:>12.2} {:>12.1}   (density {:.1}%, {} of {} sub-tiles simulated)",

@@ -4,40 +4,28 @@
 //!
 //! Run with: `cargo run --release --example resnet_conv`
 
-use transitive_array::bitslice::{conv_direct, flatten_weights, im2col, ConvShape};
-use transitive_array::core::{TransArrayConfig, TransitiveArray};
-use transitive_array::models::{resnet18_layers, StreamRng};
-use transitive_array::quant::MatI32;
+use transitive_array::bitslice::{conv_direct, flatten_weights, im2col};
+use transitive_array::core::TransitiveArray;
+use transitive_array::models::resnet18_layers;
+use transitive_array::workloads::{zoo, Scale};
 
 fn main() {
-    // A small conv in the spirit of layer1 (3x3, 64ch) but scaled down so
-    // the exact functional path runs instantly.
-    let shape =
-        ConvShape { in_c: 8, out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1, in_h: 14, in_w: 14 };
+    // The zoo's conv entry at quick scale: a small conv in the spirit of
+    // layer1 (3x3) so the exact functional path runs instantly.
+    let shape = zoo::resnet_conv_shape(Scale::quick());
     let (n, k, m) = shape.gemm_dims();
     println!(
         "conv {}x{}x{}x{} -> GEMM {}x{}x{}",
         shape.out_c, shape.in_c, shape.kh, shape.kw, n, k, m
     );
 
-    let mut rng = StreamRng::new(0xC0DE);
-    let weights = MatI32::from_fn(shape.out_c, shape.in_c * 9, |_, _| {
-        ((rng.next_gaussian() * 2.2).round() as i32).clamp(-7, 7)
-    });
-    let input = MatI32::from_fn(shape.in_c, 14 * 14, |_, _| {
-        ((rng.next_gaussian() * 39.0).round() as i32).clamp(-127, 127)
-    });
+    let (weights, input) = zoo::resnet_operands(&shape, zoo::RESNET_SEED);
 
     // Lower with im2col and run on the accelerator (4-bit weights, as the
     // paper quantizes ResNet's interior layers).
     let patches = im2col(&shape, &input);
     let wmat = flatten_weights(&shape, &weights);
-    let ta = TransitiveArray::new(TransArrayConfig {
-        units: 2,
-        m_tile: 16,
-        sample_limit: 0,
-        ..TransArrayConfig::paper_w4()
-    });
+    let ta = TransitiveArray::new(zoo::resnet_config());
     let (out, report) = ta.execute_gemm(&wmat, &patches);
 
     // The direct loop-nest convolution is the golden model.

@@ -5,9 +5,10 @@
 //!
 //! Run with: `cargo run --release --example transformer_block`
 
-use transitive_array::core::{GemmShape, TransArrayConfig, TransitiveArray};
-use transitive_array::models::{LlamaConfig, QuantGaussianSource, PAPER_SEQ_LEN};
+use transitive_array::core::{TransArrayConfig, TransitiveArray};
+use transitive_array::models::{LlamaConfig, PAPER_SEQ_LEN};
 use transitive_array::sim::VpuModel;
+use transitive_array::workloads::sources::{block_attention_source, block_fc_source};
 
 fn main() {
     let model = LlamaConfig::l1_7b();
@@ -27,9 +28,8 @@ fn main() {
         ..TransArrayConfig::paper_w4()
     });
     for (i, layer) in model.fc_layers(seq).iter().enumerate() {
-        let mut src = QuantGaussianSource::new(8, 4, fc_ta.config().n_tile(), 500 + i as u64);
-        let rep = fc_ta
-            .simulate_layer(GemmShape::new(layer.shape.n, layer.shape.k, layer.shape.m), &mut src);
+        let mut src = block_fc_source(fc_ta.config().n_tile(), i);
+        let rep = fc_ta.simulate_layer(layer.shape, &mut src);
         println!(
             "{:<12} {:>8}x{:>5}x{:>5} {:>12} {:>10.3} {:>12.1}",
             layer.name,
@@ -51,9 +51,8 @@ fn main() {
     });
     let vpu = VpuModel::paper_default();
     for (i, (gemm, count)) in model.attention_gemms(seq).iter().enumerate() {
-        let mut src = QuantGaussianSource::new(8, 8, att_ta.config().n_tile(), 700 + i as u64);
-        let rep = att_ta
-            .simulate_layer(GemmShape::new(gemm.shape.n, gemm.shape.k, gemm.shape.m), &mut src);
+        let mut src = block_attention_source(att_ta.config().n_tile(), i);
+        let rep = att_ta.simulate_layer(gemm.shape, &mut src);
         let cycles = rep.cycles * *count as u64;
         let energy = rep.energy.total() * *count as f64 / 1e6;
         println!(

@@ -14,6 +14,8 @@
 //! * [`baselines`] — BitFusion / ANT / Olive / Tender / BitVert models;
 //! * [`models`] — LLaMA & ResNet-18 workloads and synthetic tensors;
 //! * [`serve`] — the multi-tenant continuous-batching serving frontend;
+//! * [`workloads`] — the workload registry and model zoo (every named
+//!   benchmark/figure/example workload, with oracles and seeds);
 //! * [`mod@bench`] — the benchmark/report toolkit (scale presets, perf gates).
 //!
 //! Most applications only need the [`prelude`]:
@@ -39,6 +41,7 @@ pub use ta_models as models;
 pub use ta_quant as quant;
 pub use ta_serve as serve;
 pub use ta_sim as sim;
+pub use ta_workloads as workloads;
 
 /// The one-import surface for applications: the request API
 /// ([`Session`](prelude::Session) and friends), its error types, the
