@@ -117,6 +117,7 @@ fn bench_l7b_layer(c: &mut Criterion) {
         exec_allocs_per_subtile: -1.0,
         contention: Vec::new(),
         serve: None,
+        overload: None,
         workloads: vec![
             record("l7b_qproj_serial", serial_wall),
             record("l7b_qproj_parallel", parallel_wall),

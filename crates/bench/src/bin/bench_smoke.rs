@@ -272,6 +272,22 @@ fn main() {
             s.p99_latency_ns / 1e3
         );
     }
+    // Every overload counter is scripted on the virtual clock — no wall
+    // fields here, so TA_BENCH_INJECT_SLOWDOWN deliberately leaves it
+    // alone (only `serve_overload`'s PerfRecord wall columns scale).
+    if let Some(o) = &report.overload {
+        println!(
+            "  overload: {} submitted -> {} rejected / {} shed / {} lost / {} completed on {} workers ({} respawns)  goodput {:.3}",
+            o.submitted,
+            o.rejected,
+            o.shed,
+            o.worker_lost,
+            o.completed,
+            o.workers,
+            o.respawned,
+            o.goodput
+        );
+    }
 
     // The run's own JSON is written first so a failing run still leaves
     // a debuggable artifact.

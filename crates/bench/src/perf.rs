@@ -111,6 +111,36 @@ pub struct ServeStats {
     pub p99_latency_ns: f64,
 }
 
+/// Stats from the `serve_overload` workload (schema 7): the serving
+/// stack under a scripted storm on the **virtual clock** — per-tenant
+/// queue depths blown by a frozen-clock storm trace (deterministic
+/// rejections), every admitted storm request shed by one clock jump
+/// past the latency budget (deterministic sheds), then recovery waves
+/// served under seeded worker-panic injection (deterministic worker
+/// losses and respawns). Every field is a pure function of the
+/// workload's constants, so the gate requires exact matches — drift in
+/// any of them is a behavior change in admission control, shedding,
+/// fault injection, or worker recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadStats {
+    /// Submission attempts (storm trace + recovery waves).
+    pub submitted: u64,
+    /// Admissions refused at submit (per-tenant queue depth exceeded).
+    pub rejected: u64,
+    /// Admitted requests dropped at the batcher for a blown budget.
+    pub shed: u64,
+    /// Requests lost to an injected worker panic (typed `WorkerLost`).
+    pub worker_lost: u64,
+    /// Requests served to completion, bit-checked against direct runs.
+    pub completed: u64,
+    /// `completed / submitted` — the useful fraction under overload.
+    pub goodput: f64,
+    /// Worker threads the workload ran with.
+    pub workers: usize,
+    /// Workers respawned after injected panics.
+    pub respawned: u64,
+}
+
 /// One full bench-smoke run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -159,6 +189,10 @@ pub struct PerfReport {
     /// `None` on schema ≤ 4 baselines, which self-disables the serve
     /// gate with a logged note.
     pub serve: Option<ServeStats>,
+    /// Scripted-overload stats from the `serve_overload` workload.
+    /// `None` on schema ≤ 6 baselines, which self-disables the
+    /// overload gate with a logged note.
+    pub overload: Option<OverloadStats>,
     /// Measured workloads.
     pub workloads: Vec<PerfRecord>,
 }
@@ -170,7 +204,7 @@ pub(crate) mod test_fixture {
 
     pub(crate) fn sample_report() -> PerfReport {
         PerfReport {
-            schema: 6,
+            schema: 7,
             sha: "abc123".into(),
             scale: "quick".into(),
             threads: 4,
@@ -206,6 +240,16 @@ pub(crate) mod test_fixture {
                 throughput_rps: 5_000.0,
                 p50_latency_ns: 120_000.0,
                 p99_latency_ns: 900_000.0,
+            }),
+            overload: Some(OverloadStats {
+                submitted: 64,
+                rejected: 4,
+                shed: 28,
+                worker_lost: 7,
+                completed: 25,
+                goodput: 25.0 / 64.0,
+                workers: 2,
+                respawned: 3,
             }),
             workloads: vec![
                 PerfRecord {

@@ -354,6 +354,46 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> G
             }
         }
     }
+    // Overload gate. Every counter is scripted on the virtual clock —
+    // the storm trace, the SLO knobs, and the fault-injection stream
+    // are all seeded — so every field (goodput's f64 division included)
+    // must match the baseline exactly. Any drift means admission
+    // control, shedding, fault injection, or worker recovery changed
+    // behavior. The `serve_overload` PerfRecord's cycle/op sums gate
+    // through the per-workload loop above.
+    match (&baseline.overload, &current.overload) {
+        (None, _) => out.notes.push(
+            "overload gate skipped (baseline predates the serve_overload workload; refresh it)"
+                .to_string(),
+        ),
+        (Some(_), None) => {
+            out.failures.push("serve_overload stats missing from current run".to_string());
+        }
+        (Some(base), Some(cur)) => {
+            let exact_u64 = [
+                ("submitted", base.submitted, cur.submitted),
+                ("rejected", base.rejected, cur.rejected),
+                ("shed", base.shed, cur.shed),
+                ("worker_lost", base.worker_lost, cur.worker_lost),
+                ("completed", base.completed, cur.completed),
+                ("workers", base.workers as u64, cur.workers as u64),
+                ("respawned", base.respawned, cur.respawned),
+            ];
+            for (metric, b, c) in exact_u64 {
+                if b != c {
+                    out.failures.push(format!(
+                        "serve_overload/{metric} changed: {b} -> {c} (the overload protocol is scripted; every counter is exact)"
+                    ));
+                }
+            }
+            if base.goodput != cur.goodput {
+                out.failures.push(format!(
+                    "serve_overload/goodput changed: {} -> {} (deterministic ratio of exact counters)",
+                    base.goodput, cur.goodput
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -699,6 +739,70 @@ mod tests {
             "notes: {:?}",
             outcome.notes
         );
+    }
+
+    #[test]
+    fn overload_gate_requires_exact_counters() {
+        let base = sample_report();
+        // A current run that dropped the overload stats entirely fails.
+        let mut missing = base.clone();
+        missing.overload = None;
+        let outcome = compare(&base, &missing, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_overload stats missing")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // Every counter is scripted: off-by-one anywhere is a hard fail.
+        for (field, mutate) in [
+            ("rejected", (|o: &mut crate::perf::OverloadStats| o.rejected += 1) as fn(&mut _)),
+            ("shed", |o| o.shed -= 1),
+            ("worker_lost", |o| o.worker_lost += 1),
+            ("completed", |o| o.completed -= 1),
+            ("respawned", |o| o.respawned += 1),
+        ] {
+            let mut drifted = base.clone();
+            mutate(drifted.overload.as_mut().unwrap());
+            let outcome = compare(&base, &drifted, GATE_TOLERANCE);
+            assert!(
+                outcome.failures.iter().any(|f| f.contains(&format!("serve_overload/{field}"))),
+                "{field} drift must fail; failures: {:?}",
+                outcome.failures
+            );
+        }
+        // Goodput is a deterministic ratio of exact counters — any f64
+        // difference (not a tolerance band) fails.
+        let mut good = base.clone();
+        good.overload.as_mut().unwrap().goodput += 1e-9;
+        let outcome = compare(&base, &good, GATE_TOLERANCE);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("serve_overload/goodput")),
+            "failures: {:?}",
+            outcome.failures
+        );
+        // An exact match passes (covered by gate_passes_identical_reports
+        // too, but assert the arm stays quiet here).
+        let outcome = compare(&base, &base, GATE_TOLERANCE);
+        assert!(outcome.passed() && !outcome.notes.iter().any(|n| n.contains("overload")));
+    }
+
+    #[test]
+    fn schema6_baseline_skips_overload_gate_with_a_note() {
+        let mut old = sample_report();
+        old.schema = 6;
+        old.overload = None;
+        let outcome = compare(&old, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("overload gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+        let line = disabled_summary(&outcome).expect("stale baseline darkens the overload gate");
+        assert!(line.contains("overload (stale baseline schema)"), "{line}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! emission and parsing of exactly the subset [`PerfReport::to_json`]
 //! writes, plus back-compat parsing of every older baseline schema.
 
-use crate::perf::{ContentionPoint, PerfRecord, PerfReport, ServeStats};
+use crate::perf::{ContentionPoint, OverloadStats, PerfRecord, PerfReport, ServeStats};
 use std::fmt::Write as _;
 
 fn json_f64(v: f64) -> String {
@@ -61,6 +61,22 @@ impl ServeStats {
     }
 }
 
+impl OverloadStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\": {}, \"rejected\": {}, \"shed\": {}, \"worker_lost\": {}, \"completed\": {}, \"goodput\": {}, \"workers\": {}, \"respawned\": {}}}",
+            self.submitted,
+            self.rejected,
+            self.shed,
+            self.worker_lost,
+            self.completed,
+            json_f64(self.goodput),
+            self.workers,
+            self.respawned,
+        )
+    }
+}
+
 impl PerfRecord {
     fn to_json(&self) -> String {
         format!(
@@ -101,6 +117,10 @@ impl PerfReport {
         // entirely when absent (the parser defaults to `None`).
         if let Some(serve) = &self.serve {
             let _ = writeln!(out, "  \"serve\": {},", serve.to_json());
+        }
+        // Schema-7 field, same one-line/omit-when-absent convention.
+        if let Some(overload) = &self.overload {
+            let _ = writeln!(out, "  \"serve_overload\": {},", overload.to_json());
         }
         let _ = writeln!(out, "  \"plan_cache_contention\": [");
         for (i, c) in self.contention.iter().enumerate() {
@@ -214,6 +234,24 @@ impl PerfReport {
                         throughput_rps: o.get("throughput_rps")?.as_f64("throughput_rps")?,
                         p50_latency_ns: o.get("p50_latency_ns")?.as_f64("p50_latency_ns")?,
                         p99_latency_ns: o.get("p99_latency_ns")?.as_f64("p99_latency_ns")?,
+                    })
+                }
+                None => None,
+            },
+            // Schema ≤ 6 reports predate the overload workload; `None`
+            // self-disables the overload gate with a note.
+            overload: match obj.get_opt("serve_overload") {
+                Some(v) => {
+                    let o = v.as_obj("serve_overload")?;
+                    Some(OverloadStats {
+                        submitted: o.get("submitted")?.as_u64("submitted")?,
+                        rejected: o.get("rejected")?.as_u64("rejected")?,
+                        shed: o.get("shed")?.as_u64("shed")?,
+                        worker_lost: o.get("worker_lost")?.as_u64("worker_lost")?,
+                        completed: o.get("completed")?.as_u64("completed")?,
+                        goodput: o.get("goodput")?.as_f64("goodput")?,
+                        workers: o.get("workers")?.as_u64("workers")? as usize,
+                        respawned: o.get("respawned")?.as_u64("respawned")?,
                     })
                 }
                 None => None,
@@ -473,6 +511,7 @@ mod tests {
         old.schema = 3;
         old.contention.clear();
         old.serve = None;
+        old.overload = None;
         let text = old
             .to_json()
             .lines()
@@ -507,6 +546,7 @@ mod tests {
         let mut old = sample_report();
         old.schema = 1;
         old.serve = None;
+        old.overload = None;
         let mut text = old.to_json();
         for field in [
             "plan_cache_hit_rate",
@@ -539,6 +579,7 @@ mod tests {
         let mut old = sample_report();
         old.schema = 2;
         old.serve = None;
+        old.overload = None;
         let needle = "  \"exec_allocs_per_subtile\"";
         let text =
             old.to_json().lines().filter(|l| !l.starts_with(needle)).collect::<Vec<_>>().join("\n");
@@ -563,6 +604,7 @@ mod tests {
         let mut old = sample_report();
         old.schema = 4;
         old.serve = None;
+        old.overload = None;
         let text = old.to_json();
         assert!(!text.contains("\"serve\""), "None must omit the serve line entirely");
         let parsed = PerfReport::from_json(&text).expect("schema-4 baseline must parse");
@@ -580,6 +622,32 @@ mod tests {
     }
 
     #[test]
+    fn schema6_baseline_parses_and_skips_overload_gate() {
+        // A schema-6 baseline predates the overload workload: no
+        // `serve_overload` object or record. It must parse with
+        // `overload: None`, and the overload gate must self-disable
+        // with a note instead of failing on the missing stats.
+        let mut old = sample_report();
+        old.schema = 6;
+        old.overload = None;
+        old.workloads.retain(|w| w.name != "serve_overload");
+        let text = old.to_json();
+        assert!(!text.contains("\"serve_overload\""), "None must omit the overload line");
+        let parsed = PerfReport::from_json(&text).expect("schema-6 baseline must parse");
+        assert_eq!(parsed, old);
+        let outcome = compare(&parsed, &sample_report(), GATE_TOLERANCE);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("overload gate skipped") && n.contains("predates")),
+            "notes: {:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
     fn schema5_baseline_parses_and_skips_kernel_micro_gate() {
         // A schema-5 baseline predates the kernel_micro workloads: same
         // report shape, just no `kernel_micro_*` records. It must parse,
@@ -588,6 +656,7 @@ mod tests {
         // workload names).
         let mut old = sample_report();
         old.schema = 5;
+        old.overload = None;
         old.workloads.retain(|w| !w.name.starts_with("kernel_micro_"));
         let parsed = PerfReport::from_json(&old.to_json()).expect("schema-5 baseline must parse");
         assert_eq!(parsed, old);

@@ -5,7 +5,7 @@
 //! they are timed and assembled into a [`PerfReport`].
 
 use crate::alloc_count;
-use crate::perf::{ContentionPoint, PerfRecord, PerfReport, ServeStats};
+use crate::perf::{ContentionPoint, OverloadStats, PerfRecord, PerfReport, ServeStats};
 use std::hint::black_box;
 use std::time::Instant;
 use ta_bitslice::{BitSlicedMatrix, RowMajor, TileView};
@@ -14,7 +14,7 @@ use ta_core::{
 };
 use ta_hasse::{ExecScratch, ExecutionPlan, NullSink, Scoreboard, StaticSi};
 use ta_quant::gemm_i32;
-use ta_serve::{Server, ServerConfig};
+use ta_serve::{ServeError, Server, ServerConfig};
 use ta_sim::DramModel;
 use ta_workloads::{contention, fig9, kernel, l7b, serve, Scale};
 
@@ -158,7 +158,11 @@ fn serve_open_loop(scale: Scale) -> (PerfRecord, ServeStats) {
     let ((responses, stats), wall) = measure(|| {
         let server = Server::start(
             serve::session(),
-            ServerConfig { workers: serve::WORKERS, policy: serve::policy() },
+            ServerConfig {
+                workers: serve::WORKERS,
+                policy: serve::policy(),
+                ..ServerConfig::default()
+            },
         );
         let tickets: Vec<_> = trace
             .iter()
@@ -209,6 +213,145 @@ fn serve_open_loop(scale: Scale) -> (PerfRecord, ServeStats) {
         p99_latency_ns: latencies[latencies.len() * 99 / 100] as f64,
     };
     (record, serve_stats)
+}
+
+/// Spins until the server's batcher has absorbed `target` admitted
+/// requests — the virtual-clock sync point: once a request is counted
+/// absorbed, its batch bucket (and deadline) exists, so advancing the
+/// clock afterwards is race-free.
+fn spin_until_absorbed(server: &Server, target: u64) {
+    while server.stats().absorbed < target {
+        std::thread::yield_now();
+    }
+}
+
+/// The `serve_overload` workload (schema 7): the serving stack's
+/// overload and fault-tolerance behavior, scripted on the **virtual
+/// clock** so every counter is deterministic (see
+/// [`ta_workloads::serve::overload_config`] for the design point):
+///
+/// 1. **Storm** — the seeded storm trace is submitted with the clock
+///    frozen, so nothing flushes and nothing releases queue depth;
+///    per-tenant rejections are a pure function of the trace's tenant
+///    sequence.
+/// 2. **Shed** — one clock jump past the latency budget expires every
+///    admitted storm request at the batcher; all of them resolve as
+///    typed `Shed` errors without ever reaching a worker (so the
+///    fault-injection stream is untouched).
+/// 3. **Recovery** — waves of identical tenant-0 requests are served
+///    under seeded worker-panic injection: one shape bucket per wave →
+///    one batch job → one worker, so panic decisions land on a fixed
+///    request order. Losses resolve as typed `WorkerLost`, the pool
+///    respawns, and every completed response is bit-checked against a
+///    direct serial run.
+///
+/// The PerfRecord's `cycles`/`total_ops` are the deterministic sums
+/// over completed responses; the whole protocol is timed as a single
+/// pass (repeating it would replay the fault stream from a different
+/// offset).
+///
+/// # Panics
+///
+/// Panics if any counter disagrees with the server's own accounting,
+/// if a storm request resolves as anything but `Shed`, if a recovery
+/// request resolves as anything but a bit-identical response or
+/// `WorkerLost`, or if the whole recovery phase completes zero
+/// requests.
+fn serve_overload(scale: Scale) -> (PerfRecord, OverloadStats) {
+    ta_serve::faultpoint::quiet_injected_panics();
+    let arrivals = serve::overload_arrivals(scale);
+    let waves = serve::overload_waves(scale);
+    let start = Instant::now();
+    let server = Server::start(serve::session(), serve::overload_config());
+
+    // Phase 1: storm at frozen clock — deterministic rejections.
+    let mut rejected = 0u64;
+    let mut storm_tickets = Vec::new();
+    for a in &arrivals {
+        match server.submit(a.tenant, serve::request(a)) {
+            Ok(t) => storm_tickets.push(t),
+            Err(ServeError::Rejected(_)) => rejected += 1,
+            Err(e) => panic!("storm submission failed unexpectedly: {e}"),
+        }
+    }
+    let admitted = storm_tickets.len() as u64;
+
+    // Phase 2: one clock jump sheds every admitted storm request.
+    spin_until_absorbed(&server, admitted);
+    server.advance_clock(2 * serve::OVERLOAD_BUDGET_NS);
+    let mut shed = 0u64;
+    for t in storm_tickets {
+        match t.wait() {
+            Err(ServeError::Shed { .. }) => shed += 1,
+            other => panic!("storm request must shed, resolved as {other:?}"),
+        }
+    }
+
+    // Phase 3: recovery waves under worker-panic injection. Waiting
+    // each wave's tickets before the next submits keeps the panic
+    // decision order (and the per-tenant depth) deterministic.
+    let direct = serve::session();
+    let want = direct.run_serial(serve::overload_request()).expect("wave request is valid");
+    let (mut completed, mut worker_lost) = (0u64, 0u64);
+    let (mut served_cycles, mut served_ops) = (0u64, 0u64);
+    for _ in 0..waves {
+        let base = server.stats().absorbed;
+        let tickets: Vec<_> = (0..serve::OVERLOAD_WAVE)
+            .map(|_| {
+                server
+                    .submit(0, serve::overload_request())
+                    .expect("recovery waves fit the depth limit")
+            })
+            .collect();
+        spin_until_absorbed(&server, base + serve::OVERLOAD_WAVE as u64);
+        server.advance_clock(serve::overload_config().policy.max_delay_ns);
+        for t in tickets {
+            match t.wait() {
+                Ok(resp) => {
+                    assert_eq!(
+                        resp.response.output, want.output,
+                        "serving determinism violation: recovery output differs from direct"
+                    );
+                    served_cycles += resp.response.report.cycles;
+                    served_ops += resp.response.report.total_ops;
+                    completed += 1;
+                }
+                Err(ServeError::WorkerLost) => worker_lost += 1,
+                Err(e) => panic!("recovery request failed unexpectedly: {e}"),
+            }
+        }
+    }
+    let stats = server.shutdown();
+    let wall = start.elapsed().as_secs_f64();
+
+    // The driver's books and the server's must agree exactly.
+    assert_eq!(stats.rejected, rejected, "admission rejection accounting drifted");
+    assert_eq!(stats.shed, shed, "shed accounting drifted");
+    assert_eq!(stats.worker_lost, worker_lost, "worker-loss accounting drifted");
+    assert_eq!(stats.completed, completed, "completion accounting drifted");
+    assert!(completed > 0, "recovery must complete at least one wave request");
+
+    let submitted = arrivals.len() as u64 + (waves * serve::OVERLOAD_WAVE) as u64;
+    let record = PerfRecord {
+        name: "serve_overload".into(),
+        cycles: served_cycles,
+        total_ops: served_ops,
+        density: 0.0,
+        macs_per_cycle: 0.0,
+        wall_s: wall,
+        wall_norm: 0.0, // assigned after the final calibration
+    };
+    let overload = OverloadStats {
+        submitted,
+        rejected,
+        shed,
+        worker_lost,
+        completed,
+        goodput: completed as f64 / submitted as f64,
+        workers: serve::WORKERS,
+        respawned: stats.respawned,
+    };
+    (record, overload)
 }
 
 /// The `kernel_micro_*` workloads (schema 6): the three word-parallel
@@ -422,6 +565,15 @@ pub fn run_suite_filtered(
         serve_stats = Some(stats);
     }
 
+    // Scripted overload: admission control, shedding, and worker fault
+    // isolation on the virtual clock (schema-7 workload).
+    let mut overload_stats = None;
+    if want("serve_overload") {
+        let (overload_record, stats) = serve_overload(scale);
+        workloads.push(overload_record);
+        overload_stats = Some(stats);
+    }
+
     // Word-parallel kernel microbenchmarks (schema-6 workloads).
     workloads.extend(kernel_micro(scale, &want));
 
@@ -444,7 +596,7 @@ pub fn run_suite_filtered(
     }
 
     PerfReport {
-        schema: 6,
+        schema: 7,
         sha: String::new(),
         scale: scale.name().to_string(),
         threads: resolved_threads,
@@ -462,6 +614,7 @@ pub fn run_suite_filtered(
             Vec::new()
         },
         serve: serve_stats,
+        overload: overload_stats,
         workloads,
     }
 }
@@ -593,8 +746,8 @@ mod tests {
     fn suite_runs_at_tiny_scale_and_is_deterministic() {
         let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
         let report = run_suite(tiny, 2, DEFAULT_PLAN_CACHE_ENTRIES, 0);
-        assert_eq!(report.workloads.len(), 9);
-        assert_eq!(report.schema, 6);
+        assert_eq!(report.workloads.len(), 10);
+        assert_eq!(report.schema, 7);
         assert_eq!(report.contention.len(), CONTENTION_THREADS.len());
         for p in &report.contention {
             assert!(p.mlookups_per_s > 0.0, "contention sweep must measure real throughput");
@@ -631,6 +784,16 @@ mod tests {
         assert!(serve.batches > 0 && serve.batches <= serve.requests);
         assert!(serve.throughput_rps > 0.0);
         assert!(serve.p50_latency_ns > 0.0 && serve.p99_latency_ns >= serve.p50_latency_ns);
+        let overloaded = report.workloads.iter().find(|w| w.name == "serve_overload").unwrap();
+        assert!(overloaded.cycles > 0 && overloaded.total_ops > 0, "recovery sums real runs");
+        let ov = report.overload.as_ref().expect("schema-7 suite always scripts overload");
+        assert!(ov.rejected > 0, "the storm must blow at least one tenant's queue depth");
+        assert!(ov.shed > 0, "every admitted storm request must shed");
+        assert!(ov.worker_lost > 0, "a 25% panic rate must hit some recovery request");
+        assert!(ov.respawned > 0 && ov.respawned <= ov.worker_lost);
+        assert_eq!(ov.submitted, ov.rejected + ov.shed + ov.worker_lost + ov.completed);
+        assert!(ov.goodput > 0.0 && ov.goodput < 1.0);
+        assert_eq!(ov.workers, 2);
         for name in ["kernel_micro_popcount", "kernel_micro_extract", "kernel_micro_im2col"] {
             let k = report.workloads.iter().find(|w| w.name == name).unwrap();
             assert!(k.total_ops > 0, "{name} must report a deterministic kernel output");
@@ -651,6 +814,7 @@ mod tests {
         assert_eq!(report.dram_requests, 3);
         // Everything filtered out reports its "unmeasured" value.
         assert!(report.serve.is_none());
+        assert!(report.overload.is_none());
         assert!(report.contention.is_empty());
         assert_eq!(report.plan_cache_hit_rate, 0.0);
         assert_eq!(report.speedup_cached, 0.0);
@@ -670,6 +834,19 @@ mod tests {
             assert_eq!(x.name, y.name);
             assert_eq!(x.total_ops, y.total_ops, "{} total_ops drifted across runs", x.name);
         }
+    }
+
+    #[test]
+    fn serve_overload_counters_are_deterministic() {
+        // The gate requires exact matches on every overload counter
+        // (goodput included), so two runs at the same scale must agree
+        // bit-for-bit — only the wall columns may differ.
+        let tiny = Scale { tiles: 2, sample_limit: 4, accuracy_dim: 16 };
+        let (rec_a, ov_a) = serve_overload(tiny);
+        let (rec_b, ov_b) = serve_overload(tiny);
+        assert_eq!(ov_a, ov_b, "overload counters drifted across runs");
+        assert_eq!(rec_a.cycles, rec_b.cycles, "recovery cycle sums drifted across runs");
+        assert_eq!(rec_a.total_ops, rec_b.total_ops);
     }
 
     #[test]

@@ -129,6 +129,24 @@ pub enum TaError {
     },
 }
 
+impl TaError {
+    /// A stable snake_case tag naming this error's variant, for log
+    /// lines, metrics labels, and machine-readable error taxonomies.
+    /// Serving-layer error types (ta-serve's `ServeError`) wrap
+    /// `TaError` for validation failures and lean on this tag when
+    /// classifying rejections, so the strings here are a compatibility
+    /// surface: add new tags freely, never rename existing ones.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Config(_) => "config",
+            Self::ShapeMismatch { .. } => "shape_mismatch",
+            Self::InputRange { .. } => "input_range",
+            Self::WeightRange { .. } => "weight_range",
+            Self::SourceWidthMismatch { .. } => "source_width_mismatch",
+        }
+    }
+}
+
 impl fmt::Display for TaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -180,6 +198,21 @@ mod tests {
         assert!(e.to_string().contains("64") && e.to_string().contains("8"));
         let e = TaError::ShapeMismatch { weight_cols: 3, input_rows: 4 };
         assert!(e.to_string().contains("inner dimension mismatch"));
+    }
+
+    #[test]
+    fn kind_tags_are_stable_snake_case() {
+        let cases = [
+            (TaError::Config(ConfigError::ZeroUnits), "config"),
+            (TaError::ShapeMismatch { weight_cols: 1, input_rows: 2 }, "shape_mismatch"),
+            (TaError::InputRange { act_bits: 8 }, "input_range"),
+            (TaError::WeightRange { weight_bits: 4 }, "weight_range"),
+            (TaError::SourceWidthMismatch { source: 4, accelerator: 8 }, "source_width_mismatch"),
+        ];
+        for (err, tag) in cases {
+            assert_eq!(err.kind(), tag);
+            assert!(tag.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 
     #[test]

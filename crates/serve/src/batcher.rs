@@ -70,6 +70,25 @@ pub(crate) struct BatchJob {
     pub(crate) requests: Vec<Envelope>,
 }
 
+impl BatchJob {
+    /// Splits off every request whose latency budget is already blown
+    /// at logical time `now_ns` (strictly over `budget_ns` since
+    /// admission), preserving the relative order of both halves. The
+    /// scheduler sheds the returned envelopes with a typed error
+    /// instead of spending worker time on answers nobody is waiting
+    /// for. A zero budget means "no deadline" and sheds nothing.
+    pub(crate) fn take_expired(&mut self, now_ns: u64, budget_ns: u64) -> Vec<Envelope> {
+        if budget_ns == 0 {
+            return Vec::new();
+        }
+        let (expired, kept) = std::mem::take(&mut self.requests)
+            .into_iter()
+            .partition(|env| now_ns.saturating_sub(env.submitted_at_ns) > budget_ns);
+        self.requests = kept;
+        expired
+    }
+}
+
 struct Bucket {
     requests: Vec<Envelope>,
     /// Logical time the current oldest request entered the bucket.
@@ -229,6 +248,31 @@ mod tests {
         let jobs = b.flush_due(100);
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].requests.len(), 2, "both flush with the oldest");
+    }
+
+    #[test]
+    fn take_expired_sheds_only_over_budget_requests_in_order() {
+        let mut b = Batcher::new(policy(8, 100, 1));
+        let at = |id: u64, submitted_at_ns: u64| {
+            let mut env = exec(id, 8, 16, 2);
+            env.submitted_at_ns = submitted_at_ns;
+            env
+        };
+        for (id, t) in [(0, 0), (1, 500), (2, 100), (3, 900)] {
+            assert!(b.offer(at(id, t), t).is_none());
+        }
+        let mut job = b.flush_all().pop().expect("one bucket");
+        // Budget 600 at now=1000: waited 1000/500/900/100 → ids 0 and 2
+        // are strictly over budget; 1 and 3 survive, order intact.
+        let expired: Vec<u64> = job.take_expired(1_000, 600).iter().map(|e| e.id).collect();
+        assert_eq!(expired, vec![0, 2]);
+        let kept: Vec<u64> = job.requests.iter().map(|e| e.id).collect();
+        assert_eq!(kept, vec![1, 3]);
+        // Exactly-at-budget is not over budget.
+        assert!(job.take_expired(1_100, 600).is_empty(), "waited == budget must not shed");
+        // Budget 0 disables deadline shedding entirely.
+        assert!(job.take_expired(u64::MAX, 0).is_empty());
+        assert_eq!(job.requests.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultConfig`] names a seed, a firing rate, and a set of
+//! [`FaultSite`]s. Each site draws its fire/skip decisions from a
+//! counter-mode splitmix64 stream — decision `n` at a site fires iff
+//! `splitmix64(seed ^ site_salt ^ n) % 1_000_000 < rate_ppm` — so a
+//! given `(seed, rate, site)` triple produces the same decision
+//! *sequence* on every run, with no wall-clock randomness anywhere.
+//! Which thread consumes decision `n` can still race (that is the
+//! point of chaos testing), but sites whose decisions are consumed in
+//! a deterministic order (one decision per executed request, say)
+//! yield fully deterministic fault counts.
+//!
+//! Injection is enabled either programmatically
+//! (`ServerConfig::faults`) or from the environment: `TA_FAULTS`
+//! holds a spec like `seed=42,rate_ppm=250000,sites=worker_panic`
+//! (see [`FaultConfig::parse`]). The server never reads the
+//! environment when `ServerConfig::faults` is set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ta_models::splitmix64;
+
+/// Decisions per million that fire at `rate_ppm = 1_000_000`.
+const PPM_SCALE: u64 = 1_000_000;
+
+/// A named point in the serving stack where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Panic inside a worker just before it executes a request. The
+    /// server must isolate the panic (`catch_unwind`), resolve the
+    /// victim ticket with `ServeError::WorkerLost`, and respawn the
+    /// worker. One decision is consumed per executed request.
+    WorkerPanic,
+    /// Stall the scheduler loop briefly before it drains the admission
+    /// queue, simulating a descheduled or overloaded scheduler thread.
+    /// One decision is consumed per scheduler iteration.
+    QueueStall,
+    /// Skip one deadline-flush pass in the batcher, delaying partial
+    /// buckets past their `max_delay_ns`. One decision is consumed per
+    /// scheduler iteration. The scheduler bounds consecutive skipped
+    /// passes, so this site delays flushes but can never starve them —
+    /// liveness holds even at a 100% fire rate.
+    BatcherDelay,
+}
+
+impl FaultSite {
+    /// Every site, in bit-mask order.
+    pub const ALL: [FaultSite; 3] =
+        [FaultSite::WorkerPanic, FaultSite::QueueStall, FaultSite::BatcherDelay];
+
+    /// Stable name used by the `TA_FAULTS` spec and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::WorkerPanic => "worker_panic",
+            Self::QueueStall => "queue_stall",
+            Self::BatcherDelay => "batcher_delay",
+        }
+    }
+
+    /// This site's bit in [`FaultConfig`]'s site mask.
+    pub fn mask(self) -> u8 {
+        1 << self.index()
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Self::WorkerPanic => 0,
+            Self::QueueStall => 1,
+            Self::BatcherDelay => 2,
+        }
+    }
+
+    /// Per-site salt decorrelating the decision streams of different
+    /// sites under one seed.
+    fn salt(self) -> u64 {
+        match self {
+            Self::WorkerPanic => 0x57_4F_52_4B_50_41_4E_43,
+            Self::QueueStall => 0x51_55_45_55_45_53_54_4C,
+            Self::BatcherDelay => 0x42_41_54_43_48_44_4C_59,
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// Seeded fault-injection policy (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of every site's decision stream.
+    pub seed: u64,
+    /// Firing probability in parts per million (`1_000_000` = every
+    /// decision fires). Clamped to the PPM scale by [`Self::parse`];
+    /// programmatic values above it simply always fire.
+    pub rate_ppm: u32,
+    /// Bit mask of enabled sites ([`FaultSite::mask`]).
+    sites: u8,
+}
+
+impl FaultConfig {
+    /// A config with the given seed and rate and *no* enabled sites;
+    /// chain [`Self::with_site`] / [`Self::all_sites`] to arm it.
+    pub fn new(seed: u64, rate_ppm: u32) -> Self {
+        Self { seed, rate_ppm, sites: 0 }
+    }
+
+    /// Enables one site.
+    pub fn with_site(mut self, site: FaultSite) -> Self {
+        self.sites |= site.mask();
+        self
+    }
+
+    /// Enables every site.
+    pub fn all_sites(mut self) -> Self {
+        for site in FaultSite::ALL {
+            self.sites |= site.mask();
+        }
+        self
+    }
+
+    /// Whether decisions at `site` can ever fire under this config.
+    pub fn site_enabled(&self, site: FaultSite) -> bool {
+        self.sites & site.mask() != 0
+    }
+
+    /// Parses a `TA_FAULTS`-style spec: comma-separated `key=value`
+    /// pairs with keys `seed` (u64, default 0), `rate_ppm` (u32,
+    /// ≤ 1_000_000, default 1_000_000), and `sites` (`+`-separated
+    /// site names or `all`, default `all`). Example:
+    /// `seed=42,rate_ppm=250000,sites=worker_panic+queue_stall`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut config = Self::new(0, PPM_SCALE as u32).all_sites();
+        if spec.trim().is_empty() {
+            return Err("empty fault spec (unset TA_FAULTS to disable injection)".into());
+        }
+        for token in spec.split(',') {
+            let token = token.trim();
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec token {token:?} is not key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    config.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("fault spec seed {value:?}: {e}"))?;
+                }
+                "rate_ppm" => {
+                    let rate: u32 = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("fault spec rate_ppm {value:?}: {e}"))?;
+                    if rate as u64 > PPM_SCALE {
+                        return Err(format!("fault spec rate_ppm {rate} exceeds {PPM_SCALE}"));
+                    }
+                    config.rate_ppm = rate;
+                }
+                "sites" => {
+                    config.sites = 0;
+                    for name in value.split('+') {
+                        let name = name.trim();
+                        if name == "all" {
+                            config = config.all_sites();
+                        } else {
+                            let site = FaultSite::from_name(name).ok_or_else(|| {
+                                format!(
+                                    "fault spec names unknown site {name:?} \
+                                     (known: worker_panic, queue_stall, batcher_delay, all)"
+                                )
+                            })?;
+                            config = config.with_site(site);
+                        }
+                    }
+                }
+                other => return Err(format!("fault spec has unknown key {other:?}")),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Reads the `TA_FAULTS` environment variable; `None` when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a silently ignored fault spec
+    /// would make a chaos run vacuously green.
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var("TA_FAULTS").ok()?;
+        Some(Self::parse(&spec).expect("malformed TA_FAULTS spec"))
+    }
+}
+
+/// Installs a process-wide panic-hook filter that silences the spew of
+/// *injected* worker panics (their payloads name the fault site) while
+/// forwarding every other panic to the previously installed hook.
+/// Idempotent; call it from chaos tests and bench drivers so seeded
+/// fault storms don't flood logs with expected backtraces.
+pub fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected worker panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Decision/fired tallies per site, snapshotted by
+/// [`crate::Server::fault_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    decisions: [u64; 3],
+    fired: [u64; 3],
+}
+
+impl FaultStats {
+    /// Decisions drawn at `site` (fired or not). Disabled sites draw
+    /// none.
+    pub fn decisions(&self, site: FaultSite) -> u64 {
+        self.decisions[site.index()]
+    }
+
+    /// Faults actually injected at `site`.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site.index()]
+    }
+
+    /// Faults injected across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+#[derive(Default)]
+struct SiteState {
+    decisions: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// The live decision streams of one server. Decisions mutate shared
+/// per-site counters, so every consumer sees one global sequence per
+/// site regardless of which thread asks.
+pub(crate) struct FaultPlan {
+    config: Option<FaultConfig>,
+    states: [SiteState; 3],
+}
+
+impl FaultPlan {
+    pub(crate) fn new(config: Option<FaultConfig>) -> Self {
+        Self { config, states: Default::default() }
+    }
+
+    /// Draws the next decision at `site`. Disabled (or unconfigured)
+    /// sites return `false` without consuming a decision index, so
+    /// enabling one site never perturbs another's stream.
+    pub(crate) fn decide(&self, site: FaultSite) -> bool {
+        let Some(config) = &self.config else { return false };
+        if !config.site_enabled(site) {
+            return false;
+        }
+        let state = &self.states[site.index()];
+        let n = state.decisions.fetch_add(1, Ordering::Relaxed);
+        let fire = splitmix64(config.seed ^ site.salt() ^ n) % PPM_SCALE < config.rate_ppm as u64;
+        if fire {
+            state.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        let mut stats = FaultStats::default();
+        for (i, state) in self.states.iter().enumerate() {
+            stats.decisions[i] = state.decisions.load(Ordering::Relaxed);
+            stats.fired[i] = state.fired.load(Ordering::Relaxed);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_sequences_replay_identically_for_a_seed() {
+        let config = FaultConfig::new(42, 250_000).all_sites();
+        let a = FaultPlan::new(Some(config));
+        let b = FaultPlan::new(Some(config));
+        for site in FaultSite::ALL {
+            let sa: Vec<bool> = (0..256).map(|_| a.decide(site)).collect();
+            let sb: Vec<bool> = (0..256).map(|_| b.decide(site)).collect();
+            assert_eq!(sa, sb, "site {} must replay", site.name());
+            assert!(sa.iter().any(|&f| f), "rate 25% over 256 draws should fire");
+            assert!(!sa.iter().all(|&f| f), "rate 25% over 256 draws should also skip");
+        }
+        // Different seeds produce different streams.
+        let c = FaultPlan::new(Some(FaultConfig::new(43, 250_000).all_sites()));
+        let sc: Vec<bool> = (0..256).map(|_| c.decide(FaultSite::WorkerPanic)).collect();
+        let sa: Vec<bool> = (0..256).map(|_| a.decide(FaultSite::WorkerPanic)).collect();
+        // (`a` already consumed 256 worker-panic decisions above, so
+        // compare stream shapes, not positions: both must be mixed.)
+        assert!(sc.iter().any(|&f| f) && sa.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn rate_extremes_always_or_never_fire() {
+        let never = FaultPlan::new(Some(FaultConfig::new(7, 0).all_sites()));
+        let always = FaultPlan::new(Some(FaultConfig::new(7, 1_000_000).all_sites()));
+        for _ in 0..64 {
+            assert!(!never.decide(FaultSite::WorkerPanic));
+            assert!(always.decide(FaultSite::WorkerPanic));
+        }
+        assert_eq!(never.stats().total_fired(), 0);
+        assert_eq!(always.stats().fired(FaultSite::WorkerPanic), 64);
+        assert_eq!(always.stats().decisions(FaultSite::WorkerPanic), 64);
+    }
+
+    #[test]
+    fn disabled_sites_never_fire_and_consume_no_decisions() {
+        let plan =
+            FaultPlan::new(Some(FaultConfig::new(7, 1_000_000).with_site(FaultSite::WorkerPanic)));
+        for _ in 0..16 {
+            assert!(!plan.decide(FaultSite::QueueStall));
+            assert!(plan.decide(FaultSite::WorkerPanic));
+        }
+        assert_eq!(plan.stats().decisions(FaultSite::QueueStall), 0);
+        assert_eq!(plan.stats().decisions(FaultSite::WorkerPanic), 16);
+        // An unconfigured plan is inert everywhere.
+        let off = FaultPlan::new(None);
+        assert!(FaultSite::ALL.into_iter().all(|s| !off.decide(s)));
+        assert_eq!(off.stats().total_fired(), 0);
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_and_rejects_garbage() {
+        let c =
+            FaultConfig::parse("seed=42,rate_ppm=250000,sites=worker_panic+batcher_delay").unwrap();
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.rate_ppm, 250_000);
+        assert!(c.site_enabled(FaultSite::WorkerPanic));
+        assert!(!c.site_enabled(FaultSite::QueueStall));
+        assert!(c.site_enabled(FaultSite::BatcherDelay));
+
+        let defaults = FaultConfig::parse("seed=9").unwrap();
+        assert_eq!(defaults.rate_ppm, 1_000_000, "rate defaults to always-fire");
+        assert!(FaultSite::ALL.into_iter().all(|s| defaults.site_enabled(s)));
+        assert_eq!(FaultConfig::parse("sites=all").unwrap().seed, 0);
+
+        for bad in ["", "seed", "seed=x", "rate_ppm=2000000", "sites=meteor_strike", "volume=11"] {
+            assert!(FaultConfig::parse(bad).is_err(), "spec {bad:?} must be rejected");
+        }
+    }
+}

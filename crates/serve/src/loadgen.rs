@@ -101,6 +101,54 @@ pub fn bursty_trace(
         .collect()
 }
 
+/// An overload process: a Poisson base load (exponential gaps with
+/// mean `mean_gap_ns`, uniformly drawn tenants) interrupted every
+/// `storm_every` arrivals by a synchronized burst storm — `storm_len`
+/// arrivals landing at the *same* instant, cycling through every
+/// tenant in order so all tenants pile onto the server at once. This
+/// is the adversarial shape SLO admission control and deadline
+/// shedding exist for: storms blow per-tenant queue depths and
+/// latency budgets while the base load keeps flowing.
+///
+/// # Panics
+///
+/// Panics if `storm_len >= storm_every`, `tenants` is zero, or
+/// `shapes` is empty.
+pub fn overload_trace(
+    seed: u64,
+    count: usize,
+    mean_gap_ns: u64,
+    storm_every: usize,
+    storm_len: usize,
+    tenants: u32,
+    shapes: &[GemmShape],
+) -> Vec<Arrival> {
+    assert!(storm_len < storm_every, "storms must be shorter than their period");
+    assert!(tenants > 0, "need at least one tenant");
+    assert!(!shapes.is_empty(), "need at least one shape");
+    let mut counter = 0u64;
+    let mut at_ns = 0u64;
+    (0..count)
+        .map(|i| {
+            let in_storm = i % storm_every < storm_len;
+            let storm_start = i % storm_every == 0;
+            // The storm's first arrival lands after a normal gap; the
+            // rest of the storm lands at that same instant.
+            if !in_storm || storm_start {
+                at_ns += exponential_ns(mean_gap_ns, seed, &mut counter);
+            }
+            let tenant = if in_storm {
+                // Synchronized: the storm sweeps tenants in order, so
+                // every tenant takes burst pressure at once.
+                ((i % storm_every) % tenants as usize) as u32
+            } else {
+                (splitmix64(seed ^ (0x0DE2_0000 + i as u64)) % tenants as u64) as u32
+            };
+            Arrival { at_ns, tenant, shape: shapes[i % shapes.len()], seed: seed ^ (i as u64) }
+        })
+        .collect()
+}
+
 /// Synthesizes the deterministic execute request for an arrival:
 /// operands are seeded functions of `(arrival.seed, position)` within
 /// the given bit-widths, so a trace maps to byte-identical GEMMs on
@@ -152,6 +200,30 @@ mod tests {
             mean(&boundary),
             mean(&inside)
         );
+    }
+
+    #[test]
+    fn overload_trace_storms_are_synchronized_and_cover_every_tenant() {
+        let trace = overload_trace(21, 96, 10_000, 16, 6, 3, SHAPES);
+        let again = overload_trace(21, 96, 10_000, 16, 6, 3, SHAPES);
+        assert_eq!(trace, again, "same seed must replay identically");
+        assert!(trace.windows(2).all(|w| w[0].at_ns <= w[1].at_ns), "arrivals are ordered");
+        for storm in trace.chunks(16) {
+            // The 6 storm arrivals land at one instant...
+            let storm_ns: Vec<u64> = storm[..6].iter().map(|a| a.at_ns).collect();
+            assert!(storm_ns.iter().all(|&t| t == storm_ns[0]), "storm not synchronized");
+            // ...and sweep every tenant (storm_len 6 ≥ 3 tenants).
+            let mut storm_tenants: Vec<u32> = storm[..6].iter().map(|a| a.tenant).collect();
+            storm_tenants.sort_unstable();
+            storm_tenants.dedup();
+            assert_eq!(storm_tenants, vec![0, 1, 2], "storm must hit all tenants");
+            // Base arrivals between storms keep Poisson-ish spacing.
+            let base_gaps: Vec<u64> =
+                storm[5..].windows(2).map(|w| w[1].at_ns - w[0].at_ns).collect();
+            assert!(base_gaps.iter().any(|&g| g > 0), "base load must not be a storm");
+        }
+        let different = overload_trace(22, 96, 10_000, 16, 6, 3, SHAPES);
+        assert_ne!(trace, different, "different seeds must differ");
     }
 
     #[test]

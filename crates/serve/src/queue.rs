@@ -116,4 +116,75 @@ mod tests {
         assert_eq!(q.pop().unwrap().tenant, 3);
         assert!(q.pop().is_none());
     }
+
+    #[test]
+    fn fully_rejected_tenant_does_not_stall_the_cursor() {
+        // Tenant 4's submits are all refused by admission control, so
+        // its lane never exists — but pops of tenant 3 leave the
+        // cursor parked *at* 4. The next pop must skip the absent
+        // tenant and serve whoever is live, in bounded time.
+        let mut q = AdmissionQueue::new();
+        q.push(test_envelope(0, 3, req()));
+        assert_eq!(q.pop().unwrap().tenant, 3, "cursor now rests on absent tenant 4");
+        q.push(test_envelope(1, 1, req()));
+        q.push(test_envelope(2, 7, req()));
+        assert_eq!(q.pop().unwrap().tenant, 7, "first live tenant at or after the cursor");
+        assert_eq!(q.pop().unwrap().tenant, 1, "wraps past the absent tenant");
+        assert!(q.pop().is_none());
+        // Same at the id-space edge: cursor wraps from u32::MAX.
+        q.push(test_envelope(3, u32::MAX, req()));
+        assert_eq!(q.pop().unwrap().tenant, u32::MAX);
+        q.push(test_envelope(4, 0, req()));
+        assert_eq!(q.pop().unwrap().tenant, 0, "cursor wrapped to 0 after u32::MAX");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Round-robin fairness survives arbitrary admission
+            // patterns, including tenants whose requests are all
+            // rejected upstream (they simply never appear here): no
+            // tenant is served twice in a row while another tenant
+            // still has queued work, and each tenant's own order
+            // stays FIFO.
+            #[test]
+            fn round_robin_never_serves_a_tenant_twice_while_others_wait(
+                tenants in proptest::collection::vec(0u32..12, 1..80),
+            ) {
+                let mut q = AdmissionQueue::new();
+                let mut pending: std::collections::BTreeMap<u32, u64> =
+                    std::collections::BTreeMap::new();
+                for (id, &tenant) in tenants.iter().enumerate() {
+                    q.push(test_envelope(id as u64, tenant, req()));
+                    *pending.entry(tenant).or_insert(0) += 1;
+                }
+                let mut last_served: Option<u32> = None;
+                let mut popped = Vec::new();
+                while let Some(env) = q.pop() {
+                    if let Some(last) = last_served {
+                        let others_waiting =
+                            pending.iter().any(|(&t, &n)| t != last && n > 0);
+                        prop_assert!(
+                            !(others_waiting && env.tenant == last),
+                            "tenant {last} served twice in a row with others waiting"
+                        );
+                    }
+                    *pending.get_mut(&env.tenant).unwrap() -= 1;
+                    last_served = Some(env.tenant);
+                    popped.push((env.tenant, env.id));
+                }
+                prop_assert_eq!(popped.len(), tenants.len());
+                // Per-tenant FIFO: ids within a tenant stay sorted.
+                for t in pending.keys() {
+                    let ids: Vec<u64> =
+                        popped.iter().filter(|(pt, _)| pt == t).map(|(_, id)| *id).collect();
+                    let mut sorted = ids.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(ids, sorted);
+                }
+            }
+        }
+    }
 }

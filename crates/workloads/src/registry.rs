@@ -271,6 +271,56 @@ impl Workload for ServeOpenLoop {
     }
 }
 
+struct ServeOverload;
+
+impl Workload for ServeOverload {
+    fn name(&self) -> &'static str {
+        "serve_overload"
+    }
+    fn description(&self) -> &'static str {
+        "ta-serve under a scripted storm: SLO rejects, deadline sheds, injected worker panics"
+    }
+    fn shapes(&self, _scale: Scale) -> Vec<GemmShape> {
+        serve::shapes().to_vec()
+    }
+    fn has_cycle_model(&self) -> bool {
+        true
+    }
+    fn gated(&self) -> bool {
+        true
+    }
+    fn prepare(&self, scale: Scale) {
+        serve::session();
+        serve::overload_arrivals(scale);
+        serve::overload_request();
+    }
+    fn oracle(&self, scale: Scale, _threads: usize) -> u64 {
+        // Fingerprints the workload's *content* — the storm trace's
+        // requests plus the fixed recovery-wave request — by direct
+        // serial execution. The overload counters themselves (rejects,
+        // sheds, worker losses) are scripted on the virtual clock and
+        // gated exactly in ta-bench; the oracle pins down the operands
+        // those counters are measured over.
+        let session = serve::session();
+        let mut d = Digest::new();
+        d.push_str(self.name());
+        for arrival in &serve::overload_arrivals(scale) {
+            let resp =
+                session.run_serial(serve::request(arrival)).expect("trace requests are valid");
+            if let Some(out) = &resp.output {
+                d.push_mat(out);
+            }
+            d.push_report(&resp.report);
+        }
+        let wave = session.run_serial(serve::overload_request()).expect("wave request is valid");
+        if let Some(out) = &wave.output {
+            d.push_mat(out);
+        }
+        d.push_report(&wave.report);
+        d.finish()
+    }
+}
+
 #[derive(Clone, Copy)]
 enum KernelMode {
     Popcount,
@@ -550,6 +600,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(L7bQproj(L7bMode::Cached)),
         Box::new(L7bQproj(L7bMode::Exec)),
         Box::new(ServeOpenLoop),
+        Box::new(ServeOverload),
         Box::new(KernelMicro(KernelMode::Popcount)),
         Box::new(KernelMicro(KernelMode::Extract)),
         Box::new(KernelMicro(KernelMode::Im2col)),

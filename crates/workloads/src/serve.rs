@@ -1,12 +1,13 @@
-//! The `serve_open_loop` workload definition: the design point, shape
-//! mix, batching policy, and seeded Poisson trace the serving-frontend
-//! workload replays. The timed serving loop lives in `ta-bench`; the
-//! request synthesis also backs `ta-serve`'s own loadgen.
+//! The `serve_open_loop` and `serve_overload` workload definitions:
+//! design points, shape mixes, batching/SLO policies, and seeded
+//! traces the serving-frontend workloads replay. The timed serving
+//! loops live in `ta-bench`; the request synthesis also backs
+//! `ta-serve`'s own loadgen.
 
 use crate::Scale;
 use ta_core::{GemmRequest, GemmShape, Session, TransArrayConfig};
-use ta_serve::loadgen::{poisson_trace, request_for, Arrival};
-use ta_serve::BatchPolicy;
+use ta_serve::loadgen::{overload_trace, poisson_trace, request_for, Arrival};
+use ta_serve::{BatchPolicy, ClockMode, FaultConfig, FaultSite, ServerConfig, SloPolicy};
 
 /// Weight precision of the serving workload's requests.
 pub const WEIGHT_BITS: u32 = 4;
@@ -66,4 +67,72 @@ pub fn session() -> Session {
 /// precisions.
 pub fn request(arrival: &Arrival) -> GemmRequest {
     request_for(arrival, WEIGHT_BITS, ACT_BITS)
+}
+
+// --- serve_overload: the scripted-overload design point -------------------
+//
+// The `serve_overload` workload replays a storm trace against a server
+// with per-tenant SLOs and injected worker panics, on the virtual
+// clock so every counter (rejects, sheds, worker losses, goodput) is a
+// pure function of the constants below. The phase protocol lives in
+// `ta-bench`; this module owns the design point so the bench, the zoo
+// oracle, and the conformance suite agree on it.
+
+/// Seed of the overload storm trace *and* the fault-injection stream.
+pub const OVERLOAD_SEED: u64 = 0x0DE2_10AD;
+
+/// Injected worker-panic probability, in parts per million (25%).
+pub const OVERLOAD_PANIC_PPM: u32 = 250_000;
+
+/// Per-tenant queue-depth limit during the overload replay. The storm
+/// phase submits with the clock frozen, so any tenant drawing more
+/// than this many trace arrivals takes deterministic rejections.
+pub const OVERLOAD_DEPTH: u64 = 8;
+
+/// Per-request latency budget (logical ns). The storm phase blows it
+/// for every admitted request by advancing the virtual clock past it.
+pub const OVERLOAD_BUDGET_NS: u64 = 1_000_000;
+
+/// Requests per recovery wave — one shape bucket, one batch job, one
+/// worker, so panic decisions land on a deterministic request order.
+pub const OVERLOAD_WAVE: usize = 8;
+
+/// Tenants in the overload storm trace.
+pub const OVERLOAD_TENANTS: u32 = 4;
+
+/// Recovery waves replayed after the storm: 4 at the tiny test scale,
+/// 6 at quick, 32 at full (scaled off the existing tile knob).
+pub fn overload_waves(scale: Scale) -> usize {
+    scale.tiles.max(2) * 2
+}
+
+/// The seeded storm trace the overload phase submits with the clock
+/// frozen. Reuses the open-loop request count so trace volume scales
+/// with the rest of the suite.
+pub fn overload_arrivals(scale: Scale) -> Vec<Arrival> {
+    overload_trace(OVERLOAD_SEED, request_count(scale), 200, 16, 6, OVERLOAD_TENANTS, &shapes())
+}
+
+/// The fixed request every recovery wave replays (tenant 0, one shape
+/// → one batch bucket per wave).
+pub fn overload_request() -> GemmRequest {
+    let arrival =
+        Arrival { at_ns: 0, tenant: 0, shape: GemmShape::new(8, 16, 4), seed: OVERLOAD_SEED };
+    request_for(&arrival, WEIGHT_BITS, ACT_BITS)
+}
+
+/// The overload server configuration: virtual clock, park-only batcher
+/// (deadline flushes drive all dispatch, so no storm bucket ever
+/// size-flushes into a worker and perturbs the deterministic reject
+/// counts), per-tenant SLO, and worker-panic injection.
+pub fn overload_config() -> ServerConfig {
+    ServerConfig {
+        workers: WORKERS,
+        policy: BatchPolicy { max_batch: 1 << 20, max_delay_ns: 100_000, quantum_m: 1 },
+        slo: SloPolicy { max_queue_depth: OVERLOAD_DEPTH, latency_budget_ns: OVERLOAD_BUDGET_NS },
+        faults: Some(
+            FaultConfig::new(OVERLOAD_SEED, OVERLOAD_PANIC_PPM).with_site(FaultSite::WorkerPanic),
+        ),
+        clock: ClockMode::Virtual,
+    }
 }

@@ -26,6 +26,7 @@ fn names_are_unique_and_stable() {
             "l7b_qproj_cached",
             "l7b_qproj_exec",
             "serve_open_loop",
+            "serve_overload",
             "kernel_micro_popcount",
             "kernel_micro_extract",
             "kernel_micro_im2col",
@@ -41,9 +42,9 @@ fn names_are_unique_and_stable() {
 #[test]
 fn gate_roster_matches_bench_schema() {
     let gated: Vec<_> = registry().into_iter().filter(|w| w.gated()).collect();
-    // Nine PerfRecord workloads plus the contention sweep (gated through
+    // Ten PerfRecord workloads plus the contention sweep (gated through
     // the report's contention arm, not a PerfRecord).
-    assert_eq!(gated.len(), 10);
+    assert_eq!(gated.len(), 11);
 }
 
 #[test]

@@ -14,7 +14,7 @@
 use transitive_array::prelude::*;
 use transitive_array::workloads::{zoo, Scale};
 
-fn main() -> Result<(), TaError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The zoo's decode entry at full scale: the dynamic-Scoreboard design
     // point, sub-tile knobs scaled for a single head.
     let decode_steps = zoo::decode_steps(Scale::full());
@@ -29,6 +29,7 @@ fn main() -> Result<(), TaError> {
         ServerConfig {
             workers: 2,
             policy: BatchPolicy { max_batch: 4, max_delay_ns: 200_000, quantum_m: 1 },
+            ..ServerConfig::default()
         },
     );
     let streams = [

@@ -58,7 +58,8 @@ pub mod prelude {
     pub use ta_hasse::{NullSink, ResultSink, VecSink};
     pub use ta_quant::{gemm_i32, MatI32};
     pub use ta_serve::{
-        BatchPolicy, ServeError, ServeResponse, Server, ServerConfig, ServerStats, StreamTicket,
+        BatchPolicy, ClockMode, FaultConfig, FaultSite, FaultStats, RejectReason, ServeError,
+        ServeResponse, Server, ServerConfig, ServerStats, SloPolicy, StreamEvent, StreamTicket,
         Ticket,
     };
 }

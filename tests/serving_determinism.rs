@@ -46,7 +46,10 @@ fn served_equals_direct_across_threads_and_batch_budgets() {
     for threads in [1usize, 2, 8] {
         for max_batch in [1usize, 2, 8] {
             let policy = BatchPolicy { max_batch, max_delay_ns: 50_000, quantum_m: 1 };
-            let server = Server::start(session(threads), ServerConfig { workers: threads, policy });
+            let server = Server::start(
+                session(threads),
+                ServerConfig { workers: threads, policy, ..ServerConfig::default() },
+            );
             let trace = poisson_trace(0xD5 + max_batch as u64, 20, 200, 3, &shapes);
             let tickets: Vec<_> = trace
                 .iter()
@@ -82,7 +85,8 @@ fn bursty_padded_serving_stays_exact() {
     let direct = session(1);
     let shapes = shapes();
     let policy = BatchPolicy { max_batch: 4, max_delay_ns: 20_000, quantum_m: 4 };
-    let server = Server::start(session(2), ServerConfig { workers: 2, policy });
+    let server =
+        Server::start(session(2), ServerConfig { workers: 2, policy, ..ServerConfig::default() });
     let trace = bursty_trace(0xB0B, 24, 500, 6, 2, &shapes);
     let tickets: Vec<_> = trace
         .iter()
@@ -117,9 +121,21 @@ fn streamed_serving_is_bit_identical_too() {
         let served = st.ticket.wait().unwrap();
         let want = direct.run_serial(request_for(arrival, WEIGHT_BITS, ACT_BITS)).unwrap();
         assert_eq!(served.response, want, "streaming diverged for {arrival:?}");
-        let chunks: Vec<_> = st.chunks.try_iter().collect();
+        let events: Vec<_> = st.events.try_iter().collect();
+        let chunks: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Chunk(c) => Some(c),
+                StreamEvent::Done(_) => None,
+            })
+            .collect();
         assert!(!chunks.is_empty(), "execute requests must stream chunks");
         assert!(chunks.iter().all(|c| c.values.len() == arrival.shape.m));
+        assert_eq!(
+            events.last(),
+            Some(&StreamEvent::Done(Ok(()))),
+            "streams must end with a terminal Done"
+        );
     }
     server.shutdown();
 }
